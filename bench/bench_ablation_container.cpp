@@ -1,0 +1,63 @@
+/// Design-choice ablation (DESIGN.md §5 / paper §V-C): GPMA vs a
+/// rebuild-per-batch CSR container for the device graph, across batch
+/// sizes.  Not a paper figure; it substantiates the paper's adoption
+/// of GPMA ("for its simplicity and efficiency" in applying update
+/// batches) with numbers.
+///
+/// Expected shape: rebuild cost is flat at ~2|E| entry moves regardless
+/// of batch size, GPMA's cost scales with the batch — so GPMA wins by
+/// orders of magnitude at realistic (2-10%) rates, and the advantage
+/// shrinks as the batch approaches |E|.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "gpma/gpma_kernel.hpp"
+#include "gpma/rebuild_container.hpp"
+
+using namespace bdsm;
+using namespace bdsm::bench;
+
+int main() {
+  Scale scale;
+  PrintHeader("Ablation: graph container",
+              "GPMA incremental updates vs full CSR rebuild (modeled "
+              "device microseconds per batch)",
+              scale);
+
+  printf("%-4s %8s | %12s %12s | %8s\n", "DS", "batch", "GPMA(us)",
+         "rebuild(us)", "ratio");
+  for (const char* ds : {"GH", "ST", "LS"}) {
+    const DatasetSpec& spec = DatasetByName(ds);
+    const LabeledGraph& g = CachedDataset(spec.id);
+    for (size_t ops : {32, 128, 512, 2048}) {
+      UpdateStreamGenerator gen(scale.seed + ops);
+      UpdateBatch batch = gen.MakeInsertions(
+          g, ops, spec.edge_labels > 1 ? spec.edge_labels : 0);
+
+      Gpma gpma(32);
+      gpma.BuildFrom(g);
+      Device dev_gpma;
+      UpdatePlan gpma_plan = gpma.ApplyBatch(batch);
+      DeviceStats s_gpma = SimulateGpmaUpdate(dev_gpma, gpma_plan);
+
+      RebuildContainer rebuild;
+      rebuild.BuildFrom(g);
+      Device dev_rebuild;
+      UpdatePlan rebuild_plan = rebuild.ApplyBatch(batch);
+      DeviceStats s_rebuild = SimulateGpmaUpdate(dev_rebuild, rebuild_plan);
+
+      double us_gpma = double(s_gpma.makespan_ticks) *
+                       dev_gpma.config().TickSeconds() * 1e6;
+      double us_rebuild = double(s_rebuild.makespan_ticks) *
+                          dev_rebuild.config().TickSeconds() * 1e6;
+      printf("%-4s %8zu | %12.3f %12.3f | %7.1fx\n", ds, batch.size(),
+             us_gpma, us_rebuild,
+             us_gpma > 0 ? us_rebuild / us_gpma : 0.0);
+    }
+  }
+  printf("\nShape check: rebuild cost ~constant in the batch size (full "
+         "2|E| moves); GPMA cost tracks the batch; the ratio shrinks as "
+         "batch size approaches |E| — incremental structures pay off "
+         "exactly in the paper's 2-10%% regime.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "util/timer.hpp"
+
+namespace bdsm::bench {
+
+const LabeledGraph& CachedDataset(DatasetId id) {
+  static std::map<DatasetId, LabeledGraph> cache;
+  auto it = cache.find(id);
+  if (it == cache.end()) {
+    it = cache.emplace(id, LoadDataset(id)).first;
+  }
+  return it->second;
+}
+
+std::vector<QueryGraph> MakeQuerySet(const LabeledGraph& g,
+                                     QueryGraph::StructureClass cls,
+                                     size_t num_vertices, size_t count,
+                                     uint64_t seed) {
+  QueryExtractor ex(g, seed);
+  return ex.ExtractSet(num_vertices, cls, count);
+}
+
+UpdateBatch MakeRateBatch(const LabeledGraph& g, const DatasetSpec& spec,
+                          double rate, const Scale& scale, uint64_t seed) {
+  // Rate is applied against min(|E|, 10 x cap) so rate sweeps (Fig. 9)
+  // scale linearly while the default 10% rate hits exactly the cap.
+  double base = static_cast<double>(
+      std::min<size_t>(g.NumEdges(), scale.max_batch_ops * 10));
+  size_t count = std::min<size_t>(scale.max_batch_ops,
+                                  static_cast<size_t>(rate * base));
+  UpdateStreamGenerator gen(seed);
+  size_t elabels = spec.edge_labels > 1 ? spec.edge_labels : 0;
+  return gen.MakeInsertions(g, count, elabels);
+}
+
+CellResult RunCsmCell(const std::string& engine, const LabeledGraph& g,
+                      const std::vector<QueryGraph>& queries,
+                      const UpdateBatch& batch, const Scale& scale) {
+  CellResult cell;
+  double total = 0.0;
+  for (const QueryGraph& q : queries) {
+    auto eng = MakeCsmEngine(engine, g, q);
+    eng->set_result_cap(1'500'000);  // same cap as GammaOptions
+    Timer t;
+    std::vector<MatchRecord> raw =
+        eng->ProcessBatch(batch, scale.query_budget_s);
+    double secs = t.ElapsedSeconds();
+    if (eng->timed_out()) {
+      ++cell.unsolved;
+      continue;
+    }
+    cell.total_matches += raw.size();
+    total += secs;
+    ++cell.solved;
+  }
+  cell.avg_latency_s = cell.solved ? total / double(cell.solved) : 0.0;
+  return cell;
+}
+
+CellResult RunGammaCell(const LabeledGraph& g,
+                        const std::vector<QueryGraph>& queries,
+                        const UpdateBatch& batch, const Scale& scale,
+                        GammaOptions options) {
+  CellResult cell;
+  options.device.host_budget_seconds = scale.query_budget_s;
+  double total = 0.0, util = 0.0;
+  for (const QueryGraph& q : queries) {
+    Gamma gamma(g, q, options);
+    BatchResult res = gamma.ProcessBatch(batch);
+    if (res.TimedOut()) {
+      ++cell.unsolved;
+      continue;
+    }
+    cell.total_matches += res.TotalMatches();
+    total += res.ModeledSeconds(options.device);
+    util += res.match_stats.Utilization();
+    ++cell.solved;
+  }
+  cell.avg_latency_s = cell.solved ? total / double(cell.solved) : 0.0;
+  cell.avg_utilization = cell.solved ? util / double(cell.solved) : 0.0;
+  return cell;
+}
+
+std::string FormatCell(const CellResult& r) {
+  char buf[64];
+  if (r.solved == 0) {
+    snprintf(buf, sizeof(buf), "t/o(%zu)", r.unsolved);
+  } else if (r.unsolved > 0) {
+    snprintf(buf, sizeof(buf), "%.4g(%zu)", r.avg_latency_s, r.unsolved);
+  } else {
+    snprintf(buf, sizeof(buf), "%.4g", r.avg_latency_s);
+  }
+  return buf;
+}
+
+void PrintHeader(const char* experiment, const char* what,
+                 const Scale& scale) {
+  printf("=== %s ===\n", experiment);
+  printf("%s\n", what);
+  printf(
+      "scaling: %zu queries/set (paper 50), %.2gs budget/query (paper "
+      "1800s), batch cap %zu ops; datasets are synthetic twins "
+      "(DESIGN.md #2); CSM = host wall seconds, GAMMA = modeled device "
+      "seconds.\n\n",
+      scale.queries_per_set, scale.query_budget_s, scale.max_batch_ops);
+}
+
+}  // namespace bdsm::bench

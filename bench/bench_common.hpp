@@ -1,0 +1,91 @@
+/// \file bench_common.hpp
+/// Shared harness of the paper-reproduction benchmarks (one binary per
+/// table/figure; see DESIGN.md §4 for the experiment index).
+///
+/// Methodology notes (also recorded in EXPERIMENTS.md):
+/// * Datasets are the synthetic twins of Table II (scaled; DESIGN.md §2).
+/// * Query sets are extracted per structure class like §VI-A; the per-set
+///   count and the per-query time budget are scaled from the paper's
+///   50 queries / 30 minutes to keep the whole suite minutes-long on one
+///   CPU core.  Scale factors are printed with every table.
+/// * CSM baselines report host wall-clock (they are CPU systems); GAMMA
+///   reports modeled device latency (simulated makespan ticks x clock,
+///   preprocessing overlapped) — the honest analogue on a GPU-less host.
+///   Shapes (who wins, trends), not absolute 3090 numbers, are the
+///   reproduction target.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "baselines/csm_common.hpp"
+#include "core/gamma.hpp"
+#include "graph/datasets.hpp"
+#include "graph/query_extractor.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm::bench {
+
+/// Suite-wide scaling knobs.
+struct Scale {
+  size_t queries_per_set = 3;    ///< paper: 50
+  double query_budget_s = 1.0;   ///< paper: 1800 s
+  size_t max_batch_ops = 400;    ///< cap on |batch| after the rate
+  size_t default_query_size = 6; ///< paper default |V(Q)|
+  double default_rate = 0.10;    ///< paper default Ir = 10%
+  uint64_t seed = 2024;
+};
+
+/// One (method x query-set) measurement.
+struct CellResult {
+  double avg_latency_s = 0.0;  ///< over solved queries only (paper rule)
+  size_t unsolved = 0;
+  size_t solved = 0;
+  double avg_utilization = 0.0;  ///< GAMMA only
+  Count total_matches = 0;
+};
+
+/// Lazily-loaded dataset cache (twin generation is deterministic but
+/// not free; benches reuse instances).
+const LabeledGraph& CachedDataset(DatasetId id);
+
+/// Query set of `count` graphs of the class/size, extracted from g.
+std::vector<QueryGraph> MakeQuerySet(const LabeledGraph& g,
+                                     QueryGraph::StructureClass cls,
+                                     size_t num_vertices, size_t count,
+                                     uint64_t seed);
+
+/// Batch for the dataset at `rate` (fraction of |E|), capped.
+UpdateBatch MakeRateBatch(const LabeledGraph& g, const DatasetSpec& spec,
+                          double rate, const Scale& scale, uint64_t seed);
+
+/// Runs one CSM engine over the query set; each query gets a fresh
+/// engine (index built offline, not counted) and the batch re-applied.
+CellResult RunCsmCell(const std::string& engine, const LabeledGraph& g,
+                      const std::vector<QueryGraph>& queries,
+                      const UpdateBatch& batch, const Scale& scale);
+
+/// Runs GAMMA over the query set with the given options.
+CellResult RunGammaCell(const LabeledGraph& g,
+                        const std::vector<QueryGraph>& queries,
+                        const UpdateBatch& batch, const Scale& scale,
+                        GammaOptions options = {});
+
+/// "0.553" or "12.3(2)" — the paper's latency(unsolved) cell format.
+std::string FormatCell(const CellResult& r);
+
+/// Prints the standard header block for a bench binary.
+void PrintHeader(const char* experiment, const char* what,
+                 const Scale& scale);
+
+const char* const kBaselineMethods[] = {"TF", "SYM", "RF", "CL"};
+
+inline const std::vector<QueryGraph::StructureClass>& AllClasses() {
+  static const std::vector<QueryGraph::StructureClass> kClasses = {
+      QueryGraph::StructureClass::kDense,
+      QueryGraph::StructureClass::kSparse,
+      QueryGraph::StructureClass::kTree};
+  return kClasses;
+}
+
+}  // namespace bdsm::bench

@@ -1,0 +1,56 @@
+/// Reproduces **Fig. 12** — preprocessing analysis: GPMA graph-update
+/// time (ms) and its ratio to the total running time, per dataset, at
+/// the default 10% update rate.
+///
+/// Paper shape: update time scales with the update volume (larger
+/// datasets -> more time), and stays a modest fraction of the total
+/// (the matching kernel dominates).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace bdsm;
+using namespace bdsm::bench;
+
+int main() {
+  Scale scale;
+  PrintHeader("Figure 12",
+              "Graph-update (GPMA) time and ratio of total, 10% rate",
+              scale);
+
+  printf("%-4s | %10s %10s %8s | %12s\n", "DS", "update(ms)", "match(ms)",
+         "ratio%", "encode-host(ms)");
+  for (const DatasetSpec& spec : AllDatasets()) {
+    const LabeledGraph& g = CachedDataset(spec.id);
+    auto queries = MakeQuerySet(
+        g, QueryGraph::StructureClass::kSparse, scale.default_query_size,
+        1, scale.seed);
+    if (queries.empty()) {
+      queries = MakeQuerySet(g, QueryGraph::StructureClass::kTree,
+                             scale.default_query_size, 1, scale.seed);
+    }
+    if (queries.empty()) {
+      printf("%-4s | (no extractable queries)\n", spec.short_name);
+      continue;
+    }
+    UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
+                                      scale.seed + 1);
+    GammaOptions opts;
+    opts.device.host_budget_seconds = scale.query_budget_s;
+    Gamma gamma(g, queries[0], opts);
+    BatchResult res = gamma.ProcessBatch(batch);
+    double tick_ms = opts.device.TickSeconds() * 1e3;
+    double update_ms = double(res.update_stats.makespan_ticks) * tick_ms;
+    double match_ms = double(res.match_stats.makespan_ticks) * tick_ms;
+    double ratio = update_ms + match_ms > 0
+                       ? 100.0 * update_ms / (update_ms + match_ms)
+                       : 0.0;
+    printf("%-4s | %10.4f %10.4f %7.1f%% | %12.3f\n", spec.short_name,
+           update_ms, match_ms, ratio,
+           res.preprocess_host_seconds * 1e3);
+  }
+  printf("\nShape checks (paper): update time grows with dataset size / "
+         "update volume; ratio stays below ~40%%; CPU-side encoding is "
+         "small and overlappable.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+/// Micro-benchmarks (google-benchmark) for the substrate hot paths: the
+/// operations §I identifies as dominating subgraph matching (set
+/// intersections / adjacency probes), GPMA updates, and incremental
+/// encoding.  Not a paper table — engineering guardrails.
+#include <benchmark/benchmark.h>
+
+#include "core/encoder.hpp"
+#include "core/gamma.hpp"
+#include "gpma/gpma.hpp"
+#include "graph/graph_generator.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm {
+namespace {
+
+LabeledGraph& BenchGraph() {
+  static LabeledGraph g = [] {
+    GeneratorParams p;
+    p.num_vertices = 4000;
+    p.avg_degree = 12;
+    p.vertex_labels = 5;
+    p.seed = 7;
+    return GeneratePowerLawGraph(p);
+  }();
+  return g;
+}
+
+QueryGraph BenchQuery() {
+  QueryGraph q({0, 1, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  return q;
+}
+
+void BM_GpmaBuild(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  for (auto _ : state) {
+    Gpma gpma(32);
+    gpma.BuildFrom(g);
+    benchmark::DoNotOptimize(gpma.NumEdges());
+  }
+}
+BENCHMARK(BM_GpmaBuild);
+
+void BM_GpmaBatchInsert(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  UpdateStreamGenerator gen(11);
+  UpdateBatch batch =
+      gen.MakeInsertions(g, static_cast<size_t>(state.range(0)), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gpma gpma(32);
+    gpma.BuildFrom(g);
+    state.ResumeTiming();
+    UpdatePlan plan = gpma.ApplyBatch(batch);
+    benchmark::DoNotOptimize(plan.ops.size());
+  }
+}
+BENCHMARK(BM_GpmaBatchInsert)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GpmaNeighborScan(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  Gpma gpma(32);
+  gpma.BuildFrom(g);
+  std::vector<Neighbor> scratch;
+  VertexId v = 0;
+  for (auto _ : state) {
+    gpma.NeighborsInto(v, &scratch);
+    benchmark::DoNotOptimize(scratch.size());
+    v = (v + 17) % static_cast<VertexId>(g.NumVertices());
+  }
+}
+BENCHMARK(BM_GpmaNeighborScan);
+
+void BM_GpmaEdgeProbe(benchmark::State& state) {
+  // The "set intersection" primitive: adjacency membership probes are
+  // 58.2% of matching runtime per the paper's citation [20].
+  LabeledGraph& g = BenchGraph();
+  Gpma gpma(32);
+  gpma.BuildFrom(g);
+  VertexId a = 1, b = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gpma.HasEdge(a, b));
+    a = (a + 13) % static_cast<VertexId>(g.NumVertices());
+    b = (b + 29) % static_cast<VertexId>(g.NumVertices());
+  }
+}
+BENCHMARK(BM_GpmaEdgeProbe);
+
+void BM_EncoderBuildAll(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  QueryGraph q = BenchQuery();
+  for (auto _ : state) {
+    CandidateEncoder enc(q);
+    enc.BuildAll(g);
+    benchmark::DoNotOptimize(enc.CandidateMask(0));
+  }
+}
+BENCHMARK(BM_EncoderBuildAll);
+
+void BM_EncoderDirtyUpdate(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  QueryGraph q = BenchQuery();
+  CandidateEncoder enc(q);
+  enc.BuildAll(g);
+  UpdateStreamGenerator gen(13);
+  UpdateBatch batch = gen.MakeInsertions(g, 128, 0);
+  for (auto _ : state) {
+    enc.ApplyBatchDirty(g, batch);  // same state: measures the refresh
+    benchmark::DoNotOptimize(enc.CandidateMask(0));
+  }
+}
+BENCHMARK(BM_EncoderDirtyUpdate);
+
+void BM_GammaProcessBatch(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  QueryGraph q = BenchQuery();
+  UpdateStreamGenerator gen(17);
+  UpdateBatch batch =
+      gen.MakeInsertions(g, static_cast<size_t>(state.range(0)), 0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gamma gamma(g, q, GammaOptions{});
+    state.ResumeTiming();
+    BatchResult res = gamma.ProcessBatch(batch);
+    benchmark::DoNotOptimize(res.TotalMatches());
+  }
+}
+BENCHMARK(BM_GammaProcessBatch)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace bdsm
+
+BENCHMARK_MAIN();

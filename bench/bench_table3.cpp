@@ -1,0 +1,52 @@
+/// Reproduces **Table III** — overall performance: average query latency
+/// (seconds) and unsolved-query counts for TF / SYM / RF / CL / GAMMA on
+/// all six datasets and the three query structure classes.
+///
+/// Paper shape to verify: GAMMA best or competitive everywhere; RF the
+/// strongest baseline; CL collapsing on the edge-labeled NF/LS; latency
+/// and unsolved counts growing Dense -> Sparse -> Tree.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace bdsm;
+using namespace bdsm::bench;
+
+int main() {
+  Scale scale;
+  PrintHeader("Table III",
+              "Overall performance vs baselines "
+              "(avg latency s, (n) = unsolved)",
+              scale);
+
+  printf("%-7s %-4s | %12s %12s %12s %12s %12s\n", "QS", "DS", "TF", "SYM",
+         "RF", "CL", "GAMMA");
+  printf("---------------------------------------------------------------"
+         "-------------\n");
+  for (auto cls : AllClasses()) {
+    for (const DatasetSpec& spec : AllDatasets()) {
+      const LabeledGraph& g = CachedDataset(spec.id);
+      auto queries = MakeQuerySet(g, cls, scale.default_query_size,
+                                  scale.queries_per_set, scale.seed);
+      if (queries.empty()) {
+        printf("%-7s %-4s | (no extractable %s queries)\n", ToString(cls),
+               spec.short_name, ToString(cls));
+        continue;
+      }
+      UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
+                                        scale.seed + 1);
+      printf("%-7s %-4s |", ToString(cls), spec.short_name);
+      for (const char* m : kBaselineMethods) {
+        CellResult r = RunCsmCell(m, g, queries, batch, scale);
+        printf(" %12s", FormatCell(r).c_str());
+        fflush(stdout);
+      }
+      CellResult gamma = RunGammaCell(g, queries, batch, scale);
+      printf(" %12s\n", FormatCell(gamma).c_str());
+      fflush(stdout);
+    }
+  }
+  printf("\nShape checks (paper): GAMMA lowest/competitive in every row; "
+         "RF best baseline; CL times out on NF/LS sparse+tree.\n");
+  return 0;
+}

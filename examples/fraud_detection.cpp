@@ -1,0 +1,119 @@
+/// \file fraud_detection.cpp
+/// E-commerce fraud monitoring — one of the batch-dynamic applications
+/// the paper's introduction motivates ("identifying patterns of
+/// malicious activity" over graph databases "collected and updated in
+/// batches").
+///
+/// Scenario: a transaction graph whose vertices are accounts (label 0),
+/// merchants (label 1) and payment instruments (label 2).  A classic
+/// collusion pattern is two accounts sharing a payment instrument and
+/// both paying the same merchant (a 4-cycle through the instrument plus
+/// the shared merchant — a "diamond").  Transactions arrive in batches;
+/// each batch is run through GAMMA and new pattern instances are
+/// reported as alerts, while retired edges (charge-backs) retract them.
+///
+///   ./example_fraud_detection [num_batches]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/enumerate.hpp"
+#include "core/gamma.hpp"
+#include "core/match_store.hpp"
+#include "graph/graph_generator.hpp"
+#include "graph/update_stream.hpp"
+
+using namespace bdsm;
+
+namespace {
+
+/// Accounts 60%, merchants 25%, instruments 15%.
+LabeledGraph MakeTransactionGraph(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Label> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.UniformReal();
+    labels[i] = x < 0.6 ? 0 : (x < 0.85 ? 1 : 2);
+  }
+  LabeledGraph g(labels);
+  // Transactions: account->merchant and account->instrument edges.
+  size_t target_edges = n * 3;
+  size_t attempts = 0;
+  while (g.NumEdges() < target_edges && attempts++ < target_edges * 20) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (g.VertexLabel(a) != 0 || g.VertexLabel(b) == 0) continue;
+    g.InsertEdge(a, b);
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_batches = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 5;
+
+  LabeledGraph g = MakeTransactionGraph(4000, 99);
+  printf("transaction graph: %zu vertices, %zu edges\n", g.NumVertices(),
+         g.NumEdges());
+
+  // The collusion diamond: accounts u0, u2 both linked to merchant u1
+  // and instrument u3.
+  QueryGraph fraud({0, 1, 0, 2});
+  fraud.AddEdge(0, 1);
+  fraud.AddEdge(1, 2);
+  fraud.AddEdge(2, 3);
+  fraud.AddEdge(3, 0);
+
+  Gamma gamma(g, fraud, GammaOptions{});
+  UpdateStreamGenerator stream(1234);
+  MatchStore alerts;  // the maintained alert view (postprocess)
+  // Initial sweep: alerts already present before the stream starts
+  // (a one-off static matching; GAMMA maintains it incrementally after).
+  for (MatchRecord m : EnumerateAllMatches(g, fraud)) {
+    m.positive = true;
+    alerts.ApplyDelta(m);
+  }
+  printf("initial open alerts: %zu\n", alerts.LiveCount());
+
+  for (size_t b = 0; b < num_batches; ++b) {
+    // 90% new transactions, 10% charge-backs.
+    UpdateBatch batch =
+        SanitizeBatch(gamma.host_graph(),
+                      stream.MakeMixed(gamma.host_graph(), 200, 9, 1, 0));
+    BatchResult res = gamma.ProcessBatch(batch);
+    alerts.Apply(res);
+    printf("batch %zu: %3zu updates -> +%zu alerts, -%zu retractions "
+           "(open: %zu) | device %.1f us, util %.1f%%\n",
+           b + 1, batch.size(), res.positive_matches.size(),
+           res.negative_matches.size(), alerts.LiveCount(),
+           res.ModeledSeconds(gamma.options().device) * 1e6,
+           100.0 * res.match_stats.Utilization());
+    if (b == 0 && !res.positive_matches.empty()) {
+      const MatchRecord& m = res.positive_matches.front();
+      printf("  e.g. accounts %u & %u share merchant %u and instrument "
+             "%u\n",
+             m.m[0], m.m[2], m.m[1], m.m[3]);
+    }
+  }
+
+  // Repeat offenders: accounts participating in several open alerts.
+  size_t repeat = 0;
+  VertexId worst = kInvalidVertex;
+  size_t worst_count = 0;
+  for (VertexId v = 0; v < gamma.host_graph().NumVertices(); ++v) {
+    size_t n = alerts.ParticipationCount(v);
+    if (gamma.host_graph().VertexLabel(v) != 0) continue;  // accounts only
+    if (n >= 2) ++repeat;
+    if (n > worst_count) {
+      worst_count = n;
+      worst = v;
+    }
+  }
+  printf("repeat-offender accounts (>=2 open alerts): %zu", repeat);
+  if (worst != kInvalidVertex && worst_count > 0) {
+    printf("; most flagged: account %u with %zu alerts", worst,
+           worst_count);
+  }
+  printf("\n");
+  return 0;
+}

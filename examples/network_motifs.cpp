@@ -1,0 +1,98 @@
+/// \file network_motifs.cpp
+/// Cellular-network monitoring — the paper cites CellIQ-style analytics
+/// as a batch-dynamic consumer; here GAMMA tracks a congestion motif
+/// over a stream of link updates while comparing against a sequential
+/// CSM baseline, showing the batch-amortization the paper argues for.
+///
+/// Vertices: cell towers (label 0), aggregation switches (label 1) and
+/// gateways (label 2); edges carry a load-class label (0 = normal,
+/// 1 = hot).  The motif: a tower connected by *hot* links to two
+/// switches that both uplink to the same gateway — an early congestion
+/// signature.
+///
+///   ./example_network_motifs [num_batches]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/csm_common.hpp"
+#include "core/gamma.hpp"
+#include "graph/graph_generator.hpp"
+#include "graph/update_stream.hpp"
+#include "util/timer.hpp"
+
+using namespace bdsm;
+
+namespace {
+
+LabeledGraph MakeTopology(size_t towers, size_t switches, size_t gateways,
+                          uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Label> labels;
+  for (size_t i = 0; i < towers; ++i) labels.push_back(0);
+  for (size_t i = 0; i < switches; ++i) labels.push_back(1);
+  for (size_t i = 0; i < gateways; ++i) labels.push_back(2);
+  LabeledGraph g(labels);
+  auto rand_in = [&](size_t base, size_t count) {
+    return static_cast<VertexId>(base + rng.Uniform(count));
+  };
+  // Every tower homed to ~3 switches, every switch to ~2 gateways.
+  for (size_t t = 0; t < towers; ++t) {
+    for (int i = 0; i < 3; ++i) {
+      g.InsertEdge(static_cast<VertexId>(t), rand_in(towers, switches),
+                   rng.Chance(0.2) ? 1 : 0);
+    }
+  }
+  for (size_t s = 0; s < switches; ++s) {
+    for (int i = 0; i < 2; ++i) {
+      g.InsertEdge(static_cast<VertexId>(towers + s),
+                   rand_in(towers + switches, gateways), 0);
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t num_batches = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+
+  LabeledGraph g = MakeTopology(2500, 400, 40, 7);
+  printf("topology: %zu vertices, %zu edges\n", g.NumVertices(),
+         g.NumEdges());
+
+  // Congestion motif: tower u0 -hot-> switches u1, u2; both uplink to
+  // gateway u3 (uplink label 0).
+  QueryGraph motif({0, 1, 1, 2});
+  motif.AddEdge(0, 1, 1);
+  motif.AddEdge(0, 2, 1);
+  motif.AddEdge(1, 3, 0);
+  motif.AddEdge(2, 3, 0);
+
+  Gamma gamma(g, motif, GammaOptions{});
+  UpdateStreamGenerator stream(55);
+
+  for (size_t b = 0; b < num_batches; ++b) {
+    UpdateBatch batch = SanitizeBatch(
+        gamma.host_graph(),
+        stream.MakeMixed(gamma.host_graph(), 300, 2, 1, /*elabels=*/2));
+
+    // Sequential CSM baseline (RapidFlow) on the same batch, same state.
+    auto rf = MakeCsmEngine("RF", gamma.host_graph(), motif);
+    Timer rf_timer;
+    auto rf_raw = rf->ProcessBatch(batch);
+    double rf_wall = rf_timer.ElapsedSeconds();
+    size_t rf_net = NetEffect(rf_raw).size();
+
+    BatchResult res = gamma.ProcessBatch(batch);
+    printf("batch %zu (%3zu ops): GAMMA +%zu/-%zu motifs, device %.1f us"
+           " | RF (sequential CSM) net %zu in %.1f us host\n",
+           b + 1, batch.size(), res.positive_matches.size(),
+           res.negative_matches.size(),
+           res.ModeledSeconds(gamma.options().device) * 1e6, rf_net,
+           rf_wall * 1e6);
+  }
+  printf("\nGAMMA processes the batch as one parallel kernel; the CSM "
+         "baseline re-searches per edge — the gap grows with batch "
+         "size (paper Fig. 9).\n");
+  return 0;
+}

@@ -1,0 +1,149 @@
+#include "baselines/calig.hpp"
+
+namespace bdsm {
+
+namespace {
+
+bool TencFilter(const void* self, VertexId v, VertexId u) {
+  return static_cast<const CandidateEncoder*>(self)->IsCandidate(v, u);
+}
+
+}  // namespace
+
+CaLigLite::CaLigLite(const LabeledGraph& g, const QueryGraph& q)
+    : CsmEngine(g, q) {
+  edge_labeled_ = g.EdgeLabelAlphabet() > 0 ||
+                  [&q] {
+                    for (const QueryEdge& e : q.edges()) {
+                      if (e.elabel != kNoLabel) return true;
+                    }
+                    return false;
+                  }();
+  if (!edge_labeled_) {
+    enc_ = std::make_unique<CandidateEncoder>(q_);
+    enc_->BuildAll(g_);
+    return;
+  }
+
+  // --- Edge-labeled input: build the transformed graph & query. ---
+  elabel_base_ = static_cast<Label>(
+      std::max(g.VertexLabelAlphabet(), static_cast<size_t>(
+                                            q.UsedVertexLabels().empty()
+                                                ? 0
+                                                : q.UsedVertexLabels().back() +
+                                                      1)));
+  // Transformed query: original vertices keep their labels; every query
+  // edge becomes a labeled vertex with two plain edges.
+  std::vector<Label> tq_labels = q.vertex_labels();
+  tq_origin_.resize(q.NumVertices());
+  for (VertexId u = 0; u < q.NumVertices(); ++u) tq_origin_[u] = u;
+  for (const QueryEdge& e : q.edges()) {
+    tq_labels.push_back(elabel_base_ + (e.elabel == kNoLabel
+                                            ? 0
+                                            : e.elabel));
+    tq_origin_.push_back(kInvalidVertex);
+  }
+  tq_ = QueryGraph(tq_labels);
+  for (size_t j = 0; j < q.edges().size(); ++j) {
+    const QueryEdge& e = q.edges()[j];
+    VertexId qev = static_cast<VertexId>(q.NumVertices() + j);
+    tq_edge_vertex_.push_back(qev);
+    tq_.AddEdge(e.u1, qev);
+    tq_.AddEdge(qev, e.u2);
+  }
+
+  // Transformed data graph.
+  tg_ = LabeledGraph(g.vertex_labels());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (v < nb.v) AddTransformedEdge(v, nb.v, nb.elabel);
+    }
+  }
+  tenc_ = std::make_unique<CandidateEncoder>(tq_);
+  tenc_->BuildAll(tg_);
+}
+
+VertexId CaLigLite::AddTransformedEdge(VertexId u, VertexId v, Label el) {
+  Label evl = elabel_base_ + (el == kNoLabel ? 0 : el);
+  VertexId ev;
+  if (!free_edge_vertices_.empty()) {
+    ev = free_edge_vertices_.back();
+    free_edge_vertices_.pop_back();
+    tg_.SetVertexLabel(ev, evl);
+  } else {
+    ev = tg_.AddVertex(evl);
+  }
+  tg_.InsertEdge(u, ev);
+  tg_.InsertEdge(ev, v);
+  edge_vertex_[Edge(u, v)] = ev;
+  return ev;
+}
+
+bool CaLigLite::Allowed(VertexId v, VertexId u) const {
+  // Only consulted on the vertex-labeled (untransformed) path.
+  return enc_ ? enc_->IsCandidate(v, u) : true;
+}
+
+void CaLigLite::OnEdgeInserted(VertexId u, VertexId v, Label el) {
+  if (!transformed()) {
+    const VertexId dirty[2] = {u, v};
+    enc_->UpdateDirty(g_, dirty);
+    return;
+  }
+  VertexId ev = AddTransformedEdge(u, v, el);
+  const VertexId dirty[3] = {u, v, ev};
+  tenc_->UpdateDirty(tg_, dirty);
+}
+
+void CaLigLite::OnEdgeRemoved(VertexId u, VertexId v) {
+  if (!transformed()) {
+    const VertexId dirty[2] = {u, v};
+    enc_->UpdateDirty(g_, dirty);
+    return;
+  }
+  auto it = edge_vertex_.find(Edge(u, v));
+  GAMMA_CHECK(it != edge_vertex_.end());
+  VertexId ev = it->second;
+  tg_.RemoveEdge(u, ev);
+  tg_.RemoveEdge(ev, v);
+  edge_vertex_.erase(it);
+  free_edge_vertices_.push_back(ev);
+  const VertexId dirty[3] = {u, v, ev};
+  tenc_->UpdateDirty(tg_, dirty);
+}
+
+void CaLigLite::FindIncremental(VertexId v1, VertexId v2, Label el,
+                                bool positive,
+                                std::vector<MatchRecord>* out) {
+  if (!transformed()) {
+    CsmEngine::FindIncremental(v1, v2, el, positive, out);
+    return;
+  }
+  auto it = edge_vertex_.find(Edge(v1, v2));
+  GAMMA_CHECK(it != edge_vertex_.end());
+  VertexId ev = it->second;
+
+  // Seed (x_j -> v, qev_j -> ev) for each query edge j and each endpoint
+  // assignment; a transformed match fixes M(qev) = ev and M(x) is one of
+  // {v1, v2}, so the two seeds cover every match exactly once.
+  std::vector<MatchRecord> traw;
+  for (size_t j = 0; j < q_.edges().size(); ++j) {
+    VertexId x = q_.edges()[j].u1;
+    VertexId qev = tq_edge_vertex_[j];
+    for (VertexId dv : {v1, v2}) {
+      CsmEngine::SeededBacktrack(tg_, tq_, tenc_.get(), &TencFilter, x,
+                                 qev, dv, ev, positive, &traw,
+                                 result_cap_);
+    }
+  }
+  // Map transformed matches back to original query vertices.
+  for (const MatchRecord& t : traw) {
+    MatchRecord rec;
+    rec.n = static_cast<uint8_t>(q_.NumVertices());
+    rec.positive = positive;
+    for (VertexId u = 0; u < q_.NumVertices(); ++u) rec.m[u] = t.m[u];
+    out->push_back(rec);
+  }
+}
+
+}  // namespace bdsm

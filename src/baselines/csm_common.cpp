@@ -1,0 +1,206 @@
+#include "baselines/csm_common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "baselines/calig.hpp"
+#include "baselines/graphflow.hpp"
+#include "baselines/rapidflow.hpp"
+#include "baselines/symbi.hpp"
+#include "baselines/turboflux.hpp"
+#include "core/query_context.hpp"
+#include "util/timer.hpp"
+
+namespace bdsm {
+
+CsmEngine::CsmEngine(const LabeledGraph& g, const QueryGraph& q)
+    : g_(g), q_(q) {}
+
+void CsmEngine::OnEdgeInserted(VertexId, VertexId, Label) {}
+void CsmEngine::OnEdgeRemoved(VertexId, VertexId) {}
+
+std::vector<MatchRecord> CsmEngine::ProcessBatch(const UpdateBatch& batch,
+                                                 double budget_seconds) {
+  std::vector<MatchRecord> out;
+  timed_out_ = false;
+  Timer timer;
+  for (const UpdateOp& op : batch) {
+    if (budget_seconds > 0 && timer.ElapsedSeconds() > budget_seconds) {
+      timed_out_ = true;
+      break;
+    }
+    if (result_cap_ > 0 && out.size() > result_cap_) {
+      timed_out_ = true;
+      break;
+    }
+    if (op.is_insert) {
+      if (!g_.InsertEdge(op.u, op.v, op.elabel)) continue;
+      OnEdgeInserted(op.u, op.v, op.elabel);
+      FindIncremental(op.u, op.v, op.elabel, /*positive=*/true, &out);
+    } else {
+      if (!g_.HasEdge(op.u, op.v)) continue;
+      Label el = g_.EdgeLabel(op.u, op.v);
+      FindIncremental(op.u, op.v, el, /*positive=*/false, &out);
+      g_.RemoveEdge(op.u, op.v);
+      OnEdgeRemoved(op.u, op.v);
+    }
+  }
+  return out;
+}
+
+void CsmEngine::FindIncremental(VertexId v1, VertexId v2, Label el,
+                                bool positive,
+                                std::vector<MatchRecord>* out) {
+  for (const QueryEdge& e : q_.edges()) {
+    if (e.elabel != el) continue;
+    SeededSearch(e.u1, e.u2, v1, v2, positive, out);
+    SeededSearch(e.u2, e.u1, v1, v2, positive, out);
+  }
+}
+
+void CsmEngine::SeededSearch(VertexId a, VertexId b, VertexId v1,
+                             VertexId v2, bool positive,
+                             std::vector<MatchRecord>* out) {
+  auto filter = [](const void* self, VertexId v, VertexId u) {
+    return static_cast<const CsmEngine*>(self)->Allowed(v, u);
+  };
+  SeededBacktrack(g_, q_, this, filter, a, b, v1, v2, positive, out,
+                  result_cap_);
+}
+
+void CsmEngine::SeededBacktrack(const LabeledGraph& g_,
+                                const QueryGraph& q_,
+                                const void* filter_self,
+                                CandidateFilter Allowed0, VertexId a,
+                                VertexId b, VertexId v1, VertexId v2,
+                                bool positive,
+                                std::vector<MatchRecord>* out,
+                                size_t result_cap) {
+  auto Allowed = [&](VertexId v, VertexId u) {
+    return Allowed0(filter_self, v, u);
+  };
+  if (g_.VertexLabel(v1) != q_.VertexLabel(a) ||
+      g_.VertexLabel(v2) != q_.VertexLabel(b)) {
+    return;
+  }
+  if (!Allowed(v1, a) || !Allowed(v2, b)) return;
+  std::vector<VertexId> order = BuildMatchingOrder(q_, a, b);
+  if (order.empty()) return;
+
+  const size_t nq = q_.NumVertices();
+  std::array<VertexId, kMaxQueryVertices> m;
+  m.fill(kInvalidVertex);
+  m[a] = v1;
+  m[b] = v2;
+
+  // Iterative backtracking identical in structure to the oracle but with
+  // the engine's Allowed() filter applied at every level.
+  struct Frame {
+    std::vector<VertexId> cands;
+    size_t next = 0;
+  };
+  std::vector<Frame> frames(nq);
+  size_t level = 2;
+  auto gen = [&](size_t l) {
+    Frame& f = frames[l];
+    f.cands.clear();
+    f.next = 0;
+    VertexId uq = order[l];
+    VertexId base_q = kInvalidVertex;
+    for (size_t i = 0; i < l; ++i) {
+      if (q_.HasEdge(order[i], uq)) {
+        base_q = order[i];
+        break;
+      }
+    }
+    GAMMA_CHECK(base_q != kInvalidVertex);
+    Label base_el = q_.EdgeLabelBetween(base_q, uq);
+    for (const Neighbor& nb : g_.Neighbors(m[base_q])) {
+      VertexId w = nb.v;
+      if (nb.elabel != base_el) continue;
+      if (g_.VertexLabel(w) != q_.VertexLabel(uq)) continue;
+      if (!Allowed(w, uq)) continue;
+      bool ok = true;
+      for (size_t i = 0; i < l && ok; ++i) {
+        if (m[order[i]] == w) ok = false;
+      }
+      for (size_t i = 0; i < l && ok; ++i) {
+        VertexId qv = order[i];
+        if (qv == base_q || !q_.HasEdge(qv, uq)) continue;
+        ok = g_.HasEdge(m[qv], w) &&
+             g_.EdgeLabel(m[qv], w) == q_.EdgeLabelBetween(qv, uq);
+      }
+      if (ok) f.cands.push_back(w);
+    }
+  };
+
+  if (nq == 2) {
+    MatchRecord rec;
+    rec.n = 2;
+    rec.positive = positive;
+    rec.m = m;
+    out->push_back(rec);
+    return;
+  }
+
+  gen(2);
+  while (true) {
+    if (result_cap > 0 && out->size() > result_cap) break;
+    Frame& f = frames[level];
+    if (f.next < f.cands.size()) {
+      VertexId w = f.cands[f.next++];
+      m[order[level]] = w;
+      if (level + 1 == nq) {
+        MatchRecord rec;
+        rec.n = static_cast<uint8_t>(nq);
+        rec.positive = positive;
+        rec.m = m;
+        out->push_back(rec);
+        m[order[level]] = kInvalidVertex;
+      } else {
+        ++level;
+        gen(level);
+      }
+    } else {
+      if (level == 2) break;
+      --level;
+      m[order[level]] = kInvalidVertex;
+    }
+  }
+}
+
+std::unique_ptr<CsmEngine> MakeCsmEngine(const std::string& name,
+                                         const LabeledGraph& g,
+                                         const QueryGraph& q) {
+  if (name == "GF") return std::make_unique<GraphflowLite>(g, q);
+  if (name == "TF") return std::make_unique<TurboFluxLite>(g, q);
+  if (name == "SYM") return std::make_unique<SymBiLite>(g, q);
+  if (name == "RF") return std::make_unique<RapidFlowLite>(g, q);
+  if (name == "CL") return std::make_unique<CaLigLite>(g, q);
+  GAMMA_CHECK_MSG(false, "unknown CSM engine");
+  __builtin_unreachable();
+}
+
+std::vector<MatchRecord> NetEffect(const std::vector<MatchRecord>& raw) {
+  // Count positives minus negatives per assignment; survivors keep their
+  // sign.  CSM can produce the same assignment multiple times across a
+  // batch only as (+,-) flips, so counts stay within {-1, 0, +1}.
+  std::map<std::string, std::pair<int, MatchRecord>> net;
+  for (const MatchRecord& m : raw) {
+    MatchRecord unsigned_m = m;
+    unsigned_m.positive = true;  // key ignores polarity
+    auto& entry = net[unsigned_m.Key()];
+    entry.first += m.positive ? 1 : -1;
+    entry.second = m;
+  }
+  std::vector<MatchRecord> out;
+  for (auto& [key, entry] : net) {
+    if (entry.first == 0) continue;
+    MatchRecord m = entry.second;
+    m.positive = entry.first > 0;
+    out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace bdsm

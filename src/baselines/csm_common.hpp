@@ -1,0 +1,106 @@
+/// \file csm_common.hpp
+/// Shared chassis of the continuous-subgraph-matching (CSM) baselines
+/// the paper compares against (TurboFlux, SymBi, RapidFlow, CaLiG).
+///
+/// The defining property of every CSM system — and the bottleneck BDSM
+/// attacks — is that a batch is processed *one edge at a time* on the
+/// CPU: index maintenance + seeded search per update, strictly
+/// sequentially.  Each baseline keeps its namesake's key idea (see the
+/// per-class comments) but shares this chassis: apply update, refresh
+/// the engine's index, enumerate the incremental matches seeded at the
+/// updated edge.
+///
+/// These are faithful "lite" reimplementations, not the authors' code
+/// (unavailable offline); DESIGN.md §2 records the substitution.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/match.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm {
+
+class CsmEngine {
+ public:
+  CsmEngine(const LabeledGraph& g, const QueryGraph& q);
+  virtual ~CsmEngine() = default;
+
+  virtual const char* Name() const = 0;
+
+  /// Sequential CSM over the batch: updates processed in order on the
+  /// evolving graph; a deletion's negative matches are enumerated before
+  /// the edge is removed, an insertion's positive matches after it is
+  /// inserted.  Returns all incremental matches in processing order.
+  /// `budget_seconds` > 0 aborts long runs (the paper's 30-minute
+  /// timeout, scaled); on abort, `timed_out()` reports true.
+  std::vector<MatchRecord> ProcessBatch(const UpdateBatch& batch,
+                                        double budget_seconds = 0.0);
+
+  bool timed_out() const { return timed_out_; }
+  const LabeledGraph& graph() const { return g_; }
+
+  /// Cap on accumulated incremental matches (0 = unlimited); exceeding
+  /// it aborts the batch and reports timed_out (the memory analogue of
+  /// the paper's timeout — see GammaOptions::result_cap).
+  void set_result_cap(size_t cap) { result_cap_ = cap; }
+
+ protected:
+  /// Engine-specific candidate filter: may data vertex v play query
+  /// vertex u?  Must be *sound* (never reject a vertex of a true match).
+  virtual bool Allowed(VertexId v, VertexId u) const = 0;
+
+  /// Index-maintenance hooks, called after the graph g_ reflects the
+  /// change (insert and removal alike).
+  virtual void OnEdgeInserted(VertexId u, VertexId v, Label el);
+  virtual void OnEdgeRemoved(VertexId u, VertexId v);
+
+  /// All matches containing data edge (v1, v2) in the current graph,
+  /// stamped with `positive`.  The default implementation seeds every
+  /// query-edge orientation and backtracks with Allowed(); RapidFlow
+  /// overrides it with query reduction + dual matching.
+  virtual void FindIncremental(VertexId v1, VertexId v2, Label el,
+                               bool positive,
+                               std::vector<MatchRecord>* out);
+
+  /// Seeded backtracking used by FindIncremental implementations.
+  void SeededSearch(VertexId a, VertexId b, VertexId v1, VertexId v2,
+                    bool positive, std::vector<MatchRecord>* out);
+
+ public:
+  /// The generic seeded backtracking all engines share, parameterized on
+  /// graph/query/filter so engines searching a *transformed* graph
+  /// (CaLiG) can reuse it.
+  using CandidateFilter = bool (*)(const void* self, VertexId v, VertexId u);
+  static void SeededBacktrack(const LabeledGraph& g, const QueryGraph& q,
+                              const void* filter_self,
+                              CandidateFilter filter, VertexId a,
+                              VertexId b, VertexId v1, VertexId v2,
+                              bool positive,
+                              std::vector<MatchRecord>* out,
+                              size_t result_cap = 0);
+
+ protected:
+
+  LabeledGraph g_;
+  QueryGraph q_;
+  bool timed_out_ = false;
+  size_t result_cap_ = 0;
+};
+
+/// Factory covering the paper's baseline set: "TF", "SYM", "RF", "CL",
+/// plus "GF" (Graphflow, index-free reference point).
+std::unique_ptr<CsmEngine> MakeCsmEngine(const std::string& name,
+                                         const LabeledGraph& g,
+                                         const QueryGraph& q);
+
+/// Net effect of a CSM run: positive and negative matches that cancel
+/// (same assignment, opposite polarity — the paper's Example 1
+/// redundancy) are removed pairwise, yielding the BDSM-comparable delta.
+std::vector<MatchRecord> NetEffect(const std::vector<MatchRecord>& raw);
+
+}  // namespace bdsm

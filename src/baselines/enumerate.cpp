@@ -1,0 +1,124 @@
+#include "baselines/enumerate.hpp"
+
+#include <algorithm>
+
+#include "core/query_context.hpp"
+
+namespace bdsm {
+
+namespace {
+
+struct Enumerator {
+  const LabeledGraph& g;
+  const QueryGraph& q;
+  const std::vector<VertexId>& order;
+  size_t limit;
+  std::vector<MatchRecord>* out;
+  std::array<VertexId, kMaxQueryVertices> m;
+
+  bool Full() const { return limit != 0 && out->size() >= limit; }
+
+  void Emit() {
+    MatchRecord rec;
+    rec.n = static_cast<uint8_t>(q.NumVertices());
+    rec.m = m;
+    out->push_back(rec);
+  }
+
+  void Recurse(size_t level) {
+    if (Full()) return;
+    if (level == order.size()) {
+      Emit();
+      return;
+    }
+    VertexId uq = order[level];
+    // Matched query neighbors constrain the candidates; scan the first
+    // one's adjacency.
+    VertexId base_q = kInvalidVertex;
+    for (size_t i = 0; i < level; ++i) {
+      if (q.HasEdge(order[i], uq)) {
+        base_q = order[i];
+        break;
+      }
+    }
+    GAMMA_CHECK(base_q != kInvalidVertex);
+    Label base_el = q.EdgeLabelBetween(base_q, uq);
+    for (const Neighbor& nb : g.Neighbors(m[base_q])) {
+      if (Full()) return;
+      VertexId w = nb.v;
+      if (nb.elabel != base_el) continue;
+      if (g.VertexLabel(w) != q.VertexLabel(uq)) continue;
+      bool ok = true;
+      for (size_t i = 0; i < level && ok; ++i) {
+        if (m[order[i]] == w) ok = false;
+      }
+      for (size_t i = 0; i < level && ok; ++i) {
+        VertexId qv = order[i];
+        if (qv == base_q || !q.HasEdge(qv, uq)) continue;
+        ok = g.HasEdge(m[qv], w) &&
+             g.EdgeLabel(m[qv], w) == q.EdgeLabelBetween(qv, uq);
+      }
+      if (!ok) continue;
+      m[uq] = w;
+      Recurse(level + 1);
+      m[uq] = kInvalidVertex;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<MatchRecord> EnumerateAllMatches(const LabeledGraph& g,
+                                             const QueryGraph& q,
+                                             size_t limit) {
+  std::vector<MatchRecord> out;
+  if (q.NumVertices() == 0 || q.NumEdges() == 0) return out;
+  const QueryEdge& e0 = q.edges().front();
+  std::vector<VertexId> order = BuildMatchingOrder(q, e0.u1, e0.u2);
+  GAMMA_CHECK(!order.empty());
+  Enumerator en{g, q, order, limit, &out, {}};
+  en.m.fill(kInvalidVertex);
+  // Seed the first query edge with every matching data edge (both
+  // orientations — distinct bijections).
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.VertexLabel(v) != q.VertexLabel(e0.u1)) continue;
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (nb.elabel != e0.elabel) continue;
+      if (g.VertexLabel(nb.v) != q.VertexLabel(e0.u2)) continue;
+      en.m[e0.u1] = v;
+      en.m[e0.u2] = nb.v;
+      en.Recurse(2);
+      en.m[e0.u1] = kInvalidVertex;
+      en.m[e0.u2] = kInvalidVertex;
+      if (en.Full()) return out;
+    }
+  }
+  return out;
+}
+
+std::vector<MatchRecord> EnumerateSeededMatches(const LabeledGraph& g,
+                                                const QueryGraph& q,
+                                                VertexId a, VertexId b,
+                                                VertexId v1, VertexId v2,
+                                                size_t limit) {
+  std::vector<MatchRecord> out;
+  if (g.VertexLabel(v1) != q.VertexLabel(a) ||
+      g.VertexLabel(v2) != q.VertexLabel(b)) {
+    return out;
+  }
+  // The seed data edge must exist and carry the query edge's label.
+  if (!g.HasEdge(v1, v2) ||
+      g.EdgeLabel(v1, v2) != q.EdgeLabelBetween(a, b)) {
+    return out;
+  }
+  std::vector<VertexId> order = BuildMatchingOrder(q, a, b);
+  if (order.empty()) return out;
+  Enumerator en{g, q, order, limit, &out, {}};
+  en.m.fill(kInvalidVertex);
+  en.m[a] = v1;
+  en.m[b] = v2;
+  en.Recurse(2);
+  return out;
+}
+
+}  // namespace bdsm

@@ -1,0 +1,32 @@
+/// \file enumerate.hpp
+/// Reference backtracking subgraph-isomorphism enumeration on the host
+/// graph.  This is both the "recompute from scratch" strawman the paper's
+/// introduction argues against and the ground-truth oracle the property
+/// tests compare every incremental engine to.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/match.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace bdsm {
+
+/// All subgraph isomorphisms of q in g (each distinct bijection counted,
+/// automorphic images included — Definition 2 semantics).  Stops after
+/// `limit` matches (0 = unlimited).
+std::vector<MatchRecord> EnumerateAllMatches(const LabeledGraph& g,
+                                             const QueryGraph& q,
+                                             size_t limit = 0);
+
+/// Matches with the constraint M(a) = v1, M(b) = v2 (seeded enumeration;
+/// the building block of every CSM baseline).
+std::vector<MatchRecord> EnumerateSeededMatches(const LabeledGraph& g,
+                                                const QueryGraph& q,
+                                                VertexId a, VertexId b,
+                                                VertexId v1, VertexId v2,
+                                                size_t limit = 0);
+
+}  // namespace bdsm

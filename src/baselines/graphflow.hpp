@@ -1,0 +1,24 @@
+/// \file graphflow.hpp
+/// Graphflow-style CSM (Kankanamge et al., SIGMOD'17): no auxiliary
+/// index at all — each updated edge is mapped onto every query edge and
+/// partial results are extended by direct adjacency joins.  The cheapest
+/// maintenance, the weakest pruning; the reference point the indexed
+/// baselines improve on.
+#pragma once
+
+#include "baselines/csm_common.hpp"
+
+namespace bdsm {
+
+class GraphflowLite : public CsmEngine {
+ public:
+  GraphflowLite(const LabeledGraph& g, const QueryGraph& q)
+      : CsmEngine(g, q) {}
+
+  const char* Name() const override { return "GF"; }
+
+ protected:
+  bool Allowed(VertexId, VertexId) const override { return true; }
+};
+
+}  // namespace bdsm

@@ -1,0 +1,205 @@
+#include "baselines/rapidflow.hpp"
+
+#include <algorithm>
+
+#include "core/query_context.hpp"
+
+namespace bdsm {
+
+RapidFlowLite::RapidFlowLite(const LabeledGraph& g, const QueryGraph& q)
+    : CsmEngine(g, q), enc_(q) {
+  enc_.BuildAll(g_);
+  leaf_parent_.fill(kInvalidVertex);
+  // Query reduction: peel degree-1 vertices (single pass, as RF does).
+  for (VertexId u = 0; u < q_.NumVertices(); ++u) {
+    if (q_.Degree(u) == 1 && q_.NumVertices() > 2) {
+      leaves_.push_back(u);
+      leaf_parent_[u] = q_.NeighborsOf(u).front();
+    } else {
+      core_.push_back(u);
+    }
+  }
+  // Dual matching: full-query (k = 0) automorphism orbits only.
+  for (const EquivalentEdgeGroup& grp : ComputeEquivalentEdgeGroups(q_)) {
+    if (grp.k != 0) continue;
+    dual_[grp.directed_orbit.front()] = DualPlan{true, grp.perms};
+    for (size_t i = 1; i < grp.directed_orbit.size(); ++i) {
+      dual_[grp.directed_orbit[i]] = DualPlan{false, {}};
+    }
+  }
+}
+
+void RapidFlowLite::FindIncremental(VertexId v1, VertexId v2, Label el,
+                                    bool positive,
+                                    std::vector<MatchRecord>* out) {
+  for (const QueryEdge& e : q_.edges()) {
+    if (e.elabel != el) continue;
+    for (auto [a, b] : {std::make_pair(e.u1, e.u2),
+                        std::make_pair(e.u2, e.u1)}) {
+      auto it = dual_.find({a, b});
+      if (it != dual_.end() && !it->second.is_representative) {
+        continue;  // derived from the representative by permutation
+      }
+      const std::vector<Permutation>* perms =
+          it != dual_.end() && !it->second.perms.empty()
+              ? &it->second.perms
+              : nullptr;
+      SeededReduced(a, b, v1, v2, positive, perms, out);
+    }
+  }
+}
+
+void RapidFlowLite::Emit(const std::array<VertexId, kMaxQueryVertices>& m,
+                         bool positive,
+                         const std::vector<Permutation>* perms,
+                         std::vector<MatchRecord>* out) {
+  const size_t nq = q_.NumVertices();
+  MatchRecord rec;
+  rec.n = static_cast<uint8_t>(nq);
+  rec.positive = positive;
+  rec.m = m;
+  out->push_back(rec);
+  if (!perms) return;
+  // Full-query automorphisms map complete matches to complete matches;
+  // position constraints are preserved exactly (sigma preserves labels,
+  // degrees and neighbor-label multisets), so no re-validation needed.
+  for (const Permutation& p : *perms) {
+    MatchRecord sib;
+    sib.n = rec.n;
+    sib.positive = positive;
+    for (VertexId x = 0; x < nq; ++x) sib.m[x] = m[p[x]];
+    out->push_back(sib);
+  }
+}
+
+void RapidFlowLite::ExtendLeaves(
+    std::array<VertexId, kMaxQueryVertices>& m, size_t leaf_idx,
+    bool positive, const std::vector<Permutation>* perms,
+    std::vector<MatchRecord>* out) {
+  if (result_cap_ > 0 && out->size() > result_cap_) return;
+  // Skip leaves already pinned by the seed.
+  while (leaf_idx < leaves_.size() &&
+         m[leaves_[leaf_idx]] != kInvalidVertex) {
+    ++leaf_idx;
+  }
+  if (leaf_idx == leaves_.size()) {
+    Emit(m, positive, perms, out);
+    return;
+  }
+  VertexId leaf = leaves_[leaf_idx];
+  VertexId parent = leaf_parent_[leaf];
+  Label want = q_.EdgeLabelBetween(parent, leaf);
+  for (const Neighbor& nb : g_.Neighbors(m[parent])) {
+    VertexId w = nb.v;
+    if (nb.elabel != want) continue;
+    if (g_.VertexLabel(w) != q_.VertexLabel(leaf)) continue;
+    if (!enc_.IsCandidate(w, leaf)) continue;
+    bool used = false;
+    for (VertexId x = 0; x < q_.NumVertices() && !used; ++x) {
+      used = m[x] == w;
+    }
+    if (used) continue;
+    m[leaf] = w;
+    ExtendLeaves(m, leaf_idx + 1, positive, perms, out);
+    m[leaf] = kInvalidVertex;
+  }
+}
+
+void RapidFlowLite::SeededReduced(VertexId a, VertexId b, VertexId v1,
+                                  VertexId v2, bool positive,
+                                  const std::vector<Permutation>* perms,
+                                  std::vector<MatchRecord>* out) {
+  if (g_.VertexLabel(v1) != q_.VertexLabel(a) ||
+      g_.VertexLabel(v2) != q_.VertexLabel(b)) {
+    return;
+  }
+  if (!enc_.IsCandidate(v1, a) || !enc_.IsCandidate(v2, b)) return;
+
+  const size_t nq = q_.NumVertices();
+  std::array<VertexId, kMaxQueryVertices> m;
+  m.fill(kInvalidVertex);
+  m[a] = v1;
+  m[b] = v2;
+
+  if (nq == 2) {
+    Emit(m, positive, perms, out);
+    return;
+  }
+
+  // Search order: seed pair first, then the core; peeled leaves are
+  // appended by ExtendLeaves.
+  uint16_t core_mask = 0;
+  for (VertexId c : core_) core_mask |= static_cast<uint16_t>(1u << c);
+  std::vector<VertexId> order = BuildMatchingOrder(q_, a, b, core_mask);
+  if (order.empty()) return;
+  const size_t depth =
+      static_cast<size_t>(__builtin_popcount(
+          core_mask | static_cast<uint16_t>(1u << a) |
+          static_cast<uint16_t>(1u << b)));
+
+  // Iterative backtracking over levels [2, depth).
+  struct Frame {
+    std::vector<VertexId> cands;
+    size_t next = 0;
+  };
+  std::vector<Frame> frames(std::max<size_t>(depth, 2));
+  auto gen = [&](size_t l) {
+    Frame& f = frames[l];
+    f.cands.clear();
+    f.next = 0;
+    VertexId uq = order[l];
+    VertexId base_q = kInvalidVertex;
+    for (size_t i = 0; i < l; ++i) {
+      if (q_.HasEdge(order[i], uq)) {
+        base_q = order[i];
+        break;
+      }
+    }
+    GAMMA_CHECK(base_q != kInvalidVertex);
+    Label base_el = q_.EdgeLabelBetween(base_q, uq);
+    for (const Neighbor& nb : g_.Neighbors(m[base_q])) {
+      VertexId w = nb.v;
+      if (nb.elabel != base_el) continue;
+      if (!enc_.IsCandidate(w, uq)) continue;
+      bool ok = true;
+      for (size_t i = 0; i < l && ok; ++i) {
+        if (m[order[i]] == w) ok = false;
+      }
+      for (size_t i = 0; i < l && ok; ++i) {
+        VertexId qv = order[i];
+        if (qv == base_q || !q_.HasEdge(qv, uq)) continue;
+        ok = g_.HasEdge(m[qv], w) &&
+             g_.EdgeLabel(m[qv], w) == q_.EdgeLabelBetween(qv, uq);
+      }
+      if (ok) f.cands.push_back(w);
+    }
+  };
+
+  if (depth == 2) {  // nothing beyond the seed pair in the core
+    ExtendLeaves(m, 0, positive, perms, out);
+    return;
+  }
+  size_t level = 2;
+  gen(2);
+  while (true) {
+    if (result_cap_ > 0 && out->size() > result_cap_) break;
+    Frame& f = frames[level];
+    if (f.next < f.cands.size()) {
+      VertexId w = f.cands[f.next++];
+      m[order[level]] = w;
+      if (level + 1 == depth) {
+        ExtendLeaves(m, 0, positive, perms, out);
+        m[order[level]] = kInvalidVertex;
+      } else {
+        ++level;
+        gen(level);
+      }
+    } else {
+      if (level == 2) break;
+      --level;
+      m[order[level]] = kInvalidVertex;
+    }
+  }
+}
+
+}  // namespace bdsm

@@ -1,0 +1,46 @@
+/// \file turboflux.hpp
+/// TurboFlux-style CSM (Kim et al., SIGMOD'18).
+///
+/// TurboFlux maintains a *data-centric graph*: per query vertex, the
+/// data vertices whose 1-hop neighborhood supports the query vertex's
+/// edges, refreshed incrementally as edges arrive.  This lite version
+/// keeps exactly that contract with the neighborhood-label-frequency
+/// candidate structure (the same family of filter, maintained on the
+/// update endpoints), trading TurboFlux's edge-transition states for a
+/// simpler equivalent filter.
+#pragma once
+
+#include "baselines/csm_common.hpp"
+#include "core/encoder.hpp"
+
+namespace bdsm {
+
+class TurboFluxLite : public CsmEngine {
+ public:
+  TurboFluxLite(const LabeledGraph& g, const QueryGraph& q)
+      : CsmEngine(g, q), enc_(q) {
+    enc_.BuildAll(g_);
+  }
+
+  const char* Name() const override { return "TF"; }
+
+ protected:
+  bool Allowed(VertexId v, VertexId u) const override {
+    return enc_.IsCandidate(v, u);
+  }
+
+  void OnEdgeInserted(VertexId u, VertexId v, Label) override {
+    const VertexId dirty[2] = {u, v};
+    enc_.UpdateDirty(g_, dirty);
+  }
+
+  void OnEdgeRemoved(VertexId u, VertexId v) override {
+    const VertexId dirty[2] = {u, v};
+    enc_.UpdateDirty(g_, dirty);
+  }
+
+ private:
+  CandidateEncoder enc_;
+};
+
+}  // namespace bdsm

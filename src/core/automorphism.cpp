@@ -1,0 +1,238 @@
+#include "core/automorphism.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace bdsm {
+
+namespace {
+
+constexpr size_t kMaxBacktrackNodes = 20000;
+constexpr size_t kMaxAutomorphisms = 256;
+/// The engine enumerates k-degenerated subgraphs for k up to this bound.
+/// k = 1 matches the paper's running example; beyond that the V^k-first
+/// matching-order constraint and the deferred (relaxed) candidate checks
+/// cost more than the shared traversal saves on the scaled datasets.
+constexpr uint32_t kMaxDegeneration = 1;
+
+struct AutoSearch {
+  const QueryGraph& q;
+  std::vector<VertexId> verts;  // kept vertices, ascending
+  uint16_t mask;
+  std::vector<Permutation>* out;
+  Permutation current;
+  uint16_t used = 0;  // images already taken
+  size_t nodes = 0;
+  bool aborted = false;
+
+  bool Compatible(VertexId x, VertexId img, size_t depth) const {
+    if (q.VertexLabel(x) != q.VertexLabel(img)) return false;
+    // Check induced adjacency (and edge labels) against assigned vertices.
+    for (size_t i = 0; i < depth; ++i) {
+      VertexId y = verts[i];
+      bool e1 = q.HasEdge(x, y);
+      bool e2 = q.HasEdge(img, current[y]);
+      if (e1 != e2) return false;
+      if (e1 &&
+          q.EdgeLabelBetween(x, y) != q.EdgeLabelBetween(img, current[y])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void Recurse(size_t depth) {
+    if (aborted) return;
+    if (++nodes > kMaxBacktrackNodes || out->size() >= kMaxAutomorphisms) {
+      aborted = true;
+      return;
+    }
+    if (depth == verts.size()) {
+      out->push_back(current);
+      return;
+    }
+    VertexId x = verts[depth];
+    for (VertexId img : verts) {
+      if ((used >> img) & 1u) continue;
+      if (!Compatible(x, img, depth)) continue;
+      current[x] = img;
+      used |= static_cast<uint16_t>(1u << img);
+      Recurse(depth + 1);
+      used &= static_cast<uint16_t>(~(1u << img));
+      if (aborted) return;
+    }
+  }
+};
+
+Permutation IdentityOn(uint16_t mask) {
+  Permutation p;
+  p.fill(kInvalidVertex);
+  for (VertexId v = 0; v < kMaxQueryVertices; ++v) {
+    if ((mask >> v) & 1u) p[v] = v;
+  }
+  return p;
+}
+
+Permutation InverseOn(const Permutation& p, uint16_t mask) {
+  Permutation inv;
+  inv.fill(kInvalidVertex);
+  for (VertexId v = 0; v < kMaxQueryVertices; ++v) {
+    if ((mask >> v) & 1u) inv[p[v]] = v;
+  }
+  return inv;
+}
+
+/// (f o g): x -> f(g(x)), defined on mask.
+Permutation ComposeOn(const Permutation& f, const Permutation& g,
+                      uint16_t mask) {
+  Permutation r;
+  r.fill(kInvalidVertex);
+  for (VertexId v = 0; v < kMaxQueryVertices; ++v) {
+    if ((mask >> v) & 1u) r[v] = f[g[v]];
+  }
+  return r;
+}
+
+/// Candidate group before rule filtering.
+struct RawGroup {
+  uint16_t mask;
+  uint32_t k;
+  // Directed pairs of one orbit with, for each, the automorphism mapping
+  // the base pair onto it (base = element 0, sigma = identity).
+  std::vector<std::pair<VertexId, VertexId>> pairs;
+  std::vector<Permutation> sigmas;
+};
+
+/// Dominance score of a directed pair: seed at the most constrained
+/// endpoints first (paper's "prioritized query edge").
+uint64_t PairScore(const QueryGraph& q, std::pair<VertexId, VertexId> d) {
+  return (static_cast<uint64_t>(q.Degree(d.first) + q.Degree(d.second))
+          << 8) |
+         (15 - d.first);  // deterministic tie-break
+}
+
+}  // namespace
+
+std::vector<Permutation> InducedAutomorphisms(const QueryGraph& q,
+                                              uint16_t mask) {
+  std::vector<Permutation> out;
+  AutoSearch search{q, {}, mask, &out, IdentityOn(mask)};
+  for (VertexId v = 0; v < q.NumVertices(); ++v) {
+    if ((mask >> v) & 1u) search.verts.push_back(v);
+  }
+  search.current.fill(kInvalidVertex);
+  search.Recurse(0);
+  if (search.aborted) {
+    // Too symmetric to enumerate cheaply: report only the identity, which
+    // disables coalesced search for this subgraph.
+    out.clear();
+    out.push_back(IdentityOn(mask));
+  }
+  return out;
+}
+
+std::vector<EquivalentEdgeGroup> ComputeEquivalentEdgeGroups(
+    const QueryGraph& q, bool only_degree1_removals) {
+  const uint32_t nq = static_cast<uint32_t>(q.NumVertices());
+  std::vector<EquivalentEdgeGroup> result;
+  if (nq < 2) return result;
+  const uint16_t full = static_cast<uint16_t>((1u << nq) - 1);
+
+  // Collect raw orbit groups per k.
+  std::vector<std::vector<RawGroup>> by_k(
+      std::min(kMaxDegeneration, nq - 2) + 1);
+  for (uint16_t removed = 0; removed < (1u << nq); ++removed) {
+    uint32_t k = static_cast<uint32_t>(__builtin_popcount(removed));
+    if (k >= by_k.size()) continue;
+    uint16_t mask = full & static_cast<uint16_t>(~removed);
+    if (__builtin_popcount(mask) < 2) continue;
+    if (only_degree1_removals && removed != 0) {
+      bool ok = true;
+      for (VertexId v = 0; v < nq; ++v) {
+        if (((removed >> v) & 1u) && q.Degree(v) != 1) ok = false;
+      }
+      if (!ok) continue;
+    }
+    // Need at least one induced edge.
+    bool has_edge = false;
+    for (const QueryEdge& e : q.edges()) {
+      if (((mask >> e.u1) & 1u) && ((mask >> e.u2) & 1u)) {
+        has_edge = true;
+        break;
+      }
+    }
+    if (!has_edge) continue;
+
+    std::vector<Permutation> autos = InducedAutomorphisms(q, mask);
+    if (autos.size() < 2) continue;  // only the identity: nothing to share
+
+    // Directed-pair orbits under the group.
+    std::map<std::pair<VertexId, VertexId>, size_t> seen;  // pair -> group#
+    for (const QueryEdge& e : q.edges()) {
+      if (!((mask >> e.u1) & 1u) || !((mask >> e.u2) & 1u)) continue;
+      for (auto base : {std::make_pair(e.u1, e.u2),
+                        std::make_pair(e.u2, e.u1)}) {
+        if (seen.count(base)) continue;
+        RawGroup grp;
+        grp.mask = mask;
+        grp.k = k;
+        for (const Permutation& s : autos) {
+          std::pair<VertexId, VertexId> img{s[base.first], s[base.second]};
+          if (!seen.count(img)) {
+            seen[img] = 1;
+            grp.pairs.push_back(img);
+            grp.sigmas.push_back(s);
+          }
+        }
+        if (grp.pairs.size() >= 2) by_k[k].push_back(std::move(grp));
+      }
+    }
+  }
+
+  // Apply the overlap rules.  Rule 1: smaller k wins (process k
+  // ascending, skip already-assigned pairs).  Rule 2: within one k, the
+  // larger orbit wins (sort descending by orbit size).
+  std::map<std::pair<VertexId, VertexId>, bool> assigned;
+  for (auto& groups : by_k) {
+    std::stable_sort(groups.begin(), groups.end(),
+                     [](const RawGroup& a, const RawGroup& b) {
+                       return a.pairs.size() > b.pairs.size();
+                     });
+    for (RawGroup& grp : groups) {
+      // Surviving pairs of the orbit.
+      std::vector<size_t> keep;
+      for (size_t i = 0; i < grp.pairs.size(); ++i) {
+        if (!assigned.count(grp.pairs[i])) keep.push_back(i);
+      }
+      if (keep.size() < 2) continue;  // nothing left to coalesce
+
+      // Prioritized representative: most constrained endpoints.
+      size_t rep = keep[0];
+      for (size_t i : keep) {
+        if (PairScore(q, grp.pairs[i]) > PairScore(q, grp.pairs[rep])) {
+          rep = i;
+        }
+      }
+
+      EquivalentEdgeGroup out;
+      out.vertex_mask = grp.mask;
+      out.k = grp.k;
+      out.directed_orbit.push_back(grp.pairs[rep]);
+      Permutation rep_sigma = grp.sigmas[rep];  // base -> rep
+      Permutation rep_inv = InverseOn(rep_sigma, grp.mask);
+      for (size_t i : keep) {
+        if (i == rep) continue;
+        out.directed_orbit.push_back(grp.pairs[i]);
+        // sigma_{rep->d} = sigma_d o rep_sigma^{-1};  the kernel wants
+        // its inverse: rep_sigma o sigma_d^{-1}.
+        Permutation inv_d = InverseOn(grp.sigmas[i], grp.mask);
+        out.perms.push_back(ComposeOn(rep_sigma, inv_d, grp.mask));
+      }
+      for (const auto& d : out.directed_orbit) assigned[d] = true;
+      result.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace bdsm

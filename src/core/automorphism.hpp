@@ -1,0 +1,61 @@
+/// \file automorphism.hpp
+/// Query-graph automorphisms and k-degenerated automorphic subgraphs
+/// (paper §V-B, Definitions 3-4).
+///
+/// The coalesced-search optimization rests on this module: removing k
+/// vertices from Q can leave an induced subgraph Q^k that is automorphic
+/// (self-isomorphic non-trivially).  Edges of Q^k falling in one orbit of
+/// its automorphism group are *equivalent*: a partial match found for one
+/// of them yields the others' partial matches by permutation.  The engine
+/// enumerates all Q^k, computes the directed-edge orbits, applies the
+/// paper's two overlap rules (prefer smaller k — larger shared subgraph;
+/// tie-break on larger orbit), and selects the *prioritized* seed edge of
+/// each orbit (the dominance rule that avoids doomed permuted partials).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "graph/query_graph.hpp"
+
+namespace bdsm {
+
+/// A vertex permutation of Q (identity outside the induced subgraph is
+/// not required; entries for removed vertices are kInvalidVertex).
+using Permutation = std::array<VertexId, kMaxQueryVertices>;
+
+/// All automorphisms of the labeled graph `q` restricted to the vertex
+/// set `mask` (bit i = vertex i kept).  Entries outside the mask are
+/// kInvalidVertex.  Includes the identity.  Respects vertex labels and
+/// (when present) edge labels.
+std::vector<Permutation> InducedAutomorphisms(const QueryGraph& q,
+                                              uint16_t mask);
+
+/// One equivalent-edge group discovered on some k-degenerated subgraph.
+struct EquivalentEdgeGroup {
+  uint16_t vertex_mask;               ///< V^k as a bitmask
+  uint32_t k;                         ///< number of removed vertices
+  /// Directed seed pairs of the orbit; front() is the prioritized
+  /// (dominant) representative the search actually seeds.
+  std::vector<std::pair<VertexId, VertexId>> directed_orbit;
+  /// For each non-representative directed pair d (aligned with
+  /// directed_orbit[1..]), the permutation sigma_d^{-1} turning a partial
+  /// match seeded at the representative into one seeded at d:
+  /// P_d = P o perm (i.e. P_d(x) = P(perm[x])).
+  std::vector<Permutation> perms;
+};
+
+/// Computes the active equivalent-edge groups of q after applying the
+/// paper's rules 1 & 2.  Each *directed* query pair (a,b) belongs to at
+/// most one group; pairs in no group are seeded plainly.
+///
+/// With `only_degree1_removals` (the default, and the paper's Remark:
+/// "we selectively eliminate isolated query vertices with a degree of
+/// 1"), k >= 1 subgraphs may only remove degree-1 vertices, bounding the
+/// constraints the V^k phase defers to one edge per removed vertex;
+/// false admits arbitrary removals (more sharing, more risk).
+std::vector<EquivalentEdgeGroup> ComputeEquivalentEdgeGroups(
+    const QueryGraph& q, bool only_degree1_removals = true);
+
+}  // namespace bdsm

@@ -1,0 +1,39 @@
+/// \file bfs_kernel.hpp
+/// BFS-based matching kernel — the design alternative §IV-C rejects.
+///
+/// BFS expands all partial matches of a level before moving to the next,
+/// materializing every intermediate frontier in device memory.  That is
+/// the classic GPU pattern (maximal parallelism, coalesced expansion)
+/// and also the reason the paper rejects it: frontiers grow
+/// geometrically, exhaust device memory, and force host<->device spills
+/// whose transfer time dominates (Fig. 5).  This kernel exists to
+/// regenerate that figure and as a differential check against WBM
+/// (identical result multisets).
+///
+/// Coalesced search is not applicable to the frontier representation, so
+/// callers must pass a QueryContext built with coalesced_search = false.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/wbm_kernel.hpp"
+
+namespace bdsm {
+
+struct BfsResult {
+  std::vector<MatchRecord> matches;
+  DeviceStats stats;
+  /// Device-memory occupancy (percent of capacity, >100 = spilling)
+  /// sampled after every frontier expansion, in expansion order — the
+  /// series plotted in Fig. 5(a).
+  std::vector<double> memory_samples;
+};
+
+/// Runs the BFS kernel for `seeds` on `device`.  Frontier buffers are
+/// allocated through the device allocator; bytes beyond capacity spill
+/// and are billed as host<->device transfer time.
+BfsResult RunBfsKernel(Device& device, const WbmEnv& env,
+                       const std::vector<SeedEdge>& seeds);
+
+}  // namespace bdsm

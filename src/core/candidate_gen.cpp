@@ -1,0 +1,73 @@
+#include "core/candidate_gen.hpp"
+
+#include "gpusim/warp_ops.hpp"
+
+namespace bdsm {
+
+void GenerateCandidates(
+    const Gpma& graph, const QueryGraph& q, const CandidateEncoder& enc,
+    const std::unordered_map<Edge, uint32_t, EdgeHash>& update_order,
+    const SeedPlan& plan, const std::array<VertexId, kMaxQueryVertices>& m,
+    uint32_t level, uint32_t seed_order, bool relaxed,
+    std::vector<Neighbor>* scratch, std::vector<VertexId>* out,
+    GenCandidatesCost* cost) {
+  VertexId uq = plan.order[level];
+  struct MatchedNbr {
+    VertexId data_v;
+    Label elabel;
+  };
+  MatchedNbr nbrs[kMaxQueryVertices];
+  size_t num_nbrs = 0;
+  for (uint32_t i = 0; i < level; ++i) {
+    VertexId qv = plan.order[i];
+    if (q.HasEdge(qv, uq)) {
+      nbrs[num_nbrs++] = MatchedNbr{m[qv], q.EdgeLabelBetween(qv, uq)};
+    }
+  }
+  GAMMA_CHECK_MSG(num_nbrs > 0, "matching order must stay connected");
+
+  out->clear();
+  graph.NeighborsInto(nbrs[0].data_v, scratch);
+  cost->scan_words += 2 * scratch->size();
+  cost->compute_ops += 2 * scratch->size();
+
+  for (const Neighbor& nb : *scratch) {
+    VertexId w = nb.v;
+    if (nb.elabel != nbrs[0].elabel) continue;
+    // Relaxed (coalesced V^k) filter: w must be a candidate of at least
+    // one position in uq's orbit; plain filter: candidate of uq itself.
+    if (relaxed) {
+      if (!enc.HasSameLabel(w, uq)) continue;
+      if ((enc.CandidateMask(w) & plan.relaxed_masks[uq]) == 0) continue;
+    } else if (!enc.IsCandidate(w, uq)) {
+      continue;
+    }
+    // Injectivity against the assigned prefix.
+    bool used = false;
+    for (uint32_t i = 0; i < level && !used; ++i) {
+      used = m[plan.order[i]] == w;
+    }
+    if (used) continue;
+    // Adjacency (+ edge labels) to the remaining matched neighbors —
+    // the paper's parallel binary search (WarpOps::IntersectOps prices
+    // one probe against the GPMA's sorted adjacency).
+    bool ok = true;
+    for (size_t i = 1; i < num_nbrs && ok; ++i) {
+      Label el;
+      cost->probe_words += 2;
+      cost->compute_ops +=
+          WarpOps::IntersectOps(1, graph.segment_capacity());
+      ok = graph.FindEdge(nbrs[i].data_v, w, &el) && el == nbrs[i].elabel;
+    }
+    if (!ok) continue;
+    // Batch-dedup total-order rule.
+    for (size_t i = 0; i < num_nbrs && ok; ++i) {
+      auto it = update_order.find(Edge(nbrs[i].data_v, w));
+      if (it != update_order.end() && it->second < seed_order) ok = false;
+    }
+    if (!ok) continue;
+    out->push_back(w);
+  }
+}
+
+}  // namespace bdsm

@@ -1,0 +1,37 @@
+/// \file candidate_gen.hpp
+/// GenCandidates (Algorithm 1, lines 23-29) shared by the DFS (WBM) and
+/// BFS kernels: candidates for the query vertex at `level` of a plan's
+/// matching order, given the partial assignment `m`.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/query_context.hpp"
+#include "gpma/gpma.hpp"
+
+namespace bdsm {
+
+struct WbmEnv;  // defined in wbm_kernel.hpp
+
+/// Cost counters the caller converts into device charges.
+struct GenCandidatesCost {
+  uint64_t scan_words = 0;   ///< coalesced adjacency words read
+  uint64_t probe_words = 0;  ///< divergent binary-search words
+  uint64_t compute_ops = 0;
+};
+
+/// Fills `out` with the data-vertex candidates of plan.order[level].
+/// `relaxed` applies the label-only filter of the coalesced V^k phase.
+/// `seed_order` drives the batch-dedup rule via `update_order`.
+void GenerateCandidates(
+    const Gpma& graph, const QueryGraph& q, const CandidateEncoder& enc,
+    const std::unordered_map<Edge, uint32_t, EdgeHash>& update_order,
+    const SeedPlan& plan, const std::array<VertexId, kMaxQueryVertices>& m,
+    uint32_t level, uint32_t seed_order, bool relaxed,
+    std::vector<Neighbor>* scratch, std::vector<VertexId>* out,
+    GenCandidatesCost* cost);
+
+}  // namespace bdsm

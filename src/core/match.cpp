@@ -1,0 +1,15 @@
+#include "core/match.hpp"
+
+#include <algorithm>
+
+namespace bdsm {
+
+std::vector<std::string> CanonicalKeys(const std::vector<MatchRecord>& ms) {
+  std::vector<std::string> keys;
+  keys.reserve(ms.size());
+  for (const MatchRecord& m : ms) keys.push_back(m.Key());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace bdsm

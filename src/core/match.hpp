@@ -1,0 +1,43 @@
+/// \file match.hpp
+/// Incremental-match record types shared by GAMMA and the baselines.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/query_graph.hpp"
+#include "util/common.hpp"
+
+namespace bdsm {
+
+/// One subgraph isomorphism: m[u] is the data vertex matched to query
+/// vertex u.  `positive` distinguishes matches created by the batch from
+/// matches destroyed by it.
+struct MatchRecord {
+  std::array<VertexId, kMaxQueryVertices> m;
+  uint8_t n = 0;       ///< |V(Q)|
+  bool positive = true;
+
+  MatchRecord() { m.fill(kInvalidVertex); }
+
+  friend bool operator==(const MatchRecord&, const MatchRecord&) = default;
+
+  /// Canonical key for set comparisons in tests.
+  std::string Key() const {
+    std::string s;
+    s.reserve(n * 9 + 1);
+    s.push_back(positive ? '+' : '-');
+    for (uint8_t i = 0; i < n; ++i) {
+      s += std::to_string(m[i]);
+      s.push_back(',');
+    }
+    return s;
+  }
+};
+
+/// Sorted canonical keys of a match list (order-insensitive comparison).
+std::vector<std::string> CanonicalKeys(const std::vector<MatchRecord>& ms);
+
+}  // namespace bdsm

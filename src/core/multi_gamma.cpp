@@ -1,0 +1,104 @@
+#include "core/multi_gamma.hpp"
+
+#include "util/timer.hpp"
+
+namespace bdsm {
+
+MultiGamma::MultiGamma(const LabeledGraph& initial, GammaOptions options)
+    : options_(options),
+      host_graph_(initial),
+      gpma_(options.gpma_segment_capacity),
+      device_(options.device) {
+  gpma_.BuildFrom(host_graph_);
+}
+
+size_t MultiGamma::AddQuery(const QueryGraph& q) {
+  PerQuery pq;
+  pq.qctx = BuildQueryContext(q, options_.coalesced_search,
+                              options_.aggressive_coalescing);
+  pq.encoder = std::make_unique<CandidateEncoder>(q);
+  pq.encoder->BuildAll(host_graph_);
+  queries_.push_back(std::move(pq));
+  return queries_.size() - 1;
+}
+
+void MultiGamma::RunMatchAll(const UpdateBatch& batch, bool positive,
+                             MultiBatchResult* out) {
+  // Seeds and order map are polarity-global; each query gets its own
+  // env (query context + encoder) but all tasks go into ONE launch so
+  // the device is shared across queries.
+  std::vector<SeedEdge> seeds;
+  std::unordered_map<Edge, uint32_t, EdgeHash> order;
+  uint32_t next = 0;
+  for (const UpdateOp& op : batch) {
+    if (op.is_insert != positive) continue;
+    seeds.push_back(SeedEdge{op.u, op.v, op.elabel, next});
+    order.emplace(Edge(op.u, op.v), next);
+    ++next;
+  }
+  if (seeds.empty()) return;
+
+  std::atomic<size_t> emitted{0};
+  std::atomic<bool> overflowed{false};
+  std::vector<WbmEnv> envs;
+  envs.reserve(queries_.size());
+  // Slot layout: per query, one slot vector per seed.
+  std::vector<std::vector<std::vector<MatchRecord>>> slots(
+      queries_.size());
+  std::vector<std::unique_ptr<WarpTask>> tasks;
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    WbmEnv env{&gpma_, &queries_[qi].qctx, queries_[qi].encoder.get(),
+               &order, positive};
+    env.result_cap = options_.result_cap;
+    if (env.result_cap > 0) {
+      env.emitted = &emitted;
+      env.overflowed = &overflowed;
+    }
+    envs.push_back(env);
+  }
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    auto qt = MakeWbmTasks(envs[qi], seeds, &slots[qi]);
+    for (auto& t : qt) tasks.push_back(std::move(t));
+  }
+
+  DeviceStats stats = device_.Launch(std::move(tasks));
+  bool over = overflowed.load(std::memory_order_relaxed);
+  for (size_t qi = 0; qi < queries_.size(); ++qi) {
+    BatchResult& r = out->per_query[qi];
+    auto& dst = positive ? r.positive_matches : r.negative_matches;
+    for (auto& s : slots[qi]) {
+      dst.insert(dst.end(), s.begin(), s.end());
+    }
+    // The launch is shared; attribute its stats to every query's record
+    // (they describe the same kernel).
+    r.match_stats.MergeSequential(stats);
+    r.overflowed = r.overflowed || over;
+  }
+}
+
+MultiBatchResult MultiGamma::ProcessBatch(const UpdateBatch& raw_batch) {
+  MultiBatchResult out;
+  out.per_query.resize(queries_.size());
+
+  UpdateBatch batch = SanitizeBatch(host_graph_, raw_batch);
+
+  RunMatchAll(batch, /*positive=*/false, &out);
+
+  UpdatePlan plan = gpma_.ApplyBatch(batch);
+  out.update_stats = SimulateGpmaUpdate(device_, plan, options_.gpma);
+  Timer host;
+  ApplyBatch(&host_graph_, batch);
+  for (PerQuery& pq : queries_) {
+    pq.encoder->ApplyBatchDirty(host_graph_, batch);
+  }
+  out.preprocess_host_seconds = host.ElapsedSeconds();
+  for (BatchResult& r : out.per_query) {
+    r.update_stats = out.update_stats;
+    r.preprocess_host_seconds = out.preprocess_host_seconds;
+  }
+
+  RunMatchAll(batch, /*positive=*/true, &out);
+  return out;
+}
+
+}  // namespace bdsm

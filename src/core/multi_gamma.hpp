@@ -1,0 +1,60 @@
+/// \file multi_gamma.hpp
+/// Multi-pattern GAMMA: one device graph, many registered queries.
+///
+/// Deployments monitor many patterns at once (the paper's evaluation
+/// runs 50-query sets; the fraud example would register one pattern per
+/// typology).  Building a full Gamma per query duplicates the GPMA and
+/// the host mirror; MultiGamma shares them — per query it keeps only
+/// the cheap parts (query context + candidate table) and fuses all
+/// queries' seeds into each kernel launch, so one batch costs one
+/// update + two matching launches total, not per query.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/gamma.hpp"
+
+namespace bdsm {
+
+struct MultiBatchResult {
+  /// Per registered query, in registration order.
+  std::vector<BatchResult> per_query;
+  /// Device stats of the shared GPMA update (charged once).
+  DeviceStats update_stats;
+  double preprocess_host_seconds = 0.0;
+};
+
+class MultiGamma {
+ public:
+  explicit MultiGamma(const LabeledGraph& initial,
+                      GammaOptions options = {});
+
+  /// Registers a pattern; returns its id (index into results).
+  size_t AddQuery(const QueryGraph& q);
+
+  size_t NumQueries() const { return queries_.size(); }
+  const LabeledGraph& host_graph() const { return host_graph_; }
+
+  /// Processes one batch for every registered query.
+  MultiBatchResult ProcessBatch(const UpdateBatch& batch);
+
+ private:
+  struct PerQuery {
+    QueryContext qctx;
+    std::unique_ptr<CandidateEncoder> encoder;
+  };
+
+  /// Runs one polarity's kernel for every query (seeds fused into a
+  /// single launch so small queries share the device).
+  void RunMatchAll(const UpdateBatch& batch, bool positive,
+                   MultiBatchResult* out);
+
+  GammaOptions options_;
+  LabeledGraph host_graph_;
+  Gpma gpma_;
+  Device device_;
+  std::vector<PerQuery> queries_;
+};
+
+}  // namespace bdsm

@@ -1,0 +1,129 @@
+#include "core/query_context.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace bdsm {
+
+std::vector<VertexId> BuildMatchingOrder(const QueryGraph& q, VertexId a,
+                                         VertexId b,
+                                         uint16_t restrict_mask) {
+  const size_t nq = q.NumVertices();
+  std::vector<VertexId> order{a, b};
+  uint16_t placed = static_cast<uint16_t>((1u << a) | (1u << b));
+
+  auto pick_next = [&](uint16_t allowed) -> VertexId {
+    VertexId best = kInvalidVertex;
+    size_t best_back = 0, best_deg = 0;
+    for (VertexId u = 0; u < nq; ++u) {
+      if ((placed >> u) & 1u) continue;
+      if (!((allowed >> u) & 1u)) continue;
+      size_t back = static_cast<size_t>(
+          __builtin_popcount(q.AdjacencyMask(u) & placed));
+      if (back == 0) continue;  // must stay connected
+      size_t deg = q.Degree(u);
+      if (best == kInvalidVertex || back > best_back ||
+          (back == best_back && deg > best_deg)) {
+        best = u;
+        best_back = back;
+        best_deg = deg;
+      }
+    }
+    return best;
+  };
+
+  uint16_t all = static_cast<uint16_t>((1u << nq) - 1);
+  if (restrict_mask != 0) {
+    // Exhaust V^k first; bail out if it cannot be ordered connectedly.
+    while ((placed & restrict_mask) != restrict_mask) {
+      VertexId u = pick_next(restrict_mask);
+      if (u == kInvalidVertex) return {};
+      order.push_back(u);
+      placed |= static_cast<uint16_t>(1u << u);
+    }
+  }
+  while (placed != all) {
+    VertexId u = pick_next(all);
+    if (u == kInvalidVertex) return {};  // disconnected query
+    order.push_back(u);
+    placed |= static_cast<uint16_t>(1u << u);
+  }
+  return order;
+}
+
+QueryContext BuildQueryContext(const QueryGraph& q, bool coalesced_search,
+                               bool aggressive_coalescing) {
+  QueryContext ctx;
+  ctx.q = q;
+
+  // Every directed pair of every query edge must be covered exactly once.
+  std::map<std::pair<VertexId, VertexId>, bool> covered;
+  auto all_pairs = [&] {
+    std::vector<std::pair<VertexId, VertexId>> ps;
+    for (const QueryEdge& e : q.edges()) {
+      ps.emplace_back(e.u1, e.u2);
+      ps.emplace_back(e.u2, e.u1);
+    }
+    return ps;
+  }();
+
+  auto plain_plan = [&](std::pair<VertexId, VertexId> d) {
+    SeedPlan plan;
+    plan.a = d.first;
+    plan.b = d.second;
+    plan.elabel = q.EdgeLabelBetween(d.first, d.second);
+    plan.order = BuildMatchingOrder(q, d.first, d.second);
+    GAMMA_CHECK_MSG(!plan.order.empty(), "query graph must be connected");
+    plan.vk_size = 2;
+    return plan;
+  };
+
+  if (coalesced_search) {
+    for (const EquivalentEdgeGroup& grp :
+         ComputeEquivalentEdgeGroups(q, !aggressive_coalescing)) {
+      auto rep = grp.directed_orbit.front();
+      if (covered.count(rep)) continue;  // defensive; groups are disjoint
+      std::vector<VertexId> order =
+          BuildMatchingOrder(q, rep.first, rep.second, grp.vertex_mask);
+      if (order.empty()) continue;  // V^k not connectedly orderable
+      SeedPlan plan;
+      plan.a = rep.first;
+      plan.b = rep.second;
+      plan.elabel = q.EdgeLabelBetween(rep.first, rep.second);
+      plan.order = std::move(order);
+      plan.vk_size = static_cast<uint32_t>(
+          __builtin_popcount(grp.vertex_mask));
+      plan.perms = grp.perms;
+      // Position orbits for the relaxed V^k filter: a vertex at rep
+      // position p lands at sibling position x whenever perm[x] == p.
+      for (VertexId p = 0; p < q.NumVertices(); ++p) {
+        if (!((grp.vertex_mask >> p) & 1u)) continue;
+        uint16_t mask = static_cast<uint16_t>(1u << p);
+        for (const Permutation& perm : plan.perms) {
+          for (VertexId x = 0; x < q.NumVertices(); ++x) {
+            if (perm[x] == p) mask |= static_cast<uint16_t>(1u << x);
+          }
+        }
+        plan.relaxed_masks[p] = mask;
+      }
+      // Mark the whole directed orbit covered; siblings are derived.
+      bool clash = false;
+      for (const auto& d : grp.directed_orbit) {
+        if (covered.count(d)) clash = true;
+      }
+      if (clash) continue;
+      for (const auto& d : grp.directed_orbit) covered[d] = true;
+      ctx.coalesced_pairs += grp.directed_orbit.size() - 1;
+      ctx.plans.push_back(std::move(plan));
+    }
+  }
+
+  for (const auto& d : all_pairs) {
+    if (covered.count(d)) continue;
+    covered[d] = true;
+    ctx.plans.push_back(plain_plan(d));
+  }
+  return ctx;
+}
+
+}  // namespace bdsm

@@ -1,0 +1,71 @@
+/// \file query_context.hpp
+/// Offline per-query preparation: matching orders per query edge
+/// (paper §IV-C: "we generate it for each query edge offline") and the
+/// coalesced-search seed plans built from the equivalent-edge groups.
+///
+/// Coverage contract: across all plans, every *directed* query pair
+/// (a, b) with {a, b} in E(Q) is covered exactly once — either as a
+/// plan's own seed pair or through a plan's permutation list.  The WBM
+/// kernel maps each update edge (v1, v2) once per plan as a -> v1,
+/// b -> v2; the reverse data orientation is the plan of the reverse pair.
+/// This is what makes the result multiset exactly the set of incremental
+/// isomorphisms, with no duplicates and no misses.
+#pragma once
+
+#include <vector>
+
+#include "core/automorphism.hpp"
+#include "graph/query_graph.hpp"
+
+namespace bdsm {
+
+/// One seeded search the kernel runs per update edge.
+struct SeedPlan {
+  VertexId a = kInvalidVertex;  ///< pi[0], mapped to the update's v1
+  VertexId b = kInvalidVertex;  ///< pi[1], mapped to the update's v2
+  Label elabel = kNoLabel;      ///< required update-edge label
+  /// Full matching order; order[0] = a, order[1] = b.  When perms is
+  /// non-empty the first vk_size entries are exactly V^k.
+  std::vector<VertexId> order;
+  /// Permutation point |V^k| (2 when coalesced search is off/inapplicable).
+  uint32_t vk_size = 2;
+  /// sigma^{-1} per coalesced sibling pair: a completed V^k-partial P
+  /// spawns the sibling partial x -> P(perm[x]).
+  std::vector<Permutation> perms;
+  /// Relaxed filter for the V^k phase: a vertex placed at position p by
+  /// the representative search may end up at any position of p's orbit
+  /// across the siblings, so it must pass the candidate bit of at least
+  /// one of them.  relaxed_masks[p] = bitmask of that orbit (always
+  /// includes p).  Tighter than label-only, still sound for coverage.
+  std::array<uint16_t, kMaxQueryVertices> relaxed_masks{};
+};
+
+struct QueryContext {
+  QueryGraph q;
+  std::vector<SeedPlan> plans;
+  /// Directed pairs whose search is derived by permutation instead of a
+  /// separate DFS (the savings coalesced search buys).
+  size_t coalesced_pairs = 0;
+};
+
+/// Builds the context.  With `coalesced_search` false every directed
+/// pair gets a plain plan (the WBM baseline of the ablation study).
+///
+/// By default k >= 1 subgraphs only remove degree-1 query vertices (the
+/// paper's Remark), bounding the constraints the relaxed V^k phase
+/// defers; `aggressive_coalescing` admits arbitrary removals (more
+/// sharing, but the deferred constraints can cost more than the shared
+/// traversal saves on dense queries).
+QueryContext BuildQueryContext(const QueryGraph& q, bool coalesced_search,
+                               bool aggressive_coalescing = false);
+
+/// Greedy connected matching order starting from `a, b`: repeatedly
+/// appends the vertex with the most already-ordered neighbors (ties:
+/// higher degree, then lower id).  When `restrict_mask` != 0 the order
+/// exhausts the vertices in the mask before the rest (V^k-first), and
+/// fails (returns empty) if the mask is not connectedly orderable.
+std::vector<VertexId> BuildMatchingOrder(const QueryGraph& q, VertexId a,
+                                         VertexId b,
+                                         uint16_t restrict_mask = 0);
+
+}  // namespace bdsm

@@ -1,0 +1,77 @@
+#include "core/stream_pipeline.hpp"
+
+#include <future>
+
+#include "util/timer.hpp"
+
+namespace bdsm {
+
+PipelineStats StreamPipeline::Run(const std::vector<UpdateBatch>& stream,
+                                  std::vector<BatchResult>* sink) {
+  PipelineStats stats;
+  Timer wall;
+
+  // Background preparation: sanitize against the *current* host graph.
+  // Launched while the device runs the previous batch's positives
+  // kernel; the host graph is stable during that kernel, so the read is
+  // race-free (see header).
+  auto prepare = [this](const UpdateBatch& raw) {
+    Timer t;
+    UpdateBatch clean = SanitizeBatch(gamma_->host_graph_, raw);
+    return std::make_pair(std::move(clean), t.ElapsedSeconds());
+  };
+
+  std::future<std::pair<UpdateBatch, double>> prepared;
+  if (!stream.empty()) {
+    // First batch has nothing to overlap with.
+    prepared = std::async(std::launch::deferred, prepare, stream[0]);
+  }
+
+  double last_kernel_wall = 0.0;  // device time batch i's prep hid behind
+  for (size_t i = 0; i < stream.size(); ++i) {
+    auto [batch, prep_seconds] = prepared.get();
+
+    PipelineBatchStats bs;
+    bs.prep_seconds = prep_seconds;
+    // This batch's preparation ran while batch i-1's positives kernel
+    // did; the hidden portion is bounded by both durations.
+    if (i > 0) {
+      bs.prep_hidden_seconds = std::min(prep_seconds, last_kernel_wall);
+    }
+    bs.applied_ops = batch.size();
+
+    BatchResult result;
+    WbmResult neg = gamma_->RunMatchPhase(batch, /*positive=*/false);
+    result.negative_matches = std::move(neg.matches);
+    result.match_stats.MergeSequential(neg.stats);
+    result.overflowed = neg.overflowed;
+
+    gamma_->RunUpdatePhase(batch, &result);
+
+    // Host graph is now final for this round: kick off the next batch's
+    // preparation so it overlaps the positives kernel below.
+    Timer overlap_timer;
+    if (i + 1 < stream.size()) {
+      prepared = std::async(std::launch::async, prepare, stream[i + 1]);
+    }
+
+    WbmResult pos = gamma_->RunMatchPhase(batch, /*positive=*/true);
+    last_kernel_wall = overlap_timer.ElapsedSeconds();
+    result.positive_matches = std::move(pos.matches);
+    result.match_stats.MergeSequential(pos.stats);
+    result.overflowed = result.overflowed || pos.overflowed;
+
+    bs.positive_matches = result.positive_matches.size();
+    bs.negative_matches = result.negative_matches.size();
+    bs.device = result.update_stats;
+    bs.device.MergeSequential(result.match_stats);
+    stats.total_hidden_seconds += bs.prep_hidden_seconds;
+    stats.batches.push_back(bs);
+    if (sink) sink->push_back(std::move(result));
+  }
+
+  stats.wall_seconds = wall.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace bdsm

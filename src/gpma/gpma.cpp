@@ -1,0 +1,515 @@
+#include "gpma/gpma.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace bdsm {
+
+namespace {
+constexpr uint64_t kEmptyKey = ~0ull;
+
+// Leaf segments may fill almost completely; windows closer to the root
+// must stay sparser so local rebalances keep absorbing future inserts
+// (standard adaptive-PMA profile, Bender & Hu).
+constexpr double kLeafUpper = 0.92;
+constexpr double kRootUpper = 0.70;
+constexpr double kLeafLower = 0.08;
+constexpr double kRootLower = 0.30;
+}  // namespace
+
+Gpma::Gpma(uint32_t segment_capacity) : seg_cap_(segment_capacity) {
+  GAMMA_CHECK_MSG(std::has_single_bit(segment_capacity),
+                  "segment capacity must be a power of two");
+  seg_keys_.assign(seg_cap_, kEmptyKey);
+  seg_vals_.assign(seg_cap_, kNoLabel);
+  seg_counts_.assign(1, 0);
+  seg_mins_.assign(1, kEmptyKey);
+}
+
+uint32_t Gpma::TreeHeight() const {
+  return static_cast<uint32_t>(std::bit_width(NumSegments()));
+}
+
+double Gpma::UpperDensity(uint32_t level) const {
+  uint32_t h = std::max(1u, TreeHeight() - 1);
+  double frac = static_cast<double>(level) / static_cast<double>(h);
+  return kLeafUpper + (kRootUpper - kLeafUpper) * frac;
+}
+
+double Gpma::LowerDensity(uint32_t level) const {
+  uint32_t h = std::max(1u, TreeHeight() - 1);
+  double frac = static_cast<double>(level) / static_cast<double>(h);
+  return kLeafLower + (kRootLower - kLeafLower) * frac;
+}
+
+void Gpma::RefreshSegMins() {
+  // Empty segments inherit the min of the next non-empty segment so the
+  // mins array stays monotone non-decreasing and binary-searchable
+  // (sparse windows can leave empty segments mid-array).
+  size_t n = NumSegments();
+  seg_mins_.resize(n);
+  uint64_t fill = kEmptyKey;
+  for (size_t s = n; s-- > 0;) {
+    if (seg_counts_[s]) fill = KeyAt(s, 0);
+    seg_mins_[s] = fill;
+  }
+}
+
+void Gpma::FixMinsAround(size_t seg) {
+  size_t n = NumSegments();
+  uint64_t m = seg_counts_[seg]
+                   ? KeyAt(seg, 0)
+                   : (seg + 1 < n ? seg_mins_[seg + 1] : kEmptyKey);
+  seg_mins_[seg] = m;
+  // Back-propagate across any run of empty segments to our left.
+  while (seg > 0 && seg_counts_[seg - 1] == 0) {
+    --seg;
+    seg_mins_[seg] = m;
+  }
+}
+
+Gpma::Locator Gpma::Locate(uint64_t key) const {
+  // Segment index: last segment whose min <= key.  The mins array is
+  // monotone (empty segments inherit their successor's min, kEmptyKey =
+  // +inf at the tail), so this is a plain binary search; ties resolve to
+  // the later — non-empty — segment.
+  size_t n = NumSegments();
+  size_t lo = 0, hi = n;  // first segment with min > key
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (seg_mins_[mid] == kEmptyKey || seg_mins_[mid] > key) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  size_t seg = lo == 0 ? 0 : lo - 1;
+  // Position within the segment.
+  size_t cnt = seg_counts_[seg];
+  size_t a = 0, b = cnt;
+  while (a < b) {
+    size_t mid = (a + b) / 2;
+    if (KeyAt(seg, mid) < key) {
+      a = mid + 1;
+    } else {
+      b = mid;
+    }
+  }
+  bool found = a < cnt && KeyAt(seg, a) == key;
+  return Locator{seg, a, found};
+}
+
+void Gpma::InsertAt(const Locator& loc, uint64_t key, Label val) {
+  size_t cnt = seg_counts_[loc.segment];
+  GAMMA_CHECK(cnt < seg_cap_);
+  for (size_t i = cnt; i > loc.offset; --i) {
+    KeyAt(loc.segment, i) = KeyAt(loc.segment, i - 1);
+    ValAt(loc.segment, i) = ValAt(loc.segment, i - 1);
+  }
+  KeyAt(loc.segment, loc.offset) = key;
+  ValAt(loc.segment, loc.offset) = val;
+  ++seg_counts_[loc.segment];
+  ++num_entries_;
+  if (loc.offset == 0) FixMinsAround(loc.segment);
+}
+
+void Gpma::RemoveAt(const Locator& loc) {
+  size_t cnt = seg_counts_[loc.segment];
+  GAMMA_CHECK(loc.found && loc.offset < cnt);
+  for (size_t i = loc.offset; i + 1 < cnt; ++i) {
+    KeyAt(loc.segment, i) = KeyAt(loc.segment, i + 1);
+    ValAt(loc.segment, i) = ValAt(loc.segment, i + 1);
+  }
+  KeyAt(loc.segment, cnt - 1) = kEmptyKey;
+  ValAt(loc.segment, cnt - 1) = kNoLabel;
+  --seg_counts_[loc.segment];
+  --num_entries_;
+  FixMinsAround(loc.segment);
+}
+
+void Gpma::RedistributeWindow(size_t first, size_t count) {
+  // Gather live entries of the window in order.
+  std::vector<uint64_t> keys;
+  std::vector<Label> vals;
+  keys.reserve(count * seg_cap_);
+  vals.reserve(count * seg_cap_);
+  for (size_t s = first; s < first + count; ++s) {
+    for (size_t i = 0; i < seg_counts_[s]; ++i) {
+      keys.push_back(KeyAt(s, i));
+      vals.push_back(ValAt(s, i));
+    }
+  }
+  // Spread evenly.
+  size_t total = keys.size();
+  size_t base = total / count, extra = total % count;
+  size_t idx = 0;
+  for (size_t s = first; s < first + count; ++s) {
+    size_t take = base + ((s - first) < extra ? 1 : 0);
+    GAMMA_CHECK(take <= seg_cap_);
+    seg_counts_[s] = static_cast<uint32_t>(take);
+    for (size_t i = 0; i < seg_cap_; ++i) {
+      if (i < take) {
+        KeyAt(s, i) = keys[idx];
+        ValAt(s, i) = vals[idx];
+        ++idx;
+      } else {
+        KeyAt(s, i) = kEmptyKey;
+        ValAt(s, i) = kNoLabel;
+      }
+    }
+  }
+  RefreshSegMins();
+}
+
+void Gpma::Resize(size_t new_num_segments) {
+  GAMMA_CHECK(new_num_segments >= 1 &&
+              std::has_single_bit(new_num_segments));
+  std::vector<uint64_t> keys;
+  std::vector<Label> vals;
+  keys.reserve(num_entries_);
+  vals.reserve(num_entries_);
+  size_t n = NumSegments();
+  for (size_t s = 0; s < n; ++s) {
+    for (size_t i = 0; i < seg_counts_[s]; ++i) {
+      keys.push_back(KeyAt(s, i));
+      vals.push_back(ValAt(s, i));
+    }
+  }
+  GAMMA_CHECK(keys.size() <= new_num_segments * seg_cap_);
+  seg_keys_.assign(new_num_segments * seg_cap_, kEmptyKey);
+  seg_vals_.assign(new_num_segments * seg_cap_, kNoLabel);
+  seg_counts_.assign(new_num_segments, 0);
+  seg_mins_.assign(new_num_segments, kEmptyKey);
+  // Temporarily place everything in order, then spread evenly.
+  size_t idx = 0;
+  for (size_t s = 0; s < new_num_segments && idx < keys.size(); ++s) {
+    size_t take = std::min<size_t>(seg_cap_, keys.size() - idx);
+    seg_counts_[s] = static_cast<uint32_t>(take);
+    for (size_t i = 0; i < take; ++i) {
+      KeyAt(s, i) = keys[idx];
+      ValAt(s, i) = vals[idx];
+      ++idx;
+    }
+  }
+  RedistributeWindow(0, new_num_segments);
+}
+
+void Gpma::RebalanceForInsert(size_t seg, size_t incoming,
+                              UpdatePlan* plan) {
+  // Find the smallest window (seg's ancestors) whose density after the
+  // incoming entries respects the level threshold; redistribute it.
+  size_t n = NumSegments();
+  uint32_t level = 0;
+  size_t win = 1;
+  while (true) {
+    size_t first = (seg / win) * win;
+    size_t count = std::min(win, n - first);
+    size_t live = 0;
+    for (size_t s = first; s < first + count; ++s) live += seg_counts_[s];
+    double density = static_cast<double>(live + incoming) /
+                     static_cast<double>(count * seg_cap_);
+    bool leaf_fits =
+        live + incoming <= count * seg_cap_;  // physical capacity
+    // Even redistribution leaves ceil(live/count) entries per leaf; the
+    // target leaf must still absorb at least one incoming entry (with
+    // tiny segments the density threshold alone can round up to "full").
+    size_t per_leaf = (live + count - 1) / count;
+    bool leaf_room = per_leaf + 1 <= seg_cap_;
+    if (leaf_fits && leaf_room && density <= UpperDensity(level)) {
+      if (count > 1) {
+        RedistributeWindow(first, count);
+        if (plan) {
+          plan->AddOp(SegmentOp{
+              live, static_cast<uint32_t>(count),
+              static_cast<uint32_t>(incoming), 0,
+              count * seg_cap_ <= 32 ? SegmentStrategy::kWarp
+              : count * seg_cap_ * 12 <= 48 * 1024
+                  ? SegmentStrategy::kBlock
+                  : SegmentStrategy::kDevice});
+        }
+      }
+      return;
+    }
+    if (win >= n) break;
+    win *= 2;
+    ++level;
+  }
+  // Even the root window is too dense: grow the array and retry.
+  size_t new_segments = std::max<size_t>(2, NumSegments() * 2);
+  size_t moved = num_entries_;
+  Resize(new_segments);
+  if (plan) {
+    ++plan->resizes;
+    plan->resized_entries += moved;
+  }
+}
+
+void Gpma::RebalanceForDelete(size_t seg, UpdatePlan* plan) {
+  size_t n = NumSegments();
+  if (n == 1) return;
+  double leaf_density = static_cast<double>(seg_counts_[seg]) /
+                        static_cast<double>(seg_cap_);
+  if (leaf_density >= LowerDensity(0)) return;
+  uint32_t level = 0;
+  size_t win = 1;
+  while (win < n) {
+    win *= 2;
+    ++level;
+    size_t first = (seg / win) * win;
+    size_t count = std::min(win, n - first);
+    size_t live = 0;
+    for (size_t s = first; s < first + count; ++s) live += seg_counts_[s];
+    double density = static_cast<double>(live) /
+                     static_cast<double>(count * seg_cap_);
+    if (density >= LowerDensity(level)) {
+      RedistributeWindow(first, count);
+      if (plan) {
+        plan->AddOp(SegmentOp{live, static_cast<uint32_t>(count), 0, 1,
+                              count * seg_cap_ <= 32
+                                  ? SegmentStrategy::kWarp
+                              : count * seg_cap_ * 12 <= 48 * 1024
+                                  ? SegmentStrategy::kBlock
+                                  : SegmentStrategy::kDevice});
+      }
+      return;
+    }
+  }
+  // Whole structure sparse: shrink (keep at least one segment).
+  double total_density = Occupancy();
+  if (NumSegments() > 1 && total_density < kRootLower / 2) {
+    size_t moved = num_entries_;
+    Resize(std::max<size_t>(1, NumSegments() / 2));
+    if (plan) {
+      ++plan->resizes;
+      plan->resized_entries += moved;
+    }
+  }
+}
+
+bool Gpma::InsertEdge(VertexId u, VertexId v, Label elabel) {
+  uint64_t k1 = PackEdge(u, v), k2 = PackEdge(v, u);
+  if (Locate(k1).found) return false;
+  for (uint64_t key : {k1, k2}) {
+    Locator loc = Locate(key);
+    if (seg_counts_[loc.segment] >= seg_cap_ ||
+        static_cast<double>(seg_counts_[loc.segment] + 1) /
+                static_cast<double>(seg_cap_) >
+            kLeafUpper) {
+      RebalanceForInsert(loc.segment, 1, nullptr);
+      loc = Locate(key);
+    }
+    InsertAt(loc, key, elabel);
+  }
+  return true;
+}
+
+bool Gpma::RemoveEdge(VertexId u, VertexId v) {
+  uint64_t k1 = PackEdge(u, v), k2 = PackEdge(v, u);
+  Locator l1 = Locate(k1);
+  if (!l1.found) return false;
+  RemoveAt(l1);
+  Locator l2 = Locate(k2);
+  GAMMA_CHECK(l2.found);
+  RemoveAt(l2);
+  RebalanceForDelete(l2.segment, nullptr);
+  return true;
+}
+
+void Gpma::BuildFrom(const LabeledGraph& g) {
+  // Bulk load: gather all directed entries sorted, size the array for
+  // ~70% occupancy, spread evenly.
+  std::vector<uint64_t> keys;
+  std::vector<Label> vals;
+  keys.reserve(2 * g.NumEdges());
+  vals.reserve(2 * g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      keys.push_back(PackEdge(v, nb.v));
+      vals.push_back(nb.elabel);
+    }
+  }
+  // keys are produced in (src asc, dst asc) order already.
+  size_t need = keys.size() == 0
+                    ? 1
+                    : std::bit_ceil((keys.size() * 10 / 7) / seg_cap_ + 1);
+  seg_keys_.assign(need * seg_cap_, kEmptyKey);
+  seg_vals_.assign(need * seg_cap_, kNoLabel);
+  seg_counts_.assign(need, 0);
+  seg_mins_.assign(need, kEmptyKey);
+  num_entries_ = keys.size();
+  size_t idx = 0;
+  for (size_t s = 0; s < need && idx < keys.size(); ++s) {
+    size_t take = std::min<size_t>(seg_cap_, keys.size() - idx);
+    seg_counts_[s] = static_cast<uint32_t>(take);
+    for (size_t i = 0; i < take; ++i) {
+      KeyAt(s, i) = keys[idx];
+      ValAt(s, i) = vals[idx];
+      ++idx;
+    }
+  }
+  RedistributeWindow(0, need);
+}
+
+UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
+  UpdatePlan plan;
+  plan.tree_height = TreeHeight();
+
+  // Deletions first (ApplyBatch(LabeledGraph) convention).
+  for (const UpdateOp& op : batch) {
+    if (op.is_insert) continue;
+    plan.locate_searches += 2;
+    uint64_t k1 = PackEdge(op.u, op.v), k2 = PackEdge(op.v, op.u);
+    Locator l1 = Locate(k1);
+    if (!l1.found) continue;
+    RemoveAt(l1);
+    Locator l2 = Locate(k2);
+    GAMMA_CHECK(l2.found);
+    RemoveAt(l2);
+    RebalanceForDelete(l2.segment, &plan);
+  }
+
+  // Insertions, grouped per leaf segment the way the device kernel
+  // groups edges that landed in the same segment.
+  std::vector<std::pair<uint64_t, Label>> entries;
+  entries.reserve(batch.size() * 2);
+  for (const UpdateOp& op : batch) {
+    if (!op.is_insert) continue;
+    entries.emplace_back(PackEdge(op.u, op.v), op.elabel);
+    entries.emplace_back(PackEdge(op.v, op.u), op.elabel);
+  }
+  std::sort(entries.begin(), entries.end());
+  // GPMA assigns one thread per updated (directed) edge for the locate
+  // step, regardless of subsequent grouping.
+  plan.locate_searches += entries.size();
+  size_t i = 0;
+  while (i < entries.size()) {
+    Locator loc = Locate(entries[i].first);
+    if (loc.found) {  // duplicate insert; skip
+      ++i;
+      continue;
+    }
+    // Count how many consecutive sorted entries fall into this segment.
+    size_t seg = loc.segment;
+    size_t j = i;
+    uint64_t seg_limit =
+        seg + 1 < NumSegments() && seg_mins_[seg + 1] != kEmptyKey
+            ? seg_mins_[seg + 1]
+            : kEmptyKey;
+    while (j < entries.size() && entries[j].first < seg_limit) ++j;
+    size_t group = j - i;
+    uint64_t live = seg_counts_[seg];
+    // Materialize if the leaf absorbs the group within thresholds; else
+    // rebalance first (which may grow the array and move entries).
+    if (live + group > seg_cap_ ||
+        static_cast<double>(live + group) /
+                static_cast<double>(seg_cap_) >
+            kLeafUpper) {
+      RebalanceForInsert(seg, group, &plan);
+      // Segment boundaries moved; re-locate and re-group next round.
+      Locator fresh = Locate(entries[i].first);
+      if (!fresh.found) InsertAt(fresh, entries[i].first, entries[i].second);
+      plan.AddOp(SegmentOp{seg_counts_[fresh.segment], 1, 1, 0,
+                           SegmentStrategy::kWarp});
+      ++i;
+      continue;
+    }
+    for (size_t k = i; k < j; ++k) {
+      Locator l = Locate(entries[k].first);
+      if (!l.found) InsertAt(l, entries[k].first, entries[k].second);
+    }
+    plan.AddOp(SegmentOp{
+        live + group, 1, static_cast<uint32_t>(group), 0,
+        group <= 32 ? SegmentStrategy::kWarp : SegmentStrategy::kBlock});
+    i = j;
+  }
+  return plan;
+}
+
+bool Gpma::HasEdge(VertexId u, VertexId v) const {
+  return Locate(PackEdge(u, v)).found;
+}
+
+Label Gpma::EdgeLabel(VertexId u, VertexId v) const {
+  Locator loc = Locate(PackEdge(u, v));
+  if (!loc.found) return kNoLabel;
+  return ValAt(loc.segment, loc.offset);
+}
+
+bool Gpma::FindEdge(VertexId u, VertexId v, Label* elabel) const {
+  Locator loc = Locate(PackEdge(u, v));
+  if (!loc.found) return false;
+  *elabel = ValAt(loc.segment, loc.offset);
+  return true;
+}
+
+void Gpma::NeighborsInto(VertexId v, std::vector<Neighbor>* out) const {
+  out->clear();
+  uint64_t lo = PackEdge(v, 0);
+  Locator loc = Locate(lo);
+  size_t seg = loc.segment, off = loc.offset;
+  size_t n = NumSegments();
+  while (seg < n) {
+    size_t cnt = seg_counts_[seg];
+    for (; off < cnt; ++off) {
+      uint64_t key = KeyAt(seg, off);
+      if (EdgeSrc(key) != v) {
+        if (key > lo) return;  // past v's range
+        continue;              // still before (possible when loc.offset==cnt)
+      }
+      out->push_back(Neighbor{EdgeDst(key), ValAt(seg, off)});
+    }
+    ++seg;
+    off = 0;
+    if (seg < n && seg_mins_[seg] != kEmptyKey &&
+        EdgeSrc(seg_mins_[seg]) > v) {
+      return;
+    }
+  }
+}
+
+std::vector<Neighbor> Gpma::NeighborsOf(VertexId v) const {
+  std::vector<Neighbor> out;
+  NeighborsInto(v, &out);
+  return out;
+}
+
+size_t Gpma::Degree(VertexId v) const {
+  std::vector<Neighbor> tmp;
+  NeighborsInto(v, &tmp);
+  return tmp.size();
+}
+
+void Gpma::CheckInvariants() const {
+  size_t n = NumSegments();
+  GAMMA_CHECK(seg_keys_.size() == n * seg_cap_);
+  GAMMA_CHECK(seg_counts_.size() == n);
+  GAMMA_CHECK(seg_mins_.size() == n);
+  size_t live = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  uint64_t expected_fill = kEmptyKey;
+  for (size_t s = n; s-- > 0;) {
+    if (seg_counts_[s]) expected_fill = KeyAt(s, 0);
+    GAMMA_CHECK(seg_mins_[s] == expected_fill);
+  }
+  for (size_t s = 0; s < n; ++s) {
+    size_t cnt = seg_counts_[s];
+    GAMMA_CHECK(cnt <= seg_cap_);
+    live += cnt;
+    for (size_t i = 0; i < seg_cap_; ++i) {
+      uint64_t key = KeyAt(s, i);
+      if (i < cnt) {
+        GAMMA_CHECK(key != kEmptyKey);
+        if (!first) GAMMA_CHECK(prev < key);
+        prev = key;
+        first = false;
+      } else {
+        GAMMA_CHECK(key == kEmptyKey);
+      }
+    }
+  }
+  GAMMA_CHECK(live == num_entries_);
+}
+
+}  // namespace bdsm

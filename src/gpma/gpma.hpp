@@ -1,0 +1,144 @@
+/// \file gpma.hpp
+/// GPMA: packed-memory-array dynamic graph container (Sha et al.,
+/// PVLDB'17), the device-resident graph structure GAMMA adopts (§V-C).
+///
+/// Edges are 64-bit keys (src << 32 | dst), both directions stored, kept
+/// globally sorted across an array of fixed-capacity *segments* (the PMA
+/// leaves).  Batch updates locate their leaf by binary search over the
+/// segment index — the tree's top layers are the part GAMMA caches in
+/// shared memory — then materialize in-segment when the density
+/// thresholds allow, else trigger a bottom-up window rebalance, growing
+/// the array when even the root window is too dense.
+///
+/// This implementation uses the packed-segment PMA variant: entries are
+/// compacted at the front of each segment rather than interleaved with
+/// gaps.  Same asymptotics and identical segment/window/rebalance
+/// behaviour (which is what the update cost model measures); far simpler
+/// indexing.
+///
+/// ApplyBatch additionally returns an UpdatePlan — the per-segment work
+/// description from which gpma_kernel.hpp builds the simulated device
+/// update kernel (warp/block/device strategies, cooperative groups,
+/// cached top layers).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gpma/update_plan.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/update_stream.hpp"
+#include "util/common.hpp"
+
+namespace bdsm {
+
+class Gpma {
+ public:
+  /// `segment_capacity` must be a power of two (default 32 = one warp).
+  explicit Gpma(uint32_t segment_capacity = 32);
+
+  /// Bulk-loads the edges of g (both directions per undirected edge).
+  void BuildFrom(const LabeledGraph& g);
+
+  /// Applies a sanitized batch: deletions first, then insertions (the
+  /// convention ApplyBatch(LabeledGraph) also follows).  Returns the
+  /// plan describing the segment-level work done.
+  UpdatePlan ApplyBatch(const UpdateBatch& batch);
+
+  /// Single-edge operations (used by tests and the bulk path).  Return
+  /// false when the edge was already present / absent respectively.
+  bool InsertEdge(VertexId u, VertexId v, Label elabel);
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  bool HasEdge(VertexId u, VertexId v) const;
+  Label EdgeLabel(VertexId u, VertexId v) const;
+  /// Existence test that also yields the label (disambiguates absent
+  /// edges from present-but-unlabeled ones).
+  bool FindEdge(VertexId u, VertexId v, Label* elabel) const;
+
+  /// Sorted destination/label pairs of v's adjacency.  Materializes a
+  /// copy; the matching kernels read through NeighborsInto to reuse a
+  /// scratch buffer.
+  std::vector<Neighbor> NeighborsOf(VertexId v) const;
+  void NeighborsInto(VertexId v, std::vector<Neighbor>* out) const;
+  size_t Degree(VertexId v) const;
+
+  /// Directed entry count = 2 * number of undirected edges.
+  size_t NumEntries() const { return num_entries_; }
+  size_t NumEdges() const { return num_entries_ / 2; }
+
+  size_t NumSegments() const { return seg_keys_.size() / seg_cap_; }
+  uint32_t segment_capacity() const { return seg_cap_; }
+  /// PMA tree height = log2(#segments) + 1 (the "layers" of §V-C).
+  uint32_t TreeHeight() const;
+  double Occupancy() const {
+    size_t cap = seg_keys_.size();
+    return cap == 0 ? 0.0
+                    : static_cast<double>(num_entries_) /
+                          static_cast<double>(cap);
+  }
+
+  /// Internal consistency check: global sortedness, counts, thresholds.
+  /// Tests call this after every mutation burst.
+  void CheckInvariants() const;
+
+ private:
+  struct Locator {
+    size_t segment;
+    size_t offset;  ///< position within segment (insertion point)
+    bool found;
+  };
+
+  size_t SegCount(size_t seg) const { return seg_counts_[seg]; }
+  uint64_t& KeyAt(size_t seg, size_t off) {
+    return seg_keys_[seg * seg_cap_ + off];
+  }
+  uint64_t KeyAt(size_t seg, size_t off) const {
+    return seg_keys_[seg * seg_cap_ + off];
+  }
+  Label& ValAt(size_t seg, size_t off) {
+    return seg_vals_[seg * seg_cap_ + off];
+  }
+  Label ValAt(size_t seg, size_t off) const {
+    return seg_vals_[seg * seg_cap_ + off];
+  }
+
+  /// Binary search for `key`: segment via the segment-min index, then
+  /// position within the segment.
+  Locator Locate(uint64_t key) const;
+
+  /// Inserts key at locator position, assuming the leaf has room.
+  void InsertAt(const Locator& loc, uint64_t key, Label val);
+  /// Removes the entry at locator position.
+  void RemoveAt(const Locator& loc);
+
+  /// Bottom-up rebalance around `seg` ensuring the leaf can take
+  /// `incoming` more entries.  Records window size in `plan` when given.
+  void RebalanceForInsert(size_t seg, size_t incoming, UpdatePlan* plan);
+  /// Counterpart after deletions (merges sparse windows).
+  void RebalanceForDelete(size_t seg, UpdatePlan* plan);
+
+  /// Evenly redistributes the entries of segments [first, first+count).
+  void RedistributeWindow(size_t first, size_t count);
+  /// Doubles (or halves) the segment array, then redistributes all.
+  void Resize(size_t new_num_segments);
+
+  /// Density thresholds for a window at `level` (0 = leaf).
+  double UpperDensity(uint32_t level) const;
+  double LowerDensity(uint32_t level) const;
+
+  void RefreshSegMins();
+  /// Recomputes seg_mins_[seg] (fill semantics: empty segments inherit
+  /// their successor's min) and back-propagates across empty runs.
+  void FixMinsAround(size_t seg);
+
+  uint32_t seg_cap_;
+  std::vector<uint64_t> seg_keys_;   ///< num_segments * seg_cap_ slots
+  std::vector<Label> seg_vals_;
+  std::vector<uint32_t> seg_counts_; ///< live entries per segment
+  std::vector<uint64_t> seg_mins_;   ///< first key per segment (index)
+  size_t num_entries_ = 0;
+};
+
+}  // namespace bdsm

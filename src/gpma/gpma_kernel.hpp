@@ -1,0 +1,37 @@
+/// \file gpma_kernel.hpp
+/// Simulated device kernel for GPMA batch updates.
+///
+/// The host-side Gpma::ApplyBatch does the data-structure work and emits
+/// an UpdatePlan; this module turns that plan into warp tasks so the
+/// Device can price the update the way the paper's GPU executes it:
+/// * one warp task per updated segment group (warp strategy), with the
+///   cooperative-group subdivision of §V-C for sub-warp segments;
+/// * block/device strategies for larger rebalance windows;
+/// * per-update binary "locate" searches whose top `cached_layers` tree
+///   layers hit shared memory instead of global (§V-C optimization).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gpma/update_plan.hpp"
+#include "gpusim/device.hpp"
+
+namespace bdsm {
+
+struct GpmaKernelOptions {
+  bool use_cooperative_groups = true;
+  /// Top PMA-tree layers cached in block shared memory for the locate
+  /// step (0 disables the optimization).
+  uint32_t cached_layers = 3;
+};
+
+/// Builds the warp tasks pricing `plan`.
+std::vector<std::unique_ptr<WarpTask>> MakeGpmaUpdateTasks(
+    const UpdatePlan& plan, const GpmaKernelOptions& options);
+
+/// Convenience: launch the priced kernel on `device` and return stats.
+DeviceStats SimulateGpmaUpdate(Device& device, const UpdatePlan& plan,
+                               const GpmaKernelOptions& options = {});
+
+}  // namespace bdsm

@@ -1,0 +1,83 @@
+/// \file rebuild_container.hpp
+/// The strawman GPMA replaces: an immutable CSR-style device graph that
+/// is *rebuilt from scratch* on every batch.  §V-C motivates adopting
+/// GPMA over exactly this pattern ("efficient application of updates to
+/// the data graph becomes paramount"); the container exists so the
+/// repository can measure that design choice (bench_ablation_container)
+/// rather than assert it.
+///
+/// Query-side interface mirrors Gpma so kernels could run on either.
+#pragma once
+
+#include <vector>
+
+#include "gpma/update_plan.hpp"
+#include "graph/csr.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm {
+
+class RebuildContainer {
+ public:
+  RebuildContainer() = default;
+
+  void BuildFrom(const LabeledGraph& g) {
+    mirror_ = g;
+    csr_ = CsrGraph(mirror_);
+  }
+
+  /// Applies the batch by mutating the host mirror and rebuilding the
+  /// CSR.  The returned plan prices the rebuild: every directed entry
+  /// moves once, device-wide.
+  UpdatePlan ApplyBatch(const UpdateBatch& batch) {
+    ApplyBatchOps(batch);
+    csr_ = CsrGraph(mirror_);
+    UpdatePlan plan;
+    plan.tree_height = 1;
+    // Each update still locates its position during the merge.
+    plan.locate_searches = 2 * batch.size();
+    ++plan.resizes;
+    plan.resized_entries = 2 * mirror_.NumEdges();
+    plan.AddOp(SegmentOp{2 * mirror_.NumEdges(), 1, 0, 0,
+                         SegmentStrategy::kDevice});
+    return plan;
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const { return csr_.HasEdge(u, v); }
+  Label EdgeLabel(VertexId u, VertexId v) const {
+    return csr_.EdgeLabel(u, v);
+  }
+  bool FindEdge(VertexId u, VertexId v, Label* elabel) const {
+    if (!csr_.HasEdge(u, v)) return false;
+    *elabel = csr_.EdgeLabel(u, v);
+    return true;
+  }
+
+  void NeighborsInto(VertexId v, std::vector<Neighbor>* out) const {
+    out->clear();
+    auto nbrs = csr_.Neighbors(v);
+    auto labels = csr_.NeighborEdgeLabels(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out->push_back(Neighbor{nbrs[i], labels[i]});
+    }
+  }
+
+  size_t NumEdges() const { return csr_.NumEdges(); }
+  size_t Degree(VertexId v) const { return csr_.Degree(v); }
+
+ private:
+  void ApplyBatchOps(const UpdateBatch& batch) {
+    for (const UpdateOp& op : batch) {
+      if (!op.is_insert) mirror_.RemoveEdge(op.u, op.v);
+    }
+    for (const UpdateOp& op : batch) {
+      if (op.is_insert) mirror_.InsertEdge(op.u, op.v, op.elabel);
+    }
+  }
+
+  LabeledGraph mirror_;
+  CsrGraph csr_;
+};
+
+}  // namespace bdsm

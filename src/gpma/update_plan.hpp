@@ -1,0 +1,34 @@
+/// \file update_plan.hpp
+/// Description of the segment-level work one GPMA batch update performed;
+/// consumed by gpma_kernel.hpp to build the simulated device kernel.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bdsm {
+
+/// GPMA picks its insert strategy by segment size (§V-C): warps for
+/// windows up to 32 entries, blocks for windows fitting shared memory,
+/// the whole device beyond that.
+enum class SegmentStrategy : uint8_t { kWarp, kBlock, kDevice };
+
+struct SegmentOp {
+  uint64_t window_entries;     ///< live entries involved
+  uint32_t window_segments;    ///< leaf segments in the window (1 = leaf)
+  uint32_t inserted;           ///< entries materialized here
+  uint32_t removed;
+  SegmentStrategy strategy;
+};
+
+struct UpdatePlan {
+  std::vector<SegmentOp> ops;
+  uint64_t locate_searches = 0;  ///< binary searches over the tree
+  uint32_t tree_height = 0;      ///< layers per search at time of update
+  uint64_t resizes = 0;          ///< array grow/shrink events
+  uint64_t resized_entries = 0;  ///< entries moved by resizes
+
+  void AddOp(SegmentOp op) { ops.push_back(op); }
+};
+
+}  // namespace bdsm

@@ -1,0 +1,57 @@
+/// \file coop_groups.hpp
+/// Cooperative-group partitioning model (paper §V-C).
+///
+/// GPMA's stock insert path gives a whole warp to every segment; for
+/// segments smaller than 32 entries most lanes idle.  GAMMA partitions a
+/// warp into power-of-two thread groups sized to the segment so several
+/// small segments proceed in parallel.  This header computes that
+/// partition and its modeled cost; the GPMA kernels charge accordingly.
+#pragma once
+
+#include <cstdint>
+
+namespace bdsm {
+
+struct CoopGroupPartition {
+  uint32_t group_size;  ///< threads per group (power of two, <= lanes)
+  uint32_t num_groups;  ///< groups per warp = lanes / group_size
+};
+
+/// Smallest power of two >= x (x <= lanes), clamped to [1, lanes].
+inline uint32_t NextPow2Clamped(uint32_t x, uint32_t lanes) {
+  uint32_t p = 1;
+  while (p < x && p < lanes) p <<= 1;
+  return p;
+}
+
+/// Partition a warp for segments of `segment_entries` entries.
+inline CoopGroupPartition PartitionForSegment(uint32_t segment_entries,
+                                              uint32_t lanes = 32) {
+  uint32_t gs = NextPow2Clamped(segment_entries == 0 ? 1 : segment_entries,
+                                lanes);
+  return CoopGroupPartition{gs, lanes / gs};
+}
+
+/// Warp-steps needed to process `num_segments` segments of
+/// `segment_entries` entries each, with (paper optimization) or without
+/// cooperative-group partitioning.  Without CG every segment costs at
+/// least one full warp pass; with CG, `num_groups` segments are handled
+/// per pass.
+inline uint64_t SegmentPassSteps(uint64_t num_segments,
+                                 uint32_t segment_entries, bool use_cg,
+                                 uint32_t lanes = 32) {
+  if (num_segments == 0) return 0;
+  if (!use_cg) {
+    uint64_t per_seg = (segment_entries + lanes - 1) / lanes;
+    if (per_seg == 0) per_seg = 1;
+    return num_segments * per_seg;
+  }
+  CoopGroupPartition part = PartitionForSegment(segment_entries, lanes);
+  uint64_t passes = (num_segments + part.num_groups - 1) / part.num_groups;
+  uint64_t per_pass = (segment_entries + part.group_size - 1) /
+                      (part.group_size ? part.group_size : 1);
+  if (per_pass == 0) per_pass = 1;
+  return passes * per_pass;
+}
+
+}  // namespace bdsm

@@ -1,0 +1,55 @@
+/// \file shared_memory.hpp
+/// Per-block shared-memory arena of the simulated device.
+///
+/// Kernels obtain typed slices of the block's shared memory exactly like
+/// `__shared__` arrays in CUDA; allocation beyond the configured budget
+/// aborts, which is the moral equivalent of a CUDA compile-time error.
+/// The work-stealing board (§V-A) and GPMA's cached tree layers (§V-C)
+/// live here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bdsm {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(size_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Allocates `count` default-initialized Ts; aborts when the block's
+  /// budget is exhausted (kernels must size their shared state to fit).
+  template <typename T>
+  T* Alloc(size_t count) {
+    size_t bytes = count * sizeof(T);
+    // Bump-align to 8 so mixed-type allocations stay aligned.
+    used_ = (used_ + 7) & ~size_t{7};
+    GAMMA_CHECK_MSG(used_ + bytes <= capacity_,
+                    "shared memory budget exceeded");
+    arenas_.emplace_back(bytes);
+    T* p = reinterpret_cast<T*>(arenas_.back().data());
+    for (size_t i = 0; i < count; ++i) new (p + i) T{};
+    used_ += bytes;
+    return p;
+  }
+
+  size_t used() const { return used_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Frees everything (block re-launch between kernels).
+  void Reset() {
+    arenas_.clear();
+    used_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  std::vector<std::vector<std::byte>> arenas_;
+};
+
+}  // namespace bdsm

@@ -1,0 +1,129 @@
+/// \file warp_task.hpp
+/// The unit of work a warp executes, and the context through which it
+/// charges simulated time.
+///
+/// A WarpTask is a *steppable state machine*: Step() advances a bounded
+/// amount of work (one DFS candidate expansion, one GPMA segment merge,
+/// ...) and returns whether work remains.  Writing kernels this way is
+/// what hand-written warp-centric CUDA looks like after lowering (a loop
+/// over an explicit stack), and it is what lets the block scheduler
+/// interleave warps deterministically — the property work stealing,
+/// utilization measurement, and the unit tests all rely on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "gpusim/device_config.hpp"
+#include "gpusim/shared_memory.hpp"
+
+namespace bdsm {
+
+class DeviceAllocator;
+
+/// Handed to WarpTask::Step; the only way kernels interact with the
+/// simulated machine.
+class WarpContext {
+ public:
+  WarpContext(const DeviceConfig& cfg, SharedMemory* shared,
+              DeviceAllocator* allocator, uint32_t block_id,
+              uint32_t warp_id)
+      : cfg_(cfg),
+        shared_(shared),
+        allocator_(allocator),
+        block_id_(block_id),
+        warp_id_(warp_id) {}
+
+  uint32_t block_id() const { return block_id_; }
+  uint32_t warp_id() const { return warp_id_; }
+  uint32_t lanes() const { return cfg_.lanes_per_warp; }
+  const DeviceConfig& config() const { return cfg_; }
+
+  SharedMemory& shared() { return *shared_; }
+  DeviceAllocator& allocator() { return *allocator_; }
+
+  /// `ops` scalar operations executed cooperatively by the warp's lanes
+  /// (SIMT: 32 at a time).
+  void ChargeCompute(uint64_t ops) {
+    uint64_t steps = (ops + lanes() - 1) / lanes();
+    ticks_ += steps * cfg_.ticks_per_compute_step;
+    compute_steps_ += steps;
+  }
+
+  /// Global-memory read/write of `words` 4-byte words.  Coalesced access
+  /// moves 32 words per transaction (one 128 B segment); divergent access
+  /// needs a transaction per word — the 32x penalty the paper's
+  /// warp-centric layout exists to avoid.
+  void ChargeGlobal(uint64_t words, bool coalesced) {
+    uint64_t transactions = coalesced ? (words + 31) / 32 : words;
+    ticks_ += transactions * cfg_.ticks_per_global_transaction;
+    global_transactions_ += transactions;
+    (coalesced ? coalesced_words_ : uncoalesced_words_) += words;
+  }
+
+  /// Shared-memory access of `words` words (bank-conflict-free model).
+  void ChargeShared(uint64_t words) {
+    uint64_t accesses = (words + lanes() - 1) / lanes();
+    ticks_ += accesses * cfg_.ticks_per_shared_access;
+    shared_accesses_ += accesses;
+  }
+
+  /// Host<->device transfer (spills); billed to the whole kernel, not a
+  /// single warp, but accounted here for simplicity of attribution.
+  void ChargeTransfer(uint64_t bytes) {
+    uint64_t t = (bytes + 1023) / 1024 * cfg_.ticks_per_kib_transfer;
+    ticks_ += t;
+    transfer_ticks_ += t;
+    transfer_bytes_ += bytes;
+  }
+
+  /// Ticks accumulated by the current Step() call; drained by scheduler.
+  uint64_t DrainTicks() {
+    uint64_t t = ticks_;
+    ticks_ = 0;
+    return t;
+  }
+
+  // Raw counter access for the scheduler's stats roll-up.
+  uint64_t global_transactions() const { return global_transactions_; }
+  uint64_t coalesced_words() const { return coalesced_words_; }
+  uint64_t uncoalesced_words() const { return uncoalesced_words_; }
+  uint64_t shared_accesses() const { return shared_accesses_; }
+  uint64_t compute_steps() const { return compute_steps_; }
+  uint64_t transfer_bytes() const { return transfer_bytes_; }
+  uint64_t transfer_ticks() const { return transfer_ticks_; }
+
+ private:
+  const DeviceConfig& cfg_;
+  SharedMemory* shared_;
+  DeviceAllocator* allocator_;
+  uint32_t block_id_;
+  uint32_t warp_id_;
+
+  uint64_t ticks_ = 0;
+  uint64_t global_transactions_ = 0;
+  uint64_t coalesced_words_ = 0;
+  uint64_t uncoalesced_words_ = 0;
+  uint64_t shared_accesses_ = 0;
+  uint64_t compute_steps_ = 0;
+  uint64_t transfer_bytes_ = 0;
+  uint64_t transfer_ticks_ = 0;
+};
+
+/// One warp's unit of work (for GAMMA: the matches of one updated edge).
+class WarpTask {
+ public:
+  virtual ~WarpTask() = default;
+
+  /// Advances a bounded amount of work.  Returns true while work remains.
+  virtual bool Step(WarpContext& ctx) = 0;
+
+  /// Work-stealing support.  EstimateRemaining is the warp's advertised
+  /// workload on the shared-memory board (the paper's per-layer csize/p
+  /// scan); StealHalf splits off roughly half the remaining work into a
+  /// new task, or returns nullptr when the task is not splittable.
+  virtual uint64_t EstimateRemaining() const { return 0; }
+  virtual std::unique_ptr<WarpTask> StealHalf() { return nullptr; }
+};
+
+}  // namespace bdsm

@@ -1,0 +1,38 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace bdsm {
+
+CsrGraph::CsrGraph(const LabeledGraph& g) {
+  const size_t n = g.NumVertices();
+  vlabels_ = g.vertex_labels();
+  offsets_.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    offsets_[v + 1] = offsets_[v] + g.Degree(v);
+  }
+  nbrs_.resize(offsets_[n]);
+  elabels_.resize(offsets_[n]);
+  for (VertexId v = 0; v < n; ++v) {
+    size_t off = offsets_[v];
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      nbrs_[off] = nb.v;
+      elabels_[off] = nb.elabel;
+      ++off;
+    }
+  }
+}
+
+bool CsrGraph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Label CsrGraph::EdgeLabel(VertexId u, VertexId v) const {
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return kNoLabel;
+  return elabels_[offsets_[u] + static_cast<size_t>(it - nbrs.begin())];
+}
+
+}  // namespace bdsm

@@ -1,0 +1,48 @@
+/// \file csr.hpp
+/// Immutable compressed-sparse-row snapshot of a labeled graph.
+///
+/// The CPU baselines (src/baselines) scan adjacency heavily; a CSR
+/// snapshot gives them the flat, cache-friendly layout their original
+/// implementations use, keeping the CPU-vs-GPU comparison fair.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/labeled_graph.hpp"
+
+namespace bdsm {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Snapshots g.  O(|V| + |E|).
+  explicit CsrGraph(const LabeledGraph& g);
+
+  size_t NumVertices() const { return vlabels_.size(); }
+  size_t NumEdges() const { return nbrs_.size() / 2; }
+
+  Label VertexLabel(VertexId v) const { return vlabels_[v]; }
+  size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Sorted neighbor ids of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {nbrs_.data() + offsets_[v], nbrs_.data() + offsets_[v + 1]};
+  }
+  /// Edge labels aligned with Neighbors(v).
+  std::span<const Label> NeighborEdgeLabels(VertexId v) const {
+    return {elabels_.data() + offsets_[v], elabels_.data() + offsets_[v + 1]};
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+  Label EdgeLabel(VertexId u, VertexId v) const;
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<VertexId> nbrs_;
+  std::vector<Label> elabels_;
+  std::vector<Label> vlabels_;
+};
+
+}  // namespace bdsm

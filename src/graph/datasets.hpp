@@ -1,0 +1,47 @@
+/// \file datasets.hpp
+/// Registry of the six evaluation datasets (Table II of the paper) as
+/// scaled synthetic twins.
+///
+/// The originals (Github, Skitter, Amazon, LiveJournal, Netflow, LSBench)
+/// are public but unavailable offline; each twin preserves the *shape*
+/// parameters the paper's analysis depends on — label alphabet sizes,
+/// average degree, degree skew, and (for NF/LS) edge-label skew — at a
+/// size where every experiment completes in seconds on one CPU core.
+/// See DESIGN.md §2 for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/labeled_graph.hpp"
+
+namespace bdsm {
+
+/// Dataset identifiers in the paper's order.
+enum class DatasetId { kGithub, kSkitter, kAmazon, kLiveJournal,
+                       kNetflow, kLSBench };
+
+struct DatasetSpec {
+  DatasetId id;
+  const char* short_name;   ///< "GH", "ST", ...
+  const char* full_name;    ///< "Github", ...
+  size_t paper_vertices;    ///< |V| in Table II
+  size_t paper_edges;       ///< |E| in Table II
+  size_t vertex_labels;     ///< |Sigma_V|
+  size_t edge_labels;       ///< |Sigma_E|
+  double avg_degree;        ///< davg
+  size_t twin_vertices;     ///< scaled |V| used in this repo
+};
+
+/// All six dataset specs, paper order (GH, ST, AZ, LJ, NF, LS).
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Spec lookup by short name ("GH" ...); aborts on unknown name.
+const DatasetSpec& DatasetByName(const std::string& short_name);
+
+/// Instantiates the synthetic twin of a dataset.  Deterministic: the same
+/// id always yields the identical graph.
+LabeledGraph LoadDataset(DatasetId id);
+LabeledGraph LoadDataset(const DatasetSpec& spec);
+
+}  // namespace bdsm

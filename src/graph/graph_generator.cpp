@@ -1,0 +1,116 @@
+#include "graph/graph_generator.hpp"
+
+#include <algorithm>
+
+namespace bdsm {
+
+LabeledGraph GeneratePowerLawGraph(const GeneratorParams& params) {
+  Rng rng(params.seed);
+  const size_t n = params.num_vertices;
+  GAMMA_CHECK(n >= 2);
+
+  // Zipf-distributed vertex labels (rank 0 most common), shuffled over
+  // label ids so that label id is not correlated with frequency rank.
+  std::vector<Label> label_of_rank(params.vertex_labels);
+  for (size_t i = 0; i < label_of_rank.size(); ++i) {
+    label_of_rank[i] = static_cast<Label>(i);
+  }
+  for (size_t i = label_of_rank.size(); i > 1; --i) {
+    std::swap(label_of_rank[i - 1], label_of_rank[rng.Uniform(i)]);
+  }
+  ZipfSampler vlabel_zipf(params.vertex_labels,
+                          std::max(0.0, params.vertex_label_skew));
+  std::vector<Label> vlabels(n);
+  for (size_t v = 0; v < n; ++v) {
+    vlabels[v] = params.vertex_labels <= 1
+                     ? 0
+                     : label_of_rank[vlabel_zipf.Sample(rng)];
+  }
+  LabeledGraph g(std::move(vlabels));
+
+  const bool labeled_edges = params.edge_labels > 1;
+  ZipfSampler elabel_zipf(std::max<size_t>(params.edge_labels, 1),
+                          std::max(0.0, params.edge_label_skew));
+  auto sample_elabel = [&]() -> Label {
+    return labeled_edges ? static_cast<Label>(elabel_zipf.Sample(rng))
+                         : kNoLabel;
+  };
+
+  // Endpoint list doubles as the degree-proportional sampling urn.
+  std::vector<VertexId> urn;
+  urn.reserve(static_cast<size_t>(params.avg_degree) * n + 16);
+
+  // Seed with a small path so the urn is never empty.
+  g.InsertEdge(0, 1, sample_elabel());
+  urn.push_back(0);
+  urn.push_back(1);
+
+  const double edges_per_vertex = std::max(1.0, params.avg_degree / 2.0);
+  const double core_edges_per_vertex =
+      std::max(1.0, params.dense_core_avg_degree / 2.0);
+  for (VertexId v = 2; v < n; ++v) {
+    // Attach floor or ceil of edges_per_vertex edges, dithered so the
+    // expected total matches the target.
+    double target_rate = v < params.dense_core_vertices + 2
+                             ? core_edges_per_vertex
+                             : edges_per_vertex;
+    size_t m = static_cast<size_t>(target_rate);
+    if (rng.Chance(target_rate - static_cast<double>(m))) ++m;
+    m = std::max<size_t>(m, 1);
+    size_t added = 0, attempts = 0;
+    VertexId last_target = kInvalidVertex;
+    while (added < m && attempts++ < m * 16) {
+      VertexId target = urn[rng.PickIndex(urn)];
+      // Triadic closure: sometimes attach to a neighbor of the previous
+      // target, closing a triangle (clustered pockets).
+      if (last_target != kInvalidVertex &&
+          rng.Chance(params.triangle_prob)) {
+        auto nbrs = g.Neighbors(last_target);
+        if (!nbrs.empty()) target = nbrs[rng.Uniform(nbrs.size())].v;
+      }
+      if (target == v || g.HasEdge(v, target)) continue;
+      if (g.InsertEdge(v, target, sample_elabel())) {
+        urn.push_back(v);
+        urn.push_back(target);
+        ++added;
+        last_target = target;
+      }
+    }
+    if (added == 0) {
+      // Guarantee connectivity: fall back to a uniform existing vertex.
+      VertexId target = static_cast<VertexId>(rng.Uniform(v));
+      if (g.InsertEdge(v, target, sample_elabel())) {
+        urn.push_back(v);
+        urn.push_back(target);
+      }
+    }
+  }
+  return g;
+}
+
+LabeledGraph GenerateUniformGraph(size_t num_vertices, size_t num_edges,
+                                  size_t vertex_labels, size_t edge_labels,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Label> vlabels(num_vertices);
+  for (size_t v = 0; v < num_vertices; ++v) {
+    vlabels[v] = vertex_labels <= 1
+                     ? 0
+                     : static_cast<Label>(rng.Uniform(vertex_labels));
+  }
+  LabeledGraph g(std::move(vlabels));
+  const bool labeled_edges = edge_labels > 1;
+  size_t attempts = 0;
+  const size_t max_attempts = num_edges * 32 + 1024;
+  while (g.NumEdges() < num_edges && attempts++ < max_attempts) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(num_vertices));
+    VertexId b = static_cast<VertexId>(rng.Uniform(num_vertices));
+    if (a == b) continue;
+    Label el = labeled_edges ? static_cast<Label>(rng.Uniform(edge_labels))
+                             : kNoLabel;
+    g.InsertEdge(a, b, el);
+  }
+  return g;
+}
+
+}  // namespace bdsm

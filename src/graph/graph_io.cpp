@@ -1,0 +1,109 @@
+#include "graph/graph_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace bdsm {
+
+namespace {
+
+struct ParsedGraph {
+  std::vector<Label> vlabels;
+  struct E {
+    VertexId u, v;
+    Label el;
+  };
+  std::vector<E> edges;
+};
+
+ParsedGraph ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  GAMMA_CHECK_MSG(in.good(), path.c_str());
+  ParsedGraph out;
+  std::string line;
+  size_t declared_vertices = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    char tag;
+    ls >> tag;
+    if (tag == 't') {
+      size_t ne;
+      ls >> declared_vertices >> ne;
+      out.vlabels.assign(declared_vertices, 0);
+    } else if (tag == 'v') {
+      VertexId id;
+      Label lbl;
+      ls >> id >> lbl;
+      GAMMA_CHECK_MSG(id < out.vlabels.size(), "vertex id out of range");
+      out.vlabels[id] = lbl;
+    } else if (tag == 'e') {
+      VertexId u, v;
+      ls >> u >> v;
+      Label el;
+      if (ls >> el) {
+        out.edges.push_back({u, v, el});
+      } else {
+        out.edges.push_back({u, v, kNoLabel});
+      }
+    }
+  }
+  return out;
+}
+
+void WriteGraphFile(const std::vector<Label>& vlabels,
+                    const std::vector<QueryEdge>& edges,
+                    const std::string& path) {
+  std::ofstream outf(path);
+  GAMMA_CHECK_MSG(outf.good(), path.c_str());
+  outf << "t " << vlabels.size() << " " << edges.size() << "\n";
+  for (size_t v = 0; v < vlabels.size(); ++v) {
+    outf << "v " << v << " " << vlabels[v] << "\n";
+  }
+  for (const QueryEdge& e : edges) {
+    outf << "e " << e.u1 << " " << e.u2;
+    if (e.elabel != kNoLabel) outf << " " << e.elabel;
+    outf << "\n";
+  }
+  GAMMA_CHECK_MSG(outf.good(), "write failed");
+}
+
+}  // namespace
+
+void SaveGraph(const LabeledGraph& g, const std::string& path) {
+  std::vector<QueryEdge> edges;
+  edges.reserve(g.NumEdges());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (v < nb.v) edges.push_back(QueryEdge{v, nb.v, nb.elabel});
+    }
+  }
+  WriteGraphFile(g.vertex_labels(), edges, path);
+}
+
+LabeledGraph LoadGraph(const std::string& path) {
+  ParsedGraph p = ParseFile(path);
+  LabeledGraph g(std::move(p.vlabels));
+  for (const auto& e : p.edges) {
+    g.InsertEdge(e.u, e.v, e.el);
+  }
+  return g;
+}
+
+void SaveQuery(const QueryGraph& q, const std::string& path) {
+  WriteGraphFile(q.vertex_labels(), q.edges(), path);
+}
+
+QueryGraph LoadQuery(const std::string& path) {
+  ParsedGraph p = ParseFile(path);
+  QueryGraph q(std::move(p.vlabels));
+  for (const auto& e : p.edges) {
+    q.AddEdge(e.u, e.v, e.el);
+  }
+  return q;
+}
+
+}  // namespace bdsm

@@ -1,0 +1,29 @@
+/// \file graph_io.hpp
+/// Plain-text graph serialization in the format common to the CSM
+/// literature (and to the paper's baselines' repositories):
+///
+///   t <num_vertices> <num_edges>
+///   v <id> <label> [degree]        (degree optional, ignored on load)
+///   e <u> <v> [edge_label]
+///
+/// Lets users run GAMMA on their own graphs and lets tests round-trip.
+#pragma once
+
+#include <string>
+
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace bdsm {
+
+/// Writes g to `path`.  Aborts on I/O failure (research tool semantics).
+void SaveGraph(const LabeledGraph& g, const std::string& path);
+
+/// Reads a graph from `path`.  Aborts on parse failure.
+LabeledGraph LoadGraph(const std::string& path);
+
+/// Query graphs use the identical format.
+void SaveQuery(const QueryGraph& q, const std::string& path);
+QueryGraph LoadQuery(const std::string& path);
+
+}  // namespace bdsm

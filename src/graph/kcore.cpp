@@ -1,0 +1,65 @@
+#include "graph/kcore.hpp"
+
+#include <algorithm>
+
+namespace bdsm {
+
+std::vector<uint32_t> CoreNumbers(const LabeledGraph& g) {
+  const size_t n = g.NumVertices();
+  std::vector<uint32_t> degree(n), core(n, 0);
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(g.Degree(v));
+    max_deg = std::max(max_deg, static_cast<size_t>(degree[v]));
+  }
+
+  // Bucket sort vertices by degree (classic O(|V|+|E|) peeling layout).
+  std::vector<uint32_t> bucket_start(max_deg + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (size_t d = 1; d < bucket_start.size(); ++d) {
+    bucket_start[d] += bucket_start[d - 1];
+  }
+  std::vector<VertexId> order(n);
+  std::vector<uint32_t> pos(n);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      pos[v] = cursor[degree[v]]++;
+      order[pos[v]] = v;
+    }
+  }
+
+  std::vector<uint32_t> bin(bucket_start.begin(), bucket_start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    core[v] = degree[v];
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      VertexId w = nb.v;
+      if (degree[w] > degree[v]) {
+        // Move w to the front of its bucket, then shrink its degree.
+        uint32_t dw = degree[w];
+        uint32_t pw = pos[w];
+        uint32_t pfront = bin[dw];
+        VertexId front = order[pfront];
+        if (front != w) {
+          std::swap(order[pw], order[pfront]);
+          pos[w] = pfront;
+          pos[front] = pw;
+        }
+        ++bin[dw];
+        --degree[w];
+      }
+    }
+  }
+  return core;
+}
+
+uint32_t Degeneracy(const LabeledGraph& g) {
+  std::vector<uint32_t> core = CoreNumbers(g);
+  uint32_t mx = 0;
+  for (uint32_t c : core) mx = std::max(mx, c);
+  return mx;
+}
+
+}  // namespace bdsm

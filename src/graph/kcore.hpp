@@ -1,0 +1,23 @@
+/// \file kcore.hpp
+/// k-core decomposition (Matula–Beck peeling).
+///
+/// Fig. 10 of the paper controls update-region density by sampling
+/// insertion endpoints from the k-core of LSBench with k in {4, 8, 12};
+/// this module provides the core numbers that sampling needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.hpp"
+
+namespace bdsm {
+
+/// Core number of every vertex (core[v] = largest k such that v belongs
+/// to the k-core).  O(|E|) bucket peeling.
+std::vector<uint32_t> CoreNumbers(const LabeledGraph& g);
+
+/// Maximum core number present in g (0 for empty graphs).
+uint32_t Degeneracy(const LabeledGraph& g);
+
+}  // namespace bdsm

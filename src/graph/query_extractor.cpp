@@ -1,0 +1,183 @@
+#include "graph/query_extractor.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/kcore.hpp"
+
+namespace bdsm {
+
+const std::vector<uint32_t>& QueryExtractor::CoreCache() {
+  if (core_cache_.empty() && g_.NumVertices() > 0) {
+    core_cache_ = CoreNumbers(g_);
+    uint32_t best = 0;
+    for (uint32_t c : core_cache_) best = std::max(best, c);
+    // Pool of vertices in the densest available cores (>= best-1 so the
+    // pool is not a handful of hubs only).
+    uint32_t floor_core = best > 1 ? best - 1 : best;
+    for (VertexId v = 0; v < g_.NumVertices(); ++v) {
+      if (core_cache_[v] >= floor_core) dense_pool_.push_back(v);
+    }
+  }
+  return core_cache_;
+}
+
+std::optional<std::vector<VertexId>> QueryExtractor::SampleConnectedVertices(
+    size_t n, bool dense_bias) {
+  const size_t nv = g_.NumVertices();
+  if (nv < n) return std::nullopt;
+  if (dense_bias) CoreCache();
+  for (size_t attempt = 0; attempt < 32; ++attempt) {
+    VertexId start;
+    if (dense_bias && !dense_pool_.empty()) {
+      start = dense_pool_[rng_.PickIndex(dense_pool_)];
+    } else {
+      start = static_cast<VertexId>(rng_.Uniform(nv));
+    }
+    if (g_.Degree(start) == 0) continue;
+    std::vector<VertexId> picked{start};
+    std::unordered_set<VertexId> in_set{start};
+    size_t stall = 0;
+    while (picked.size() < n && stall < 64 * n) {
+      VertexId from = picked[rng_.PickIndex(picked)];
+      auto nbrs = g_.Neighbors(from);
+      if (nbrs.empty()) {
+        ++stall;
+        continue;
+      }
+      VertexId next = kInvalidVertex;
+      if (dense_bias) {
+        // Examine a handful of random neighbors; keep the one with the
+        // most links back into the sample (greedy densification).
+        size_t best_links = 0;
+        for (size_t trial = 0; trial < std::min<size_t>(nbrs.size(), 8);
+             ++trial) {
+          VertexId cand = nbrs[rng_.Uniform(nbrs.size())].v;
+          if (in_set.count(cand)) continue;
+          size_t links = 0;
+          for (VertexId p : picked) {
+            if (g_.HasEdge(cand, p)) ++links;
+          }
+          if (next == kInvalidVertex || links > best_links) {
+            next = cand;
+            best_links = links;
+          }
+        }
+      } else {
+        VertexId cand = nbrs[rng_.Uniform(nbrs.size())].v;
+        if (!in_set.count(cand)) next = cand;
+      }
+      if (next == kInvalidVertex) {
+        ++stall;
+        continue;
+      }
+      picked.push_back(next);
+      in_set.insert(next);
+    }
+    if (picked.size() == n) return picked;
+  }
+  return std::nullopt;
+}
+
+std::optional<QueryGraph> QueryExtractor::Extract(
+    size_t num_vertices, QueryGraph::StructureClass cls) {
+  const bool dense_bias = cls == QueryGraph::StructureClass::kDense;
+  for (size_t attempt = 0; attempt < 200; ++attempt) {
+    auto verts_opt = SampleConnectedVertices(num_vertices, dense_bias);
+    if (!verts_opt) return std::nullopt;
+    const std::vector<VertexId>& verts = *verts_opt;
+
+    std::unordered_map<VertexId, VertexId> remap;
+    std::vector<Label> labels(num_vertices);
+    for (size_t i = 0; i < num_vertices; ++i) {
+      remap[verts[i]] = static_cast<VertexId>(i);
+      labels[i] = g_.VertexLabel(verts[i]);
+    }
+
+    // Induced edges of the sample.
+    struct IndEdge {
+      VertexId a, b;
+      Label el;
+    };
+    std::vector<IndEdge> induced;
+    for (size_t i = 0; i < num_vertices; ++i) {
+      for (const Neighbor& nb : g_.Neighbors(verts[i])) {
+        auto it = remap.find(nb.v);
+        if (it != remap.end() && static_cast<VertexId>(i) < it->second) {
+          induced.push_back(
+              IndEdge{static_cast<VertexId>(i), it->second, nb.elabel});
+        }
+      }
+    }
+
+    QueryGraph q(labels);
+    if (cls == QueryGraph::StructureClass::kTree) {
+      // Random spanning tree of the induced subgraph (Kruskal over a
+      // shuffled edge list).
+      for (size_t i = induced.size(); i > 1; --i) {
+        std::swap(induced[i - 1], induced[rng_.Uniform(i)]);
+      }
+      std::vector<VertexId> parent(num_vertices);
+      for (size_t i = 0; i < num_vertices; ++i) {
+        parent[i] = static_cast<VertexId>(i);
+      }
+      auto find = [&](VertexId x) {
+        while (parent[x] != x) x = parent[x] = parent[parent[x]];
+        return x;
+      };
+      for (const IndEdge& e : induced) {
+        VertexId ra = find(e.a), rb = find(e.b);
+        if (ra != rb) {
+          parent[ra] = rb;
+          q.AddEdge(e.a, e.b, e.el);
+        }
+      }
+      if (q.NumEdges() == num_vertices - 1) return q;
+      continue;  // induced sample was not connected enough
+    }
+
+    // Dense/Sparse: keep the full induced subgraph; for Sparse thin it
+    // out to below average degree 3 while preserving connectivity.
+    for (const IndEdge& e : induced) q.AddEdge(e.a, e.b, e.el);
+    if (!q.IsConnected()) continue;
+
+    if (cls == QueryGraph::StructureClass::kDense) {
+      if (q.Classify() == QueryGraph::StructureClass::kDense) return q;
+      continue;
+    }
+
+    // Sparse: remove random non-bridge edges until davg < 3, keeping at
+    // least |V| edges so it does not degenerate into a tree.
+    QueryGraph sparse = q;
+    size_t guard = 0;
+    while (sparse.AverageDegree() >= 3.0 && guard++ < 64) {
+      // Rebuild with one random edge dropped, if connectivity survives.
+      std::vector<QueryEdge> es = sparse.edges();
+      size_t drop = rng_.PickIndex(es);
+      QueryGraph trial(labels);
+      for (size_t i = 0; i < es.size(); ++i) {
+        if (i != drop) trial.AddEdge(es[i].u1, es[i].u2, es[i].elabel);
+      }
+      if (trial.IsConnected() && trial.NumEdges() >= num_vertices) {
+        sparse = trial;
+      }
+    }
+    if (sparse.Classify() == QueryGraph::StructureClass::kSparse) {
+      return sparse;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<QueryGraph> QueryExtractor::ExtractSet(
+    size_t num_vertices, QueryGraph::StructureClass cls, size_t count) {
+  std::vector<QueryGraph> out;
+  for (size_t i = 0; i < count; ++i) {
+    auto q = Extract(num_vertices, cls);
+    if (q) out.push_back(std::move(*q));
+  }
+  return out;
+}
+
+}  // namespace bdsm

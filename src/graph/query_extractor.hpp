@@ -1,0 +1,50 @@
+/// \file query_extractor.hpp
+/// Query-set synthesis by random extraction from the data graph
+/// (paper §VI-A: "we generate query graphs by randomly extracting
+/// subgraphs from the data graph", categorized Dense / Sparse / Tree).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "util/rng.hpp"
+
+namespace bdsm {
+
+class QueryExtractor {
+ public:
+  QueryExtractor(const LabeledGraph& g, uint64_t seed)
+      : g_(g), rng_(seed) {}
+
+  /// Extracts one connected query with `num_vertices` vertices of the
+  /// requested structure class, or nullopt if the sampler failed to find
+  /// one within its attempt budget (can happen for Dense on very sparse
+  /// graphs).
+  std::optional<QueryGraph> Extract(size_t num_vertices,
+                                    QueryGraph::StructureClass cls);
+
+  /// Extracts a query *set* (paper default: 50 per size & class).  Falls
+  /// back to fewer queries when the graph cannot supply enough.
+  std::vector<QueryGraph> ExtractSet(size_t num_vertices,
+                                     QueryGraph::StructureClass cls,
+                                     size_t count);
+
+ private:
+  // Random-walk induced-subgraph sample of `n` vertices.  With
+  // `dense_bias`, the walk starts in a high-core region and greedily
+  // prefers neighbors with many links back into the sample, so the
+  // induced subgraph has a chance of reaching davg >= 3.
+  std::optional<std::vector<VertexId>> SampleConnectedVertices(
+      size_t n, bool dense_bias);
+
+  const std::vector<uint32_t>& CoreCache();
+
+  const LabeledGraph& g_;
+  Rng rng_;
+  std::vector<uint32_t> core_cache_;
+  std::vector<VertexId> dense_pool_;
+};
+
+}  // namespace bdsm

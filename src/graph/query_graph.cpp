@@ -1,0 +1,83 @@
+#include "graph/query_graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace bdsm {
+
+QueryGraph::QueryGraph(std::vector<Label> vertex_labels)
+    : vlabels_(std::move(vertex_labels)), neighbors_(vlabels_.size()) {
+  GAMMA_CHECK_MSG(vlabels_.size() <= kMaxQueryVertices,
+                  "query graph too large");
+}
+
+bool QueryGraph::AddEdge(VertexId u1, VertexId u2, Label elabel) {
+  if (u1 == u2 || u1 >= NumVertices() || u2 >= NumVertices()) return false;
+  if (HasEdge(u1, u2)) return false;
+  edges_.push_back(QueryEdge{u1, u2, elabel});
+  adj_mask_[u1] |= static_cast<uint16_t>(1u << u2);
+  adj_mask_[u2] |= static_cast<uint16_t>(1u << u1);
+  neighbors_[u1].push_back(u2);
+  neighbors_[u2].push_back(u1);
+  return true;
+}
+
+Label QueryGraph::EdgeLabelBetween(VertexId u1, VertexId u2) const {
+  for (const QueryEdge& e : edges_) {
+    if ((e.u1 == u1 && e.u2 == u2) || (e.u1 == u2 && e.u2 == u1)) {
+      return e.elabel;
+    }
+  }
+  return kNoLabel;
+}
+
+bool QueryGraph::IsConnected() const {
+  if (NumVertices() == 0) return false;
+  uint16_t visited = 1;  // start from vertex 0
+  uint16_t frontier = 1;
+  while (frontier != 0) {
+    uint16_t next = 0;
+    for (VertexId u = 0; u < NumVertices(); ++u) {
+      if ((frontier >> u) & 1u) next |= adj_mask_[u];
+    }
+    frontier = next & static_cast<uint16_t>(~visited);
+    visited |= next;
+  }
+  uint16_t all = static_cast<uint16_t>((1u << NumVertices()) - 1);
+  return (visited & all) == all;
+}
+
+QueryGraph::StructureClass QueryGraph::Classify() const {
+  if (IsTree()) return StructureClass::kTree;
+  return AverageDegree() >= 3.0 ? StructureClass::kDense
+                                : StructureClass::kSparse;
+}
+
+std::vector<Label> QueryGraph::UsedVertexLabels() const {
+  std::vector<Label> labels = vlabels_;
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+std::string QueryGraph::ToString() const {
+  std::ostringstream os;
+  os << "Q(|V|=" << NumVertices() << ", |E|=" << NumEdges() << "; ";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i) os << ", ";
+    os << "(" << edges_[i].u1 << "," << edges_[i].u2 << ")";
+  }
+  os << ")";
+  return os.str();
+}
+
+const char* ToString(QueryGraph::StructureClass c) {
+  switch (c) {
+    case QueryGraph::StructureClass::kDense: return "Dense";
+    case QueryGraph::StructureClass::kSparse: return "Sparse";
+    case QueryGraph::StructureClass::kTree: return "Tree";
+  }
+  return "?";
+}
+
+}  // namespace bdsm

@@ -1,0 +1,93 @@
+/// \file query_graph.hpp
+/// Small connected labeled query graph Q (|V(Q)| <= 16).
+///
+/// Query graphs are tiny (the paper evaluates 4..12 vertices), so we keep
+/// per-vertex adjacency as a 16-bit mask in addition to explicit lists;
+/// the WBM kernel uses the masks to find, in O(1), which already-matched
+/// query vertices constrain the next level's candidates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bdsm {
+
+/// Hard upper bound on |V(Q)| (paper max is 12; a uint16_t mask holds 16).
+inline constexpr size_t kMaxQueryVertices = 16;
+
+/// One query edge with its label.
+struct QueryEdge {
+  VertexId u1;
+  VertexId u2;
+  Label elabel = kNoLabel;
+
+  friend bool operator==(const QueryEdge&, const QueryEdge&) = default;
+};
+
+class QueryGraph {
+ public:
+  QueryGraph() = default;
+  explicit QueryGraph(std::vector<Label> vertex_labels);
+
+  size_t NumVertices() const { return vlabels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  Label VertexLabel(VertexId u) const { return vlabels_[u]; }
+  const std::vector<Label>& vertex_labels() const { return vlabels_; }
+
+  /// Adds undirected edge (u1, u2).  Duplicate edges are rejected.
+  bool AddEdge(VertexId u1, VertexId u2, Label elabel = kNoLabel);
+
+  const std::vector<QueryEdge>& edges() const { return edges_; }
+  const QueryEdge& edge(size_t i) const { return edges_[i]; }
+
+  bool HasEdge(VertexId u1, VertexId u2) const {
+    return (adj_mask_[u1] >> u2) & 1u;
+  }
+  Label EdgeLabelBetween(VertexId u1, VertexId u2) const;
+
+  /// Bitmask of neighbors of u (bit i set iff (u, i) in E(Q)).
+  uint16_t AdjacencyMask(VertexId u) const { return adj_mask_[u]; }
+
+  size_t Degree(VertexId u) const { return neighbors_[u].size(); }
+  const std::vector<VertexId>& NeighborsOf(VertexId u) const {
+    return neighbors_[u];
+  }
+
+  double AverageDegree() const {
+    return NumVertices() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(edges_.size()) /
+                     static_cast<double>(NumVertices());
+  }
+
+  bool IsConnected() const;
+  bool IsTree() const {
+    return IsConnected() && edges_.size() == NumVertices() - 1;
+  }
+
+  /// Structure class used throughout the evaluation (paper §VI-A).
+  enum class StructureClass { kDense, kSparse, kTree };
+  StructureClass Classify() const;
+
+  /// Distinct vertex labels used by Q, sorted ascending.  The encoder only
+  /// spends code bits on these labels (the paper's refinement of GSI).
+  std::vector<Label> UsedVertexLabels() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Label> vlabels_;
+  std::vector<QueryEdge> edges_;
+  std::array<uint16_t, kMaxQueryVertices> adj_mask_{};
+  std::vector<std::vector<VertexId>> neighbors_;
+};
+
+/// Human-readable name of a structure class ("Dense"/"Sparse"/"Tree").
+const char* ToString(QueryGraph::StructureClass c);
+
+}  // namespace bdsm

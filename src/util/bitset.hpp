@@ -1,0 +1,75 @@
+/// \file bitset.hpp
+/// Dynamic bitset used for vertex encodings and the candidate table.
+///
+/// The paper's preprocessing (Fig. 4) represents each vertex as a K-bit
+/// code and filters candidates with a bitwise AND; this class is that
+/// K-bit code.  It is deliberately simple: contiguous 64-bit words,
+/// branch-free AND-superset test.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bdsm {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size() const { return bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  void Resize(size_t bits) {
+    bits_ = bits;
+    words_.assign((bits + 63) / 64, 0);
+  }
+
+  void Set(size_t i) { words_[i >> 6] |= (1ull << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(1ull << (i & 63)); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ull;
+  }
+  void Reset() { std::memset(words_.data(), 0, words_.size() * 8); }
+
+  /// True iff every bit set in `other` is also set in *this
+  /// (i.e. (other & *this) == other) — the GSI candidate test
+  /// "ENC(u) AND ENC(v) == ENC(u)" with u=other, v=*this.
+  bool Contains(const Bitset& other) const {
+    GAMMA_CHECK(other.words_.size() == words_.size());
+    for (size_t w = 0; w < words_.size(); ++w) {
+      if ((other.words_[w] & words_[w]) != other.words_[w]) return false;
+    }
+    return true;
+  }
+
+  size_t PopCount() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  uint64_t word(size_t i) const { return words_[i]; }
+  void set_word(size_t i, uint64_t w) { words_[i] = w; }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+  /// Debug rendering as '0'/'1' string, LSB first.
+  std::string ToString() const {
+    std::string s;
+    s.reserve(bits_);
+    for (size_t i = 0; i < bits_; ++i) s.push_back(Test(i) ? '1' : '0');
+    return s;
+  }
+
+ private:
+  size_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace bdsm

@@ -1,0 +1,90 @@
+/// \file common.hpp
+/// Project-wide fundamental types and checking macros.
+///
+/// GAMMA uses 32-bit vertex ids and label ids throughout: the paper's
+/// datasets (after scaling) fit comfortably, and narrow ids halve the
+/// memory traffic of adjacency scans, which is the dominant cost in
+/// subgraph matching.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bdsm {
+
+/// Identifier of a data-graph or query-graph vertex.
+using VertexId = uint32_t;
+/// Vertex or edge label drawn from the alphabet Sigma.
+using Label = uint32_t;
+/// Wide counter type for match counts (result sets can be huge).
+using Count = uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+/// Sentinel for "no label" / unlabeled.
+inline constexpr Label kNoLabel = std::numeric_limits<Label>::max();
+
+/// An undirected edge as an ordered pair (min endpoint first) so that a
+/// given undirected edge has exactly one canonical representation.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a < b ? a : b), v(a < b ? b : a) {}
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+/// 64-bit key packing for edges; used as hash-map keys and as GPMA keys.
+inline constexpr uint64_t PackEdge(VertexId src, VertexId dst) {
+  return (static_cast<uint64_t>(src) << 32) | dst;
+}
+inline constexpr VertexId EdgeSrc(uint64_t key) {
+  return static_cast<VertexId>(key >> 32);
+}
+inline constexpr VertexId EdgeDst(uint64_t key) {
+  return static_cast<VertexId>(key & 0xffffffffu);
+}
+
+struct EdgeHash {
+  size_t operator()(const Edge& e) const noexcept {
+    uint64_t k = PackEdge(e.u, e.v);
+    // SplitMix64 finalizer: cheap and well distributed.
+    k += 0x9e3779b97f4a7c15ull;
+    k = (k ^ (k >> 30)) * 0xbf58476d1ce4e5b9ull;
+    k = (k ^ (k >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(k ^ (k >> 31));
+  }
+};
+
+/// Abort with a message when an internal invariant is violated.  Used for
+/// programming errors, not user errors (compare Arrow's DCHECK discipline);
+/// kept on in release builds because this is a research system where a
+/// wrong answer is worse than a crash.
+#define GAMMA_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::std::fprintf(stderr, "GAMMA_CHECK failed: %s at %s:%d\n", #cond,   \
+                     __FILE__, __LINE__);                                  \
+      ::std::abort();                                                      \
+    }                                                                      \
+  } while (0)
+
+#define GAMMA_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::std::fprintf(stderr, "GAMMA_CHECK failed: %s (%s) at %s:%d\n",     \
+                     #cond, (msg), __FILE__, __LINE__);                    \
+      ::std::abort();                                                      \
+    }                                                                      \
+  } while (0)
+
+}  // namespace bdsm

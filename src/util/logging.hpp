@@ -1,0 +1,28 @@
+/// \file logging.hpp
+/// Minimal leveled logging to stderr.
+///
+/// The benchmark harnesses print their tables to stdout; everything
+/// diagnostic goes through here so the two streams never mix.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bdsm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.  Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging.  Thread-safe (single write call per message).
+void Log(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define GAMMA_LOG_DEBUG(...) ::bdsm::Log(::bdsm::LogLevel::kDebug, __VA_ARGS__)
+#define GAMMA_LOG_INFO(...) ::bdsm::Log(::bdsm::LogLevel::kInfo, __VA_ARGS__)
+#define GAMMA_LOG_WARN(...) ::bdsm::Log(::bdsm::LogLevel::kWarn, __VA_ARGS__)
+#define GAMMA_LOG_ERROR(...) ::bdsm::Log(::bdsm::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace bdsm

@@ -1,0 +1,103 @@
+/// \file rng.hpp
+/// Deterministic pseudo-random generation for dataset synthesis and tests.
+///
+/// Everything in GAMMA that is random is seeded explicitly so that every
+/// experiment and every property test is exactly reproducible (see
+/// DESIGN.md "Determinism").
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bdsm {
+
+/// xorshift128+ generator: tiny state, passes BigCrush for our purposes,
+/// and much faster than std::mt19937 for the bulk sampling the dataset
+/// generators do.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two state words.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return UniformReal() < p; }
+
+  /// Uniformly pick an element index of a non-empty container size.
+  template <typename Container>
+  size_t PickIndex(const Container& c) {
+    return static_cast<size_t>(Uniform(c.size()));
+  }
+
+ private:
+  uint64_t s0_, s1_;
+};
+
+/// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`.
+/// Used to reproduce the skewed label distributions of the Netflow and
+/// LSBench datasets (Table II) where one edge label dominates.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    double norm = 0.0;
+    for (size_t i = 0; i < n; ++i) norm += 1.0 / std::pow(double(i + 1), s);
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(double(i + 1), s) / norm;
+      cdf_[i] = acc;
+    }
+    if (!cdf_.empty()) cdf_.back() = 1.0;
+  }
+
+  /// Sample a rank; rank 0 is the most frequent.
+  size_t Sample(Rng& rng) const {
+    double x = rng.UniformReal();
+    // Binary search over the CDF.
+    size_t lo = 0, hi = cdf_.size();
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < x)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace bdsm

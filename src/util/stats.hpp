@@ -1,0 +1,66 @@
+/// \file stats.hpp
+/// Small statistics accumulators shared by the benchmark harnesses and the
+/// GPU simulator's utilization accounting.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace bdsm {
+
+/// Streaming mean/min/max/sum accumulator.
+class StatAccumulator {
+ public:
+  void Add(double x) {
+    ++n_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Collects samples so benchmarks can report percentiles; kept trivially
+/// simple (sorting on demand) since sample counts are small.
+class Samples {
+ public:
+  void Add(double x) { xs_.push_back(x); }
+  size_t size() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+
+  double Mean() const {
+    if (xs_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : xs_) s += x;
+    return s / static_cast<double>(xs_.size());
+  }
+
+  double Percentile(double p) const {
+    if (xs_.empty()) return 0.0;
+    std::vector<double> sorted = xs_;
+    std::sort(sorted.begin(), sorted.end());
+    double idx = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+
+ private:
+  std::vector<double> xs_;
+};
+
+}  // namespace bdsm

@@ -1,0 +1,27 @@
+/// \file timer.hpp
+/// Wall-clock timing helpers for the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace bdsm {
+
+/// Monotonic stopwatch.  Construction starts it; Elapsed* reads it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace bdsm

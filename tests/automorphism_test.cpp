@@ -1,0 +1,243 @@
+/// Automorphism engine tests: group enumeration on canonical shapes,
+/// k-degenerated subgraph discovery, orbit structure, overlap rules,
+/// and the permutation algebra the coalesced search relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/automorphism.hpp"
+#include "core/query_context.hpp"
+
+namespace bdsm {
+namespace {
+
+uint16_t FullMask(const QueryGraph& q) {
+  return static_cast<uint16_t>((1u << q.NumVertices()) - 1);
+}
+
+TEST(AutomorphismTest, TriangleSameLabels) {
+  QueryGraph q({0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  auto autos = InducedAutomorphisms(q, FullMask(q));
+  EXPECT_EQ(autos.size(), 6u);  // S3
+}
+
+TEST(AutomorphismTest, TriangleDistinctLabelBreaksSymmetry) {
+  QueryGraph q({0, 0, 1});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  auto autos = InducedAutomorphisms(q, FullMask(q));
+  EXPECT_EQ(autos.size(), 2u);  // identity + swap(0,1)
+}
+
+TEST(AutomorphismTest, EdgeLabelsRespected) {
+  QueryGraph q({0, 0, 0});
+  q.AddEdge(0, 1, 5);
+  q.AddEdge(1, 2, 6);
+  q.AddEdge(0, 2, 6);
+  auto autos = InducedAutomorphisms(q, FullMask(q));
+  // Only identity and the swap fixing vertex 1's role: sigma must map
+  // the unique 5-labeled edge onto itself -> {id, swap(0,1)}.
+  EXPECT_EQ(autos.size(), 2u);
+}
+
+TEST(AutomorphismTest, StarLeaves) {
+  QueryGraph q({0, 1, 1, 1});  // center 0, three leaves
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(0, 3);
+  auto autos = InducedAutomorphisms(q, FullMask(q));
+  EXPECT_EQ(autos.size(), 6u);  // S3 on leaves
+}
+
+TEST(AutomorphismTest, InducedSubgraphMask) {
+  // Paper Example 4: removing u3 from Q leaves {u0,u1,u2} automorphic.
+  QueryGraph q({0, 1, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  // Full graph: u1 has a C neighbor, u2 does not -> only identity.
+  EXPECT_EQ(InducedAutomorphisms(q, FullMask(q)).size(), 1u);
+  // Remove u3 (mask 0b0111): swap(u1,u2) appears.
+  auto autos = InducedAutomorphisms(q, 0b0111);
+  EXPECT_EQ(autos.size(), 2u);
+  bool found_swap = false;
+  for (const Permutation& p : autos) {
+    if (p[0] == 0 && p[1] == 2 && p[2] == 1) found_swap = true;
+    EXPECT_EQ(p[3], kInvalidVertex);  // removed vertex stays unmapped
+  }
+  EXPECT_TRUE(found_swap);
+}
+
+TEST(EquivalentEdgeGroupsTest, PaperExampleGroup) {
+  QueryGraph q({0, 1, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  auto groups = ComputeEquivalentEdgeGroups(q);
+  ASSERT_FALSE(groups.empty());
+  // Expect a k=1 group on mask {u0,u1,u2} whose orbit contains the
+  // directed pairs of e(u0,u1) and e(u0,u2).
+  bool found = false;
+  for (const auto& g : groups) {
+    if (g.vertex_mask != 0b0111) continue;
+    EXPECT_EQ(g.k, 1u);
+    std::set<std::pair<VertexId, VertexId>> orbit(
+        g.directed_orbit.begin(), g.directed_orbit.end());
+    if (orbit.count({0, 1}) && orbit.count({0, 2})) found = true;
+    EXPECT_EQ(g.perms.size(), g.directed_orbit.size() - 1);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(EquivalentEdgeGroupsTest, DirectedPairsDisjointAcrossGroups) {
+  // A symmetric square: many overlapping automorphic subgraphs; rules
+  // 1 & 2 must leave every directed pair in at most one group.
+  QueryGraph q({0, 0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 0);
+  auto groups = ComputeEquivalentEdgeGroups(q);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  for (const auto& g : groups) {
+    for (const auto& d : g.directed_orbit) {
+      EXPECT_TRUE(seen.insert(d).second)
+          << "pair (" << d.first << "," << d.second
+          << ") in two groups";
+    }
+  }
+  // The square is fully symmetric at k=0: expect one big group covering
+  // all 8 directed pairs.
+  ASSERT_FALSE(groups.empty());
+  EXPECT_EQ(groups.front().k, 0u);
+  EXPECT_EQ(groups.front().directed_orbit.size(), 8u);
+}
+
+TEST(EquivalentEdgeGroupsTest, PermutationsMapSeedCorrectly) {
+  // For each group: P_d = P o perm must place the update edge at pair d,
+  // i.e. perm[d.first] = rep.first and perm[d.second] = rep.second.
+  QueryGraph q({0, 0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 0);
+  for (const auto& g : ComputeEquivalentEdgeGroups(q)) {
+    auto rep = g.directed_orbit.front();
+    for (size_t i = 1; i < g.directed_orbit.size(); ++i) {
+      auto d = g.directed_orbit[i];
+      const Permutation& p = g.perms[i - 1];
+      EXPECT_EQ(p[d.first], rep.first);
+      EXPECT_EQ(p[d.second], rep.second);
+    }
+  }
+}
+
+TEST(EquivalentEdgeGroupsTest, NoGroupsWhenLabelsDistinct) {
+  QueryGraph q({0, 1, 2, 3});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  EXPECT_TRUE(ComputeEquivalentEdgeGroups(q).empty());
+}
+
+TEST(QueryContextTest, PlansCoverAllDirectedPairsExactlyOnce) {
+  for (bool cs : {false, true}) {
+    QueryGraph q({0, 1, 1, 2});
+    q.AddEdge(0, 1);
+    q.AddEdge(0, 2);
+    q.AddEdge(1, 2);
+    q.AddEdge(1, 3);
+    QueryContext ctx = BuildQueryContext(q, cs);
+    std::multiset<std::pair<VertexId, VertexId>> covered;
+    for (const SeedPlan& plan : ctx.plans) {
+      covered.insert({plan.a, plan.b});
+      // Pairs derived by permutation: perm maps d -> rep, so d.first is
+      // the vertex x with perm[x] == plan.a paired with perm == plan.b.
+      for (const Permutation& p : plan.perms) {
+        VertexId df = kInvalidVertex, ds = kInvalidVertex;
+        for (VertexId x = 0; x < q.NumVertices(); ++x) {
+          if (p[x] == plan.a) df = x;
+          if (p[x] == plan.b) ds = x;
+        }
+        ASSERT_NE(df, kInvalidVertex);
+        ASSERT_NE(ds, kInvalidVertex);
+        covered.insert({df, ds});
+      }
+    }
+    EXPECT_EQ(covered.size(), 2 * q.NumEdges()) << "cs=" << cs;
+    for (const QueryEdge& e : q.edges()) {
+      EXPECT_EQ(covered.count({e.u1, e.u2}), 1u) << "cs=" << cs;
+      EXPECT_EQ(covered.count({e.u2, e.u1}), 1u) << "cs=" << cs;
+    }
+  }
+}
+
+TEST(QueryContextTest, CoalescedPlansShrinkPlanCount) {
+  QueryGraph q({0, 0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 0);
+  QueryContext plain = BuildQueryContext(q, false);
+  QueryContext cs = BuildQueryContext(q, true);
+  EXPECT_EQ(plain.plans.size(), 8u);
+  EXPECT_LT(cs.plans.size(), plain.plans.size());
+  EXPECT_GT(cs.coalesced_pairs, 0u);
+}
+
+TEST(QueryContextTest, OrdersAreConnectedPermutations) {
+  QueryGraph q({0, 1, 0, 1, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 4);
+  q.AddEdge(4, 0);
+  QueryContext ctx = BuildQueryContext(q, true);
+  for (const SeedPlan& plan : ctx.plans) {
+    ASSERT_EQ(plan.order.size(), q.NumVertices());
+    EXPECT_EQ(plan.order[0], plan.a);
+    EXPECT_EQ(plan.order[1], plan.b);
+    uint16_t placed =
+        static_cast<uint16_t>((1u << plan.a) | (1u << plan.b));
+    for (size_t i = 2; i < plan.order.size(); ++i) {
+      VertexId u = plan.order[i];
+      EXPECT_NE((placed >> u) & 1u, 1u) << "duplicate in order";
+      EXPECT_NE(q.AdjacencyMask(u) & placed, 0) << "disconnected order";
+      placed |= static_cast<uint16_t>(1u << u);
+    }
+  }
+}
+
+TEST(QueryContextTest, VkPrefixHoldsForCoalescedPlans) {
+  QueryGraph q({0, 1, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  QueryContext ctx = BuildQueryContext(q, true);
+  for (const SeedPlan& plan : ctx.plans) {
+    if (plan.perms.empty()) continue;
+    // The first vk_size order entries must be exactly the permutation
+    // domain (V^k).
+    std::set<VertexId> prefix(plan.order.begin(),
+                              plan.order.begin() + plan.vk_size);
+    for (const Permutation& p : plan.perms) {
+      for (VertexId x = 0; x < q.NumVertices(); ++x) {
+        if (p[x] != kInvalidVertex) {
+          EXPECT_TRUE(prefix.count(x));
+        } else {
+          EXPECT_FALSE(prefix.count(x));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdsm

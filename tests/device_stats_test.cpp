@@ -1,0 +1,75 @@
+/// DeviceStats arithmetic and DeviceConfig semantics: the quantities
+/// every benchmark reports are computed here, so their algebra gets its
+/// own tests (merge modes, utilization, tick->seconds conversion).
+#include <gtest/gtest.h>
+
+#include "gpusim/device_config.hpp"
+
+namespace bdsm {
+namespace {
+
+DeviceStats MakeStats(uint64_t makespan, uint64_t busy, uint64_t lifetime) {
+  DeviceStats s;
+  s.makespan_ticks = makespan;
+  s.total_busy_ticks = busy;
+  s.total_warp_ticks = lifetime;
+  s.global_transactions = 10;
+  s.tasks_executed = 3;
+  return s;
+}
+
+TEST(DeviceStatsTest, UtilizationRatio) {
+  DeviceStats s = MakeStats(100, 250, 1000);
+  EXPECT_DOUBLE_EQ(s.Utilization(), 0.25);
+  DeviceStats empty;
+  EXPECT_DOUBLE_EQ(empty.Utilization(), 0.0);
+}
+
+TEST(DeviceStatsTest, MergeTakesMaxMakespan) {
+  // Merge models concurrent execution: makespan = max, work adds.
+  DeviceStats a = MakeStats(100, 50, 400);
+  DeviceStats b = MakeStats(70, 60, 280);
+  a.Merge(b);
+  EXPECT_EQ(a.makespan_ticks, 100u);
+  EXPECT_EQ(a.total_busy_ticks, 110u);
+  EXPECT_EQ(a.total_warp_ticks, 680u);
+  EXPECT_EQ(a.global_transactions, 20u);
+  EXPECT_EQ(a.tasks_executed, 6u);
+}
+
+TEST(DeviceStatsTest, MergeSequentialAddsMakespans) {
+  // Sequential launches: makespans add.
+  DeviceStats a = MakeStats(100, 50, 400);
+  DeviceStats b = MakeStats(70, 60, 280);
+  a.MergeSequential(b);
+  EXPECT_EQ(a.makespan_ticks, 170u);
+  EXPECT_EQ(a.total_busy_ticks, 110u);
+}
+
+TEST(DeviceStatsTest, TimeoutPropagatesThroughMerge) {
+  DeviceStats a, b;
+  b.timed_out = true;
+  a.Merge(b);
+  EXPECT_TRUE(a.timed_out);
+  DeviceStats c, d;
+  c.MergeSequential(d);
+  EXPECT_FALSE(c.timed_out);
+}
+
+TEST(DeviceConfigTest, TickSecondsMatchesClock) {
+  DeviceConfig cfg;
+  cfg.clock_ghz = 2.0;
+  EXPECT_DOUBLE_EQ(cfg.TickSeconds(), 0.5e-9);
+  cfg.clock_ghz = 1.0;
+  EXPECT_DOUBLE_EQ(cfg.TickSeconds(), 1e-9);
+}
+
+TEST(DeviceConfigTest, DefaultsAreThePaper3090) {
+  DeviceConfig cfg;
+  EXPECT_EQ(cfg.num_sms, 83u);       // RTX 3090 SM count (paper §VI-A)
+  EXPECT_EQ(cfg.lanes_per_warp, 32u);
+  EXPECT_EQ(cfg.steal_policy, StealPolicy::kActive);
+}
+
+}  // namespace
+}  // namespace bdsm

@@ -1,0 +1,143 @@
+/// Encoder tests: thermometer semantics, GSI AND-test soundness (the
+/// filter must never prune a vertex that participates in a real match),
+/// and incremental dirty re-encoding equivalence.
+#include <gtest/gtest.h>
+
+#include "baselines/enumerate.hpp"
+#include "core/encoder.hpp"
+#include "graph/graph_generator.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm {
+namespace {
+
+QueryGraph PaperQuery() {
+  // Fig. 1(a): u0(A) - u1(B), u0 - u2(B), u1 - u2, u1 - u3(C).
+  QueryGraph q({0, 1, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(0, 2);
+  q.AddEdge(1, 2);
+  q.AddEdge(1, 3);
+  return q;
+}
+
+TEST(EncoderTest, ThermometerBits) {
+  EXPECT_EQ(ThermometerBits2(0), 0b00u);
+  EXPECT_EQ(ThermometerBits2(1), 0b01u);
+  EXPECT_EQ(ThermometerBits2(2), 0b11u);
+  EXPECT_EQ(ThermometerBits2(7), 0b11u);
+}
+
+TEST(EncoderTest, QueryCodesReflectStructure) {
+  QueryGraph q = PaperQuery();
+  CandidateEncoder enc(q);
+  EXPECT_EQ(enc.CodeBits(), 9u);  // 3 labels -> 3 + 6 bits
+  // u0 has label A (index 0) and two B neighbors: label bit 0, B-counter
+  // (label index 1) = 11.
+  uint64_t u0 = enc.QueryCode(0);
+  EXPECT_EQ(u0 & 0b111u, 0b001u);
+  EXPECT_EQ((u0 >> (3 + 2)) & 0b11u, 0b11u);  // B neighbors saturated
+  EXPECT_EQ((u0 >> (3 + 4)) & 0b11u, 0b00u);  // no C neighbor
+  // u1 (B): one A, one B, one C neighbor.
+  uint64_t u1 = enc.QueryCode(1);
+  EXPECT_EQ(u1 & 0b111u, 0b010u);
+  EXPECT_EQ((u1 >> 3) & 0b11u, 0b01u);
+  EXPECT_EQ((u1 >> 5) & 0b11u, 0b01u);
+  EXPECT_EQ((u1 >> 7) & 0b11u, 0b01u);
+}
+
+TEST(EncoderTest, CandidateRequiresLabelAndCounts) {
+  QueryGraph q = PaperQuery();
+  // Data: v0(A) with two B nbrs (v1, v2) which are connected; v3(C) on v1.
+  LabeledGraph g({0, 1, 1, 2, 1});
+  g.InsertEdge(0, 1);
+  g.InsertEdge(0, 2);
+  g.InsertEdge(1, 2);
+  g.InsertEdge(1, 3);
+  g.InsertEdge(2, 4);  // v4: B neighbor of v2
+  CandidateEncoder enc(q);
+  enc.BuildAll(g);
+  EXPECT_TRUE(enc.IsCandidate(0, 0));   // v0 matches u0
+  EXPECT_FALSE(enc.IsCandidate(1, 0));  // wrong label
+  EXPECT_TRUE(enc.IsCandidate(1, 1));   // v1 has A, B, C neighbors
+  EXPECT_FALSE(enc.IsCandidate(2, 1));  // v2 lacks a C neighbor
+  EXPECT_TRUE(enc.IsCandidate(2, 2));   // u2 needs A+B neighbors only
+  EXPECT_FALSE(enc.IsCandidate(4, 2));  // v4 has no A neighbor
+}
+
+TEST(EncoderTest, FilterIsSound) {
+  // Soundness: every vertex participating in a real match at position u
+  // must be in C(u).  Randomized over labeled-edge graphs.
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    LabeledGraph g = GenerateUniformGraph(120, 500, 3, 2, seed);
+    QueryGraph q({0, 1, 2, 0});
+    q.AddEdge(0, 1, 0);
+    q.AddEdge(1, 2, 1);
+    q.AddEdge(2, 3, 0);
+    q.AddEdge(3, 0, 1);
+    CandidateEncoder enc(q);
+    enc.BuildAll(g);
+    auto matches = EnumerateAllMatches(g, q, 500);
+    for (const MatchRecord& m : matches) {
+      for (VertexId u = 0; u < q.NumVertices(); ++u) {
+        EXPECT_TRUE(enc.IsCandidate(m.m[u], u))
+            << "seed " << seed << " pruned a true match";
+      }
+    }
+  }
+}
+
+TEST(EncoderTest, IncrementalEqualsFullRebuild) {
+  LabeledGraph g = GenerateUniformGraph(200, 700, 4, 2, 77);
+  QueryGraph q({0, 1, 2, 3});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(2, 3);
+  q.AddEdge(3, 0);
+  CandidateEncoder inc(q);
+  inc.BuildAll(g);
+  UpdateStreamGenerator gen(5);
+  for (int round = 0; round < 6; ++round) {
+    UpdateBatch batch = SanitizeBatch(g, gen.MakeMixed(g, 60, 2, 1, 2));
+    ApplyBatch(&g, batch);
+    inc.ApplyBatchDirty(g, batch);
+    CandidateEncoder full(q);
+    full.BuildAll(g);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      ASSERT_EQ(inc.CandidateMask(v), full.CandidateMask(v))
+          << "round " << round << " vertex " << v;
+    }
+  }
+}
+
+TEST(EncoderTest, SaturationTradeoff) {
+  // The paper's Fig. 4 note: inserting e(v0, v2) does not change v0's
+  // encoding because its B-counter is already saturated at "11".
+  QueryGraph q = PaperQuery();
+  LabeledGraph g({0, 1, 1, 1});
+  g.InsertEdge(0, 1);
+  g.InsertEdge(0, 2);
+  CandidateEncoder enc(q);
+  enc.BuildAll(g);
+  uint64_t before = enc.VertexCode(0);
+  g.InsertEdge(0, 3);  // third B neighbor
+  enc.UpdateDirty(g, std::vector<VertexId>{0, 3});
+  EXPECT_EQ(enc.VertexCode(0), before);
+}
+
+TEST(EncoderTest, CountCandidates) {
+  QueryGraph q({0, 0});
+  q.AddEdge(0, 1);
+  LabeledGraph g({0, 0, 0, 1});
+  g.InsertEdge(0, 1);
+  g.InsertEdge(1, 2);
+  g.InsertEdge(2, 3);
+  CandidateEncoder enc(q);
+  enc.BuildAll(g);
+  // u0/u1 need one 0-labeled neighbor: v0 (nbr v1), v1 (v0, v2), v2 (v1).
+  EXPECT_EQ(enc.CountCandidates(0), 3u);
+  EXPECT_EQ(enc.CountCandidates(1), 3u);
+}
+
+}  // namespace
+}  // namespace bdsm

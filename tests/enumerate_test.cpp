@@ -1,0 +1,114 @@
+/// Oracle tests: the reference enumerator itself must be right (every
+/// differential test leans on it).  Closed-form counts on canonical
+/// shapes, seeded-search semantics, label handling, limits.
+#include <gtest/gtest.h>
+
+#include "baselines/enumerate.hpp"
+#include "graph/graph_generator.hpp"
+
+namespace bdsm {
+namespace {
+
+LabeledGraph CompleteGraph(size_t n, Label l = 0) {
+  std::vector<Label> labels(n, l);
+  LabeledGraph g(labels);
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) g.InsertEdge(a, b);
+  }
+  return g;
+}
+
+QueryGraph TriangleQuery() {
+  QueryGraph q({0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  return q;
+}
+
+TEST(EnumerateTest, TrianglesInK4) {
+  // K4 has 4 triangles x 3! automorphic assignments = 24 bijections.
+  LabeledGraph g = CompleteGraph(4);
+  EXPECT_EQ(EnumerateAllMatches(g, TriangleQuery()).size(), 24u);
+}
+
+TEST(EnumerateTest, EdgesInKn) {
+  // Single-edge query in K_n: n*(n-1) ordered assignments.
+  QueryGraph q({0, 0});
+  q.AddEdge(0, 1);
+  for (size_t n : {3, 5, 8}) {
+    LabeledGraph g = CompleteGraph(n);
+    EXPECT_EQ(EnumerateAllMatches(g, q).size(), n * (n - 1)) << n;
+  }
+}
+
+TEST(EnumerateTest, PathsInCycle) {
+  // 3-path (2 edges) in C5, all labels equal: each of the 5 center
+  // vertices gives 2 ordered end assignments = 10 bijections.
+  std::vector<Label> labels(5, 0);
+  LabeledGraph g(labels);
+  for (VertexId i = 0; i < 5; ++i) {
+    g.InsertEdge(i, static_cast<VertexId>((i + 1) % 5));
+  }
+  QueryGraph q({0, 0, 0});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  EXPECT_EQ(EnumerateAllMatches(g, q).size(), 10u);
+}
+
+TEST(EnumerateTest, LabelsPrune) {
+  LabeledGraph g({0, 1, 0, 1});
+  g.InsertEdge(0, 1);
+  g.InsertEdge(1, 2);
+  g.InsertEdge(2, 3);
+  QueryGraph q({0, 1});
+  q.AddEdge(0, 1);
+  // Matches: (0,1), (2,1), (2,3) as (label0 -> label1) assignments.
+  EXPECT_EQ(EnumerateAllMatches(g, q).size(), 3u);
+}
+
+TEST(EnumerateTest, EdgeLabelsPrune) {
+  LabeledGraph g({0, 0, 0});
+  g.InsertEdge(0, 1, 5);
+  g.InsertEdge(1, 2, 6);
+  QueryGraph q({0, 0});
+  q.AddEdge(0, 1, 5);
+  auto ms = EnumerateAllMatches(g, q);
+  ASSERT_EQ(ms.size(), 2u);  // both orientations of the 5-labeled edge
+  for (const MatchRecord& m : ms) {
+    EXPECT_TRUE((m.m[0] == 0 && m.m[1] == 1) ||
+                (m.m[0] == 1 && m.m[1] == 0));
+  }
+}
+
+TEST(EnumerateTest, LimitStopsEarly) {
+  LabeledGraph g = CompleteGraph(8);
+  auto ms = EnumerateAllMatches(g, TriangleQuery(), 10);
+  EXPECT_EQ(ms.size(), 10u);
+}
+
+TEST(EnumerateTest, SeededRequiresSeedEdge) {
+  LabeledGraph g = CompleteGraph(4);
+  QueryGraph q = TriangleQuery();
+  // Valid seed: (0, 1) is an edge.
+  auto ms = EnumerateSeededMatches(g, q, 0, 1, 0, 1);
+  EXPECT_EQ(ms.size(), 2u);  // third vertex: 2 or 3
+  for (const MatchRecord& m : ms) {
+    EXPECT_EQ(m.m[0], 0u);
+    EXPECT_EQ(m.m[1], 1u);
+  }
+  // Absent data edge: no matches even though labels agree.
+  LabeledGraph sparse({0, 0, 0});
+  sparse.InsertEdge(0, 1);
+  EXPECT_TRUE(EnumerateSeededMatches(sparse, q, 0, 1, 0, 2).empty());
+}
+
+TEST(EnumerateTest, InjectivityEnforced) {
+  // A 2-vertex data graph cannot host a triangle.
+  LabeledGraph g({0, 0});
+  g.InsertEdge(0, 1);
+  EXPECT_TRUE(EnumerateAllMatches(g, TriangleQuery()).empty());
+}
+
+}  // namespace
+}  // namespace bdsm

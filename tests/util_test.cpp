@@ -1,0 +1,159 @@
+/// Utility-layer tests: RNG determinism and distribution sanity, Zipf
+/// skew, bitsets (the encoder substrate), stats accumulators, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/bitset.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+
+namespace bdsm {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    if (x != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    double r = rng.UniformReal();
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(8);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Uniform(8)];
+  ASSERT_EQ(counts.size(), 8u);
+  for (auto& [v, n] : counts) {
+    EXPECT_GT(n, 700) << v;  // ~1000 expected each
+    EXPECT_LT(n, 1300) << v;
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(ZipfTest, SkewOrdersRanks) {
+  Rng rng(10);
+  ZipfSampler zipf(10, 1.0);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  // Rank 0 clearly dominates rank 9, and counts are roughly monotone.
+  EXPECT_GT(counts[0], counts[9] * 4);
+  EXPECT_GT(counts[0], counts[4]);
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  Rng rng(11);
+  ZipfSampler zipf(5, 0.0);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[zipf.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 350);
+}
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.PopCount(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  b.Reset();
+  EXPECT_EQ(b.PopCount(), 0u);
+}
+
+TEST(BitsetTest, ContainsIsTheGsiTest) {
+  Bitset enc_u(9), enc_v(9);
+  enc_u.Set(0);
+  enc_u.Set(3);
+  enc_v.Set(0);
+  enc_v.Set(3);
+  enc_v.Set(5);
+  EXPECT_TRUE(enc_v.Contains(enc_u));   // v superset of u: candidate
+  EXPECT_FALSE(enc_u.Contains(enc_v));  // u lacks bit 5
+  EXPECT_TRUE(enc_u.Contains(enc_u));
+}
+
+TEST(BitsetTest, ToStringRoundTrip) {
+  Bitset b(5);
+  b.Set(1);
+  b.Set(4);
+  EXPECT_EQ(b.ToString(), "01001");
+}
+
+TEST(EdgeTest, CanonicalizationAndHash) {
+  Edge a(5, 2), b(2, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.u, 2u);
+  EXPECT_EQ(a.v, 5u);
+  EXPECT_EQ(EdgeHash{}(a), EdgeHash{}(b));
+  EXPECT_EQ(EdgeSrc(PackEdge(7, 9)), 7u);
+  EXPECT_EQ(EdgeDst(PackEdge(7, 9)), 9u);
+}
+
+TEST(StatsTest, Accumulator) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(6.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+}
+
+TEST(StatsTest, SamplesPercentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.6);
+  EXPECT_NEAR(s.Percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(95), 95.05, 0.2);
+}
+
+TEST(TimerTest, MeasuresElapsed) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  double e1 = t.ElapsedSeconds();
+  EXPECT_GT(e1, 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), e1);
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), e1 + 1.0);
+  // Unit relationships hold.
+  double s = t.ElapsedSeconds();
+  EXPECT_LE(s * 1e3, t.ElapsedMillis() + 1.0);
+  EXPECT_LE(s * 1e6, t.ElapsedMicros() + 1e3);
+}
+
+}  // namespace
+}  // namespace bdsm

@@ -1,0 +1,83 @@
+/// Warp-primitive tests: results and charged costs of the cooperative
+/// toolbox (ballot, shuffle, scan, parallel-binary-search intersection).
+#include <gtest/gtest.h>
+
+#include "gpusim/device.hpp"
+#include "gpusim/warp_ops.hpp"
+
+namespace bdsm {
+namespace {
+
+struct Fixture {
+  DeviceConfig cfg;
+  SharedMemory shm{48 * 1024};
+  DeviceAllocator alloc{1 << 20};
+  WarpContext ctx{cfg, &shm, &alloc, 0, 0};
+};
+
+TEST(WarpOpsTest, BallotPacksLanes) {
+  Fixture f;
+  std::vector<bool> lanes(32, false);
+  lanes[0] = lanes[5] = lanes[31] = true;
+  uint32_t mask = WarpOps::Ballot(f.ctx, lanes);
+  EXPECT_EQ(mask, (1u << 0) | (1u << 5) | (1u << 31));
+  EXPECT_EQ(f.ctx.DrainTicks(), f.cfg.ticks_per_compute_step);
+}
+
+TEST(WarpOpsTest, ShuffleBroadcasts) {
+  Fixture f;
+  EXPECT_EQ(WarpOps::Shuffle(f.ctx, 42), 42);
+  EXPECT_GT(f.ctx.DrainTicks(), 0u);
+}
+
+TEST(WarpOpsTest, InclusiveScan) {
+  Fixture f;
+  std::vector<uint32_t> in = {1, 2, 3, 4, 5};
+  auto out = WarpOps::InclusiveScan(f.ctx, in);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 3, 6, 10, 15}));
+  // Hillis-Steele: log2(32) = 5 steps.
+  EXPECT_EQ(f.ctx.compute_steps(), 5u);
+}
+
+TEST(WarpOpsTest, IntersectSortedCorrect) {
+  Fixture f;
+  std::vector<VertexId> a = {1, 3, 5, 7, 9, 11};
+  std::vector<VertexId> b = {2, 3, 4, 7, 8, 11, 20, 30};
+  auto out = WarpOps::IntersectSorted(f.ctx, a, b);
+  EXPECT_EQ(out, (std::vector<VertexId>{3, 7, 11}));
+  EXPECT_GT(f.ctx.global_transactions(), 0u);
+}
+
+TEST(WarpOpsTest, IntersectProbesSmallerSide) {
+  Fixture f1, f2;
+  std::vector<VertexId> small = {5, 10};
+  std::vector<VertexId> big(1000);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<VertexId>(2 * i);
+  }
+  WarpOps::IntersectSorted(f1.ctx, small, big);
+  WarpOps::IntersectSorted(f2.ctx, big, small);
+  // Symmetric: both orders probe from the 2-element side.
+  EXPECT_EQ(f1.ctx.DrainTicks(), f2.ctx.DrainTicks());
+}
+
+TEST(WarpOpsTest, IntersectOpsScalesLogarithmically) {
+  EXPECT_EQ(WarpOps::IntersectOps(1, 2), 1u);
+  EXPECT_EQ(WarpOps::IntersectOps(1, 1024), 10u);
+  EXPECT_EQ(WarpOps::IntersectOps(8, 1024), 80u);
+  EXPECT_LT(WarpOps::IntersectOps(10, 100),
+            WarpOps::IntersectOps(10, 100000));
+}
+
+TEST(WarpOpsTest, EmptyInputs) {
+  Fixture f;
+  std::vector<VertexId> empty;
+  std::vector<VertexId> some = {1, 2, 3};
+  EXPECT_TRUE(WarpOps::IntersectSorted(f.ctx, empty, some).empty());
+  EXPECT_TRUE(WarpOps::IntersectSorted(f.ctx, some, empty).empty());
+  auto scanned = WarpOps::InclusiveScan(f.ctx, empty);
+  EXPECT_TRUE(scanned.empty());
+}
+
+}  // namespace
+}  // namespace bdsm
