@@ -37,47 +37,33 @@ UpdateBatch MakeRateBatch(const LabeledGraph& g, const DatasetSpec& spec,
   return gen.MakeInsertions(g, count, elabels);
 }
 
-CellResult RunCsmCell(const std::string& engine, const LabeledGraph& g,
-                      const std::vector<QueryGraph>& queries,
-                      const UpdateBatch& batch, const Scale& scale) {
+CellResult RunEngineCell(const std::string& engine_name,
+                         const LabeledGraph& g,
+                         const std::vector<QueryGraph>& queries,
+                         const UpdateBatch& batch, const Scale& scale,
+                         GammaOptions gamma_options) {
   CellResult cell;
-  double total = 0.0;
-  for (const QueryGraph& q : queries) {
-    auto eng = MakeCsmEngine(engine, g, q);
-    eng->set_result_cap(1'500'000);  // same cap as GammaOptions
-    Timer t;
-    std::vector<MatchRecord> raw =
-        eng->ProcessBatch(batch, scale.query_budget_s);
-    double secs = t.ElapsedSeconds();
-    if (eng->timed_out()) {
-      ++cell.unsolved;
-      continue;
-    }
-    cell.total_matches += raw.size();
-    total += secs;
-    ++cell.solved;
-  }
-  cell.avg_latency_s = cell.solved ? total / double(cell.solved) : 0.0;
-  return cell;
-}
+  EngineOptions opts;
+  opts.gamma = gamma_options;
+  opts.gamma.device.host_budget_seconds = scale.query_budget_s;
+  opts.csm_result_cap = opts.gamma.result_cap;  // same cap both families
+  opts.csm_budget_seconds = scale.query_budget_s;
 
-CellResult RunGammaCell(const LabeledGraph& g,
-                        const std::vector<QueryGraph>& queries,
-                        const UpdateBatch& batch, const Scale& scale,
-                        GammaOptions options) {
-  CellResult cell;
-  options.device.host_budget_seconds = scale.query_budget_s;
   double total = 0.0, util = 0.0;
   for (const QueryGraph& q : queries) {
-    Gamma gamma(g, q, options);
-    BatchResult res = gamma.ProcessBatch(batch);
-    if (res.TimedOut()) {
+    auto engine = MakeEngine(engine_name, g, opts);
+    QueryId id = engine->AddQuery(q);
+    BatchReport report = engine->ProcessBatch(batch);
+    const QueryReport* qr = report.Find(id);
+    if (qr == nullptr || qr->Truncated()) {
       ++cell.unsolved;
       continue;
     }
-    cell.total_matches += res.TotalMatches();
-    total += res.ModeledSeconds(options.device);
-    util += res.match_stats.Utilization();
+    cell.total_matches += qr->TotalMatches();
+    total += engine->ModelsDevice()
+                 ? qr->ModeledSeconds(opts.gamma.device)
+                 : qr->host_wall_seconds;
+    util += qr->match_stats.Utilization();
     ++cell.solved;
   }
   cell.avg_latency_s = cell.solved ? total / double(cell.solved) : 0.0;

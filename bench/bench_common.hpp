@@ -2,6 +2,11 @@
 /// Shared harness of the paper-reproduction benchmarks (one binary per
 /// table/figure; see DESIGN.md §4 for the experiment index).
 ///
+/// Every measurement goes through the unified Engine interface
+/// (core/engine.hpp): `RunEngineCell("tf" | "sym" | "rf" | "cl" | "gf" |
+/// "gamma" | "multi", ...)` — engine choice is a string, not a code
+/// path, so every bench can sweep methods from one loop.
+///
 /// Methodology notes (also recorded in EXPERIMENTS.md):
 /// * Datasets are the synthetic twins of Table II (scaled; DESIGN.md §2).
 /// * Query sets are extracted per structure class like §VI-A; the per-set
@@ -11,6 +16,7 @@
 /// * CSM baselines report host wall-clock (they are CPU systems); GAMMA
 ///   reports modeled device latency (simulated makespan ticks x clock,
 ///   preprocessing overlapped) — the honest analogue on a GPU-less host.
+///   RunEngineCell picks the right clock via Engine::ModelsDevice().
 ///   Shapes (who wins, trends), not absolute 3090 numbers, are the
 ///   reproduction target.
 #pragma once
@@ -18,8 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/csm_common.hpp"
-#include "core/gamma.hpp"
+#include "core/engine.hpp"
 #include "graph/datasets.hpp"
 #include "graph/query_extractor.hpp"
 #include "graph/update_stream.hpp"
@@ -41,7 +46,7 @@ struct CellResult {
   double avg_latency_s = 0.0;  ///< over solved queries only (paper rule)
   size_t unsolved = 0;
   size_t solved = 0;
-  double avg_utilization = 0.0;  ///< GAMMA only
+  double avg_utilization = 0.0;  ///< device engines only
   Count total_matches = 0;
 };
 
@@ -59,17 +64,15 @@ std::vector<QueryGraph> MakeQuerySet(const LabeledGraph& g,
 UpdateBatch MakeRateBatch(const LabeledGraph& g, const DatasetSpec& spec,
                           double rate, const Scale& scale, uint64_t seed);
 
-/// Runs one CSM engine over the query set; each query gets a fresh
-/// engine (index built offline, not counted) and the batch re-applied.
-CellResult RunCsmCell(const std::string& engine, const LabeledGraph& g,
-                      const std::vector<QueryGraph>& queries,
-                      const UpdateBatch& batch, const Scale& scale);
-
-/// Runs GAMMA over the query set with the given options.
-CellResult RunGammaCell(const LabeledGraph& g,
-                        const std::vector<QueryGraph>& queries,
-                        const UpdateBatch& batch, const Scale& scale,
-                        GammaOptions options = {});
+/// Runs any registered engine over the query set; each query gets a
+/// fresh engine (index/device-graph built offline, not counted) and the
+/// batch re-applied.  `gamma_options` tunes the device engines (the CPU
+/// engines get the paper cap/budget from `scale`); latency is modeled
+/// device seconds when Engine::ModelsDevice(), host wall otherwise.
+CellResult RunEngineCell(const std::string& engine, const LabeledGraph& g,
+                         const std::vector<QueryGraph>& queries,
+                         const UpdateBatch& batch, const Scale& scale,
+                         GammaOptions gamma_options = {});
 
 /// "0.553" or "12.3(2)" — the paper's latency(unsolved) cell format.
 std::string FormatCell(const CellResult& r);
@@ -78,7 +81,8 @@ std::string FormatCell(const CellResult& r);
 void PrintHeader(const char* experiment, const char* what,
                  const Scale& scale);
 
-const char* const kBaselineMethods[] = {"TF", "SYM", "RF", "CL"};
+/// The paper's CSM baseline set (Table III columns before GAMMA).
+const char* const kBaselineMethods[] = {"tf", "sym", "rf", "cl"};
 
 inline const std::vector<QueryGraph::StructureClass>& AllClasses() {
   static const std::vector<QueryGraph::StructureClass> kClasses = {

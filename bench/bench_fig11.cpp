@@ -36,11 +36,11 @@ int main() {
       }
       printf("%-7s |", ToString(cls));
       for (const char* m : kBaselineMethods) {
-        CellResult r = RunCsmCell(m, g, queries, batch, scale);
+        CellResult r = RunEngineCell(m, g, queries, batch, scale);
         printf(" %12s", FormatCell(r).c_str());
         fflush(stdout);
       }
-      CellResult gamma = RunGammaCell(g, queries, batch, scale);
+      CellResult gamma = RunEngineCell("gamma", g, queries, batch, scale);
       printf(" %12s\n", FormatCell(gamma).c_str());
       fflush(stdout);
     }

@@ -35,11 +35,13 @@ int main() {
     }
     UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
                                       scale.seed + 1);
-    GammaOptions opts;
-    opts.device.host_budget_seconds = scale.query_budget_s;
-    Gamma gamma(g, queries[0], opts);
-    BatchResult res = gamma.ProcessBatch(batch);
-    double tick_ms = opts.device.TickSeconds() * 1e3;
+    EngineOptions opts;
+    opts.gamma.device.host_budget_seconds = scale.query_budget_s;
+    auto engine = MakeEngine("gamma", g, opts);
+    QueryId id = engine->AddQuery(queries[0]);
+    BatchReport report = engine->ProcessBatch(batch);
+    const QueryReport& res = *report.Find(id);
+    double tick_ms = opts.gamma.device.TickSeconds() * 1e3;
     double update_ms = double(res.update_stats.makespan_ticks) * tick_ms;
     double match_ms = double(res.match_stats.makespan_ticks) * tick_ms;
     double ratio = update_ms + match_ms > 0

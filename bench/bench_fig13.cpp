@@ -25,7 +25,7 @@ double UtilPct(const LabeledGraph& g,
   opts.device.num_sms = 16;
   opts.device.warps_per_block = 4;
   opts.device.steal_policy = policy;
-  CellResult r = RunGammaCell(g, queries, batch, scale, opts);
+  CellResult r = RunEngineCell("gamma", g, queries, batch, scale, opts);
   return 100.0 * r.avg_utilization;
 }
 

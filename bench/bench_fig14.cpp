@@ -23,7 +23,7 @@ CellResult RunVariant(const LabeledGraph& g,
   opts.device.warps_per_block = 4;
   opts.coalesced_search = cs;
   opts.device.steal_policy = ws ? StealPolicy::kActive : StealPolicy::kNone;
-  return RunGammaCell(g, queries, batch, scale, opts);
+  return RunEngineCell("gamma", g, queries, batch, scale, opts);
 }
 
 }  // namespace

@@ -37,13 +37,13 @@ int main() {
         printf("%6zu |", nq);
         size_t total_runs = 0, total_solved = 0;
         for (const char* m : kBaselineMethods) {
-          CellResult r = RunCsmCell(m, g, queries, batch, scale);
+          CellResult r = RunEngineCell(m, g, queries, batch, scale);
           total_runs += r.solved + r.unsolved;
           total_solved += r.solved;
           printf(" %12s", FormatCell(r).c_str());
           fflush(stdout);
         }
-        CellResult gamma = RunGammaCell(g, queries, batch, scale);
+        CellResult gamma = RunEngineCell("gamma", g, queries, batch, scale);
         total_runs += gamma.solved + gamma.unsolved;
         total_solved += gamma.solved;
         printf(" %12s | %5.1f\n", FormatCell(gamma).c_str(),

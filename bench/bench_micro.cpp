@@ -1,11 +1,12 @@
 /// Micro-benchmarks (google-benchmark) for the substrate hot paths: the
 /// operations §I identifies as dominating subgraph matching (set
-/// intersections / adjacency probes), GPMA updates, and incremental
-/// encoding.  Not a paper table — engineering guardrails.
+/// intersections / adjacency probes), GPMA updates, incremental
+/// encoding, and the unified engine layer (dispatch + streaming
+/// delivery overhead).  Not a paper table — engineering guardrails.
 #include <benchmark/benchmark.h>
 
 #include "core/encoder.hpp"
-#include "core/gamma.hpp"
+#include "core/engine.hpp"
 #include "gpma/gpma.hpp"
 #include "graph/graph_generator.hpp"
 #include "graph/update_stream.hpp"
@@ -114,21 +115,56 @@ void BM_EncoderDirtyUpdate(benchmark::State& state) {
 }
 BENCHMARK(BM_EncoderDirtyUpdate);
 
-void BM_GammaProcessBatch(benchmark::State& state) {
+// Engine choice is a registry index here — the same ProcessBatch loop
+// drives the device systems and the CPU baselines.
+const char* const kMicroEngines[] = {"gamma", "multi", "tf", "rf"};
+
+void BM_EngineProcessBatch(benchmark::State& state) {
+  const char* name = kMicroEngines[state.range(0)];
+  state.SetLabel(name);
   LabeledGraph& g = BenchGraph();
   QueryGraph q = BenchQuery();
   UpdateStreamGenerator gen(17);
   UpdateBatch batch =
-      gen.MakeInsertions(g, static_cast<size_t>(state.range(0)), 0);
+      gen.MakeInsertions(g, static_cast<size_t>(state.range(1)), 0);
   for (auto _ : state) {
     state.PauseTiming();
-    Gamma gamma(g, q, GammaOptions{});
+    auto engine = MakeEngine(name, g);
+    engine->AddQuery(q);
     state.ResumeTiming();
-    BatchResult res = gamma.ProcessBatch(batch);
-    benchmark::DoNotOptimize(res.TotalMatches());
+    BatchReport report = engine->ProcessBatch(batch);
+    benchmark::DoNotOptimize(report.TotalMatches());
   }
 }
-BENCHMARK(BM_GammaProcessBatch)->Arg(32)->Arg(128);
+BENCHMARK(BM_EngineProcessBatch)
+    ->ArgsProduct({{0, 1, 2, 3}, {32, 128}});
+
+// Streaming delivery vs materialized vectors: the sink path must not
+// cost more than the vectors it saves.
+void BM_EngineStreamingSink(benchmark::State& state) {
+  LabeledGraph& g = BenchGraph();
+  QueryGraph q = BenchQuery();
+  UpdateStreamGenerator gen(19);
+  UpdateBatch batch = gen.MakeInsertions(g, 128, 0);
+  struct CountingSink final : ResultSink {
+    size_t n = 0;
+    void OnMatch(QueryId, const MatchRecord&) override { ++n; }
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto engine = MakeEngine("gamma", g);
+    engine->AddQuery(q);
+    CountingSink sink;
+    BatchOptions opts;
+    opts.sink = &sink;
+    opts.materialize = false;
+    state.ResumeTiming();
+    BatchReport report = engine->ProcessBatch(batch, opts);
+    benchmark::DoNotOptimize(report.TotalMatches());
+    benchmark::DoNotOptimize(sink.n);
+  }
+}
+BENCHMARK(BM_EngineStreamingSink);
 
 }  // namespace
 }  // namespace bdsm

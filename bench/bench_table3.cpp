@@ -19,8 +19,13 @@ int main() {
               "(avg latency s, (n) = unsolved)",
               scale);
 
-  printf("%-7s %-4s | %12s %12s %12s %12s %12s\n", "QS", "DS", "TF", "SYM",
-         "RF", "CL", "GAMMA");
+  // One loop, one code path: every column is just an engine name given
+  // to the unified registry (core/engine.hpp).
+  const char* const kMethods[] = {"tf", "sym", "rf", "cl", "gamma"};
+
+  printf("%-7s %-4s |", "QS", "DS");
+  for (const char* m : kMethods) printf(" %12s", m);
+  printf("\n");
   printf("---------------------------------------------------------------"
          "-------------\n");
   for (auto cls : AllClasses()) {
@@ -36,13 +41,12 @@ int main() {
       UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
                                         scale.seed + 1);
       printf("%-7s %-4s |", ToString(cls), spec.short_name);
-      for (const char* m : kBaselineMethods) {
-        CellResult r = RunCsmCell(m, g, queries, batch, scale);
+      for (const char* m : kMethods) {
+        CellResult r = RunEngineCell(m, g, queries, batch, scale);
         printf(" %12s", FormatCell(r).c_str());
         fflush(stdout);
       }
-      CellResult gamma = RunGammaCell(g, queries, batch, scale);
-      printf(" %12s\n", FormatCell(gamma).c_str());
+      printf("\n");
       fflush(stdout);
     }
   }

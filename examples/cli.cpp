@@ -1,9 +1,13 @@
 /// \file cli.cpp
-/// Command-line driver: run GAMMA on your own graph/query files.
+/// Command-line driver: run any registered engine on your own
+/// graph/query files.  Engine choice is a flag, not a code path.
 ///
 /// Usage:
-///   ./example_cli <graph-file> <query-file> [ins-rate%] [seed]
-///   ./example_cli --demo            # built-in dataset demo
+///   ./example_cli [--engine NAME] <graph-file> <query-file> [ins-rate%] [seed]
+///   ./example_cli [--engine NAME] --demo    # built-in dataset demo
+///
+/// NAME is any registry name: gamma (default), multi, tf, sym, rf, cl,
+/// gf (see core/engine.hpp).
 ///
 /// File format (shared with the CSM literature; see graph/graph_io.hpp):
 ///   t <num_vertices> <num_edges>
@@ -12,6 +16,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "core/stream_pipeline.hpp"
 #include "graph/datasets.hpp"
@@ -23,8 +28,10 @@ using namespace bdsm;
 
 namespace {
 
-int RunDemo() {
-  printf("demo: GH dataset twin, one extracted sparse query, 3 batches\n");
+int RunDemo(const std::string& engine_name) {
+  printf("demo: GH dataset twin, one extracted sparse query, 3 batches, "
+         "engine \"%s\"\n",
+         engine_name.c_str());
   LabeledGraph g = LoadDataset(DatasetId::kGithub);
   QueryExtractor ex(g, 7);
   auto q = ex.Extract(6, QueryGraph::StructureClass::kSparse);
@@ -34,22 +41,24 @@ int RunDemo() {
   }
   printf("query: %s\n", q->ToString().c_str());
 
-  Gamma gamma(g, *q, GammaOptions{});
+  auto engine = MakeEngine(engine_name, g);
+  QueryId qid = engine->AddQuery(*q);
   UpdateStreamGenerator gen(13);
   std::vector<UpdateBatch> stream;
   LabeledGraph evolving = g;
   for (int i = 0; i < 3; ++i) {
-    UpdateBatch b = SanitizeBatch(evolving, gen.MakeMixed(evolving, 200, 2, 1, 0));
+    UpdateBatch b =
+        SanitizeBatch(evolving, gen.MakeMixed(evolving, 200, 2, 1, 0));
     ApplyBatch(&evolving, b);
     stream.push_back(std::move(b));
   }
-  StreamPipeline pipe(&gamma);
-  std::vector<BatchResult> results;
-  PipelineStats stats = pipe.Run(stream, &results);
-  for (size_t i = 0; i < results.size(); ++i) {
+  StreamPipeline pipe(engine.get());
+  std::vector<BatchReport> reports;
+  PipelineStats stats = pipe.Run(stream, &reports);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const QueryReport* qr = reports[i].Find(qid);
     printf("batch %zu: +%zu / -%zu matches, device %llu ticks\n", i + 1,
-           results[i].positive_matches.size(),
-           results[i].negative_matches.size(),
+           qr->num_positive, qr->num_negative,
            static_cast<unsigned long long>(
                stats.batches[i].device.makespan_ticks));
   }
@@ -61,18 +70,39 @@ int RunDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--demo") == 0) return RunDemo();
-  if (argc < 3) {
+  std::string engine_name = "gamma";
+  // Peel off --engine NAME wherever it appears.
+  std::vector<char*> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
+      engine_name = argv[++i];
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!EngineRegistry::Instance().Has(engine_name)) {
+    fprintf(stderr, "unknown engine \"%s\"; available:", engine_name.c_str());
+    for (const std::string& n : EngineNames()) fprintf(stderr, " %s", n.c_str());
+    fprintf(stderr, "\n");
+    return 2;
+  }
+
+  if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
+    return RunDemo(engine_name);
+  }
+  if (args.size() < 2) {
     fprintf(stderr,
-            "usage: %s <graph-file> <query-file> [ins-rate%%] [seed]\n"
-            "       %s --demo\n",
+            "usage: %s [--engine NAME] <graph-file> <query-file> "
+            "[ins-rate%%] [seed]\n"
+            "       %s [--engine NAME] --demo\n",
             argv[0], argv[0]);
     return 2;
   }
-  LabeledGraph g = LoadGraph(argv[1]);
-  QueryGraph q = LoadQuery(argv[2]);
-  double rate = argc > 3 ? std::atof(argv[3]) / 100.0 : 0.10;
-  uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+  LabeledGraph g = LoadGraph(args[0]);
+  QueryGraph q = LoadQuery(args[1]);
+  double rate = args.size() > 2 ? std::atof(args[2]) / 100.0 : 0.10;
+  uint64_t seed =
+      args.size() > 3 ? std::strtoull(args[3], nullptr, 10) : 42;
   printf("graph: %zu vertices, %zu edges | query: %s\n", g.NumVertices(),
          g.NumEdges(), q.ToString().c_str());
 
@@ -83,17 +113,25 @@ int main(int argc, char** argv) {
   printf("batch: %zu insertions (%.1f%% of |E|)\n", batch.size(),
          100.0 * rate);
 
-  Gamma gamma(g, q, GammaOptions{});
-  BatchResult res = gamma.ProcessBatch(batch);
-  printf("incremental matches: +%zu / -%zu%s\n",
-         res.positive_matches.size(), res.negative_matches.size(),
-         res.TimedOut() ? " (TRUNCATED: budget/cap hit)" : "");
-  printf("modeled device: update %llu + match %llu ticks (%.3f ms); "
-         "utilization %.1f%%; host wall %.3f ms\n",
-         static_cast<unsigned long long>(res.update_stats.makespan_ticks),
-         static_cast<unsigned long long>(res.match_stats.makespan_ticks),
-         res.ModeledSeconds(gamma.options().device) * 1e3,
-         100.0 * res.match_stats.Utilization(),
-         res.host_wall_seconds * 1e3);
+  EngineOptions opts;
+  auto engine = MakeEngine(engine_name, g, opts);
+  QueryId qid = engine->AddQuery(q);
+  BatchReport report = engine->ProcessBatch(batch);
+  const QueryReport& res = *report.Find(qid);
+  printf("engine %s: incremental matches +%zu / -%zu%s\n", engine->Name(),
+         res.num_positive, res.num_negative,
+         res.Truncated() ? " (TRUNCATED: budget/cap hit)" : "");
+  if (engine->ModelsDevice()) {
+    printf("modeled device: update %llu + match %llu ticks (%.3f ms); "
+           "utilization %.1f%%; host wall %.3f ms\n",
+           static_cast<unsigned long long>(res.update_stats.makespan_ticks),
+           static_cast<unsigned long long>(res.match_stats.makespan_ticks),
+           res.ModeledSeconds(opts.gamma.device) * 1e3,
+           100.0 * res.match_stats.Utilization(),
+           res.host_wall_seconds * 1e3);
+  } else {
+    printf("sequential CPU baseline; host wall %.3f ms\n",
+           res.host_wall_seconds * 1e3);
+  }
   return 0;
 }

@@ -1,8 +1,10 @@
 /// \file network_motifs.cpp
 /// Cellular-network monitoring — the paper cites CellIQ-style analytics
-/// as a batch-dynamic consumer; here GAMMA tracks a congestion motif
-/// over a stream of link updates while comparing against a sequential
-/// CSM baseline, showing the batch-amortization the paper argues for.
+/// as a batch-dynamic consumer; here a congestion motif is tracked over
+/// a stream of link updates by GAMMA *and* a sequential CSM baseline,
+/// both driven by the exact same Engine loop (the engine name is the
+/// only difference), showing the batch-amortization the paper argues
+/// for.
 ///
 /// Vertices: cell towers (label 0), aggregation switches (label 1) and
 /// gateways (label 2); edges carry a load-class label (0 = normal,
@@ -10,15 +12,13 @@
 /// switches that both uplink to the same gateway — an early congestion
 /// signature.
 ///
-///   ./example_network_motifs [num_batches]
+///   ./example_network_motifs [num_batches] [baseline-engine]
 #include <cstdio>
 #include <cstdlib>
 
-#include "baselines/csm_common.hpp"
-#include "core/gamma.hpp"
+#include "core/engine.hpp"
 #include "graph/graph_generator.hpp"
 #include "graph/update_stream.hpp"
-#include "util/timer.hpp"
 
 using namespace bdsm;
 
@@ -55,6 +55,7 @@ LabeledGraph MakeTopology(size_t towers, size_t switches, size_t gateways,
 
 int main(int argc, char** argv) {
   size_t num_batches = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 4;
+  const char* baseline = argc > 2 ? argv[2] : "rf";
 
   LabeledGraph g = MakeTopology(2500, 400, 40, 7);
   printf("topology: %zu vertices, %zu edges\n", g.NumVertices(),
@@ -68,28 +69,32 @@ int main(int argc, char** argv) {
   motif.AddEdge(1, 3, 0);
   motif.AddEdge(2, 3, 0);
 
-  Gamma gamma(g, motif, GammaOptions{});
-  UpdateStreamGenerator stream(55);
+  // Two engines, one interface: the GPU system and a sequential CSM
+  // baseline, both registered with the same motif and fed the same
+  // batches.
+  EngineOptions opts;
+  auto gamma = MakeEngine("gamma", g, opts);
+  auto csm = MakeEngine(baseline, g, opts);
+  QueryId gq = gamma->AddQuery(motif);
+  QueryId cq = csm->AddQuery(motif);
 
+  UpdateStreamGenerator stream(55);
   for (size_t b = 0; b < num_batches; ++b) {
     UpdateBatch batch = SanitizeBatch(
-        gamma.host_graph(),
-        stream.MakeMixed(gamma.host_graph(), 300, 2, 1, /*elabels=*/2));
+        gamma->host_graph(),
+        stream.MakeMixed(gamma->host_graph(), 300, 2, 1, /*elabels=*/2));
 
-    // Sequential CSM baseline (RapidFlow) on the same batch, same state.
-    auto rf = MakeCsmEngine("RF", gamma.host_graph(), motif);
-    Timer rf_timer;
-    auto rf_raw = rf->ProcessBatch(batch);
-    double rf_wall = rf_timer.ElapsedSeconds();
-    size_t rf_net = NetEffect(rf_raw).size();
+    BatchReport gr = gamma->ProcessBatch(batch);
+    BatchReport cr = csm->ProcessBatch(batch);
+    const QueryReport& gres = *gr.Find(gq);
+    const QueryReport& cres = *cr.Find(cq);
+    size_t csm_net = NetDelta(cres).size();
 
-    BatchResult res = gamma.ProcessBatch(batch);
     printf("batch %zu (%3zu ops): GAMMA +%zu/-%zu motifs, device %.1f us"
-           " | RF (sequential CSM) net %zu in %.1f us host\n",
-           b + 1, batch.size(), res.positive_matches.size(),
-           res.negative_matches.size(),
-           res.ModeledSeconds(gamma.options().device) * 1e6, rf_net,
-           rf_wall * 1e6);
+           " | %s (sequential CSM) net %zu in %.1f us host\n",
+           b + 1, batch.size(), gres.num_positive, gres.num_negative,
+           gres.ModeledSeconds(opts.gamma.device) * 1e6, csm->Name(),
+           csm_net, cres.host_wall_seconds * 1e6);
   }
   printf("\nGAMMA processes the batch as one parallel kernel; the CSM "
          "baseline re-searches per edge — the gap grows with batch "

@@ -1,19 +1,32 @@
 /// \file quickstart.cpp
-/// GAMMA in ~40 lines: the paper's running example (Fig. 1).
+/// GAMMA in ~40 lines: the paper's running example (Fig. 1), driven
+/// through the unified Engine interface (core/engine.hpp).
 ///
 /// Builds the data graph G, registers the query Q (an A-vertex with two
 /// interconnected B-neighbors, one of which has a C-neighbor), applies
 /// the batch {+(v0,v2), +(v1,v4), -(v4,v5)} and prints the incremental
 /// matches — the four positive matches of the BDSM column of Fig. 1(c).
+/// Swap "gamma" for any registry name ("multi", "tf", "sym", "rf",
+/// "cl", "gf") and the same code runs a different system.
 ///
-///   ./example_quickstart
+///   ./example_quickstart [engine]
 #include <cstdio>
 
-#include "core/gamma.hpp"
+#include "core/engine.hpp"
 
 using namespace bdsm;
 
-int main() {
+int main(int argc, char** argv) {
+  const char* engine_name = argc > 1 ? argv[1] : "gamma";
+  if (!EngineRegistry::Instance().Has(engine_name)) {
+    fprintf(stderr, "unknown engine \"%s\"; available:", engine_name);
+    for (const std::string& n : EngineNames()) {
+      fprintf(stderr, " %s", n.c_str());
+    }
+    fprintf(stderr, "\n");
+    return 2;
+  }
+
   // Data graph G of Fig. 1(b).  Labels: A=0, B=1, C=2.
   LabeledGraph g({0, 0, 1, 1, 1, 1, 1, 2, 2, 2});
   for (auto [u, v] : {std::pair<VertexId, VertexId>{0, 3}, {0, 4}, {2, 3},
@@ -29,8 +42,11 @@ int main() {
   q.AddEdge(1, 2);
   q.AddEdge(1, 3);
 
-  // The system: GPMA device graph + encoder + query plans, one call.
-  Gamma gamma(g, q, GammaOptions{});
+  // The system: one registry call, one registered query.
+  EngineOptions opts;
+  auto engine = MakeEngine(engine_name, g, opts);
+  QueryId qid = engine->AddQuery(q);
+  printf("engine: %s\n", engine->Name());
 
   // The update batch of Example 1.
   UpdateBatch batch = {
@@ -38,23 +54,38 @@ int main() {
       {true, 1, 4, kNoLabel},   // +(v1, v4)
       {false, 4, 5, kNoLabel},  // -(v4, v5)
   };
-  BatchResult res = gamma.ProcessBatch(batch);
+  BatchReport report = engine->ProcessBatch(batch);
+  const QueryReport& res = *report.Find(qid);
 
-  printf("positive matches: %zu\n", res.positive_matches.size());
-  for (const MatchRecord& m : res.positive_matches) {
+  // Device engines emit the batch delta directly; the sequential CSM
+  // baselines emit a raw per-edge stream whose (+,-) flips cancel —
+  // either way NetDelta yields the BDSM delta of Fig. 1(c).
+  std::vector<MatchRecord> delta = NetDelta(res);
+
+  size_t positives = 0;
+  for (const MatchRecord& m : delta) positives += m.positive;
+  printf("positive matches: %zu\n", positives);
+  for (const MatchRecord& m : delta) {
+    if (!m.positive) continue;
     printf("  u0->v%u u1->v%u u2->v%u u3->v%u\n", m.m[0], m.m[1], m.m[2],
            m.m[3]);
   }
-  printf("negative matches: %zu\n", res.negative_matches.size());
-  for (const MatchRecord& m : res.negative_matches) {
+  printf("negative matches: %zu\n", delta.size() - positives);
+  for (const MatchRecord& m : delta) {
+    if (m.positive) continue;
     printf("  u0->v%u u1->v%u u2->v%u u3->v%u\n", m.m[0], m.m[1], m.m[2],
            m.m[3]);
   }
-  printf("modeled device latency: %.3f us (update %llu + match %llu "
-         "ticks), utilization %.1f%%\n",
-         res.ModeledSeconds(gamma.options().device) * 1e6,
-         static_cast<unsigned long long>(res.update_stats.makespan_ticks),
-         static_cast<unsigned long long>(res.match_stats.makespan_ticks),
-         100.0 * res.match_stats.Utilization());
+  if (engine->ModelsDevice()) {
+    printf("modeled device latency: %.3f us (update %llu + match %llu "
+           "ticks), utilization %.1f%%\n",
+           res.ModeledSeconds(opts.gamma.device) * 1e6,
+           static_cast<unsigned long long>(res.update_stats.makespan_ticks),
+           static_cast<unsigned long long>(res.match_stats.makespan_ticks),
+           100.0 * res.match_stats.Utilization());
+  } else {
+    printf("host wall: %.3f us (sequential CPU baseline)\n",
+           res.host_wall_seconds * 1e6);
+  }
   return 0;
 }

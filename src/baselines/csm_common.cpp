@@ -23,6 +23,7 @@ std::vector<MatchRecord> CsmEngine::ProcessBatch(const UpdateBatch& batch,
                                                  double budget_seconds) {
   std::vector<MatchRecord> out;
   timed_out_ = false;
+  overflowed_ = false;
   Timer timer;
   for (const UpdateOp& op : batch) {
     if (budget_seconds > 0 && timer.ElapsedSeconds() > budget_seconds) {
@@ -30,7 +31,7 @@ std::vector<MatchRecord> CsmEngine::ProcessBatch(const UpdateBatch& batch,
       break;
     }
     if (result_cap_ > 0 && out.size() > result_cap_) {
-      timed_out_ = true;
+      overflowed_ = true;
       break;
     }
     if (op.is_insert) {

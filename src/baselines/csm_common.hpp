@@ -37,11 +37,16 @@ class CsmEngine {
   /// the edge is removed, an insertion's positive matches after it is
   /// inserted.  Returns all incremental matches in processing order.
   /// `budget_seconds` > 0 aborts long runs (the paper's 30-minute
-  /// timeout, scaled); on abort, `timed_out()` reports true.
+  /// timeout, scaled); on abort, `timed_out()` reports true.  Hitting
+  /// the result cap aborts too and reports `overflowed()` instead.
   std::vector<MatchRecord> ProcessBatch(const UpdateBatch& batch,
                                         double budget_seconds = 0.0);
 
   bool timed_out() const { return timed_out_; }
+  bool overflowed() const { return overflowed_; }
+  /// Results are partial for either reason (the "unsolved query"
+  /// condition of Table III).
+  bool Truncated() const { return timed_out_ || overflowed_; }
   const LabeledGraph& graph() const { return g_; }
 
   /// Cap on accumulated incremental matches (0 = unlimited); exceeding
@@ -89,6 +94,7 @@ class CsmEngine {
   LabeledGraph g_;
   QueryGraph q_;
   bool timed_out_ = false;
+  bool overflowed_ = false;
   size_t result_cap_ = 0;
 };
 

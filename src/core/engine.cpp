@@ -1,0 +1,459 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "baselines/csm_common.hpp"
+#include "core/multi_gamma.hpp"
+#include "util/timer.hpp"
+
+namespace bdsm {
+
+// ---------------------------------------------------------------- Engine
+
+BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
+                                 const BatchOptions& options) {
+  BatchReport report;
+  InitReport(&report);
+  Timer wall;
+
+  UpdateBatch batch = SanitizeBatch(host_graph(), raw_batch);
+
+  // Negative matches: deleted-edge seeds on the pre-update state.
+  RunMatchPhase(batch, /*positive=*/false, options, &report);
+  FlushPhase(options, &report);
+
+  // Update: device graph + host mirror + candidate re-encode (CSM
+  // engines run their whole sequential loop here).
+  RunUpdatePhase(batch, options, &report);
+  FlushPhase(options, &report);
+
+  // Positive matches: inserted-edge seeds on the post-update state.
+  RunMatchPhase(batch, /*positive=*/true, options, &report);
+  FlushPhase(options, &report);
+
+  report.host_wall_seconds = wall.ElapsedSeconds();
+  for (QueryReport& qr : report.queries) {
+    if (qr.host_wall_seconds == 0.0) {
+      qr.host_wall_seconds = report.host_wall_seconds;
+    }
+  }
+  return report;
+}
+
+void Engine::InitReport(BatchReport* report) const {
+  report->queries.clear();
+  for (QueryId id : QueryIds()) {
+    QueryReport qr;
+    qr.id = id;
+    report->queries.push_back(std::move(qr));
+  }
+}
+
+void Engine::FlushPhase(const BatchOptions& options, BatchReport* report) {
+  auto flush = [&](QueryId id, std::vector<MatchRecord>* v,
+                   size_t* streamed, size_t* total) {
+    for (size_t i = *streamed; i < v->size(); ++i) {
+      ++*total;
+      if (options.sink) options.sink->OnMatch(id, (*v)[i]);
+    }
+    *streamed = v->size();
+    if (!options.materialize) {
+      v->clear();
+      *streamed = 0;
+    }
+  };
+  for (QueryReport& qr : report->queries) {
+    flush(qr.id, &qr.positive_matches, &qr.streamed_positive,
+          &qr.num_positive);
+    flush(qr.id, &qr.negative_matches, &qr.streamed_negative,
+          &qr.num_negative);
+  }
+}
+
+void Engine::DeliverDirect(const BatchOptions& options, QueryReport* qr,
+                           const MatchRecord& m) {
+  if (m.positive) {
+    ++qr->num_positive;
+  } else {
+    ++qr->num_negative;
+  }
+  if (options.sink) options.sink->OnMatch(qr->id, m);
+  if (options.materialize) {
+    auto& v = m.positive ? qr->positive_matches : qr->negative_matches;
+    v.push_back(m);
+    // Already counted and streamed: advance the flush marker past it.
+    (m.positive ? qr->streamed_positive : qr->streamed_negative) = v.size();
+  }
+}
+
+namespace {
+
+// ----------------------------------------------------------- GammaEngine
+
+/// "gamma": the paper's single-query system, one full Gamma instance
+/// (own GPMA + encoder + device) per registered query.  This is the
+/// un-shared reference point the multi-query bench compares against.
+class GammaEngineBase : public Engine {
+ public:
+  GammaEngineBase(const LabeledGraph& g, const EngineOptions& options)
+      : options_(options.gamma), graph_(g) {}
+
+  bool ModelsDevice() const override { return true; }
+
+  QueryId AddQuery(const QueryGraph& q) override {
+    Slot slot;
+    slot.id = next_id_++;
+    slot.gamma = std::make_unique<Gamma>(graph_, q, options_);
+    slots_.push_back(std::move(slot));
+    return slots_.back().id;
+  }
+
+  bool RemoveQuery(QueryId id) override {
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->id == id) {
+        slots_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<QueryId> QueryIds() const override {
+    std::vector<QueryId> ids;
+    ids.reserve(slots_.size());
+    for (const Slot& s : slots_) ids.push_back(s.id);
+    return ids;
+  }
+
+  const LabeledGraph& host_graph() const override { return graph_; }
+
+ protected:
+  struct Slot {
+    QueryId id = kInvalidQueryId;
+    std::unique_ptr<Gamma> gamma;
+  };
+
+  GammaOptions options_;
+  LabeledGraph graph_;  ///< canonical evolving host graph
+  std::vector<Slot> slots_;
+  QueryId next_id_ = 0;
+};
+
+}  // namespace
+
+// Named (not in the anonymous namespace) because Gamma befriends it to
+// expose its phase methods.
+class GammaEngine final : public GammaEngineBase {
+ public:
+  using GammaEngineBase::GammaEngineBase;
+
+  const char* Name() const override { return "gamma"; }
+
+ protected:
+  void RunMatchPhase(const UpdateBatch& batch, bool positive,
+                     const BatchOptions& /*options*/,
+                     BatchReport* report) override {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      WbmResult r = s.gamma->RunMatchPhase(batch, positive);
+      QueryReport* qr = &report->queries[i];  // InitReport order
+      GAMMA_CHECK(qr->id == s.id);
+      auto& dst = positive ? qr->positive_matches : qr->negative_matches;
+      dst.insert(dst.end(), std::make_move_iterator(r.matches.begin()),
+                 std::make_move_iterator(r.matches.end()));
+      qr->match_stats.MergeSequential(r.stats);
+      qr->timed_out = qr->timed_out || r.stats.timed_out;
+      qr->overflowed = qr->overflowed || r.overflowed;
+      // Separate launches run back to back on the one device.
+      report->match_stats.MergeSequential(r.stats);
+    }
+  }
+
+  void RunUpdatePhase(const UpdateBatch& batch,
+                      const BatchOptions& /*options*/,
+                      BatchReport* report) override {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      BatchResult tmp;
+      s.gamma->RunUpdatePhase(batch, &tmp);
+      QueryReport* qr = &report->queries[i];  // InitReport order
+      GAMMA_CHECK(qr->id == s.id);
+      qr->update_stats = tmp.update_stats;
+      qr->timed_out = qr->timed_out || tmp.update_stats.timed_out;
+      qr->preprocess_host_seconds = tmp.preprocess_host_seconds;
+      report->update_stats.MergeSequential(tmp.update_stats);
+      report->preprocess_host_seconds += tmp.preprocess_host_seconds;
+    }
+    // The canonical graph advances even with no queries registered.
+    ApplyBatch(&graph_, batch);
+  }
+};
+
+// ------------------------------------------------------ MultiGammaEngine
+
+/// "multi": one shared device graph and encoder set, every query's
+/// seeds fused into each kernel launch (MultiGamma).
+class MultiGammaEngine final : public Engine {
+ public:
+  MultiGammaEngine(const LabeledGraph& g, const EngineOptions& options)
+      : multi_(g, options.gamma) {}
+
+  const char* Name() const override { return "multi"; }
+  bool ModelsDevice() const override { return true; }
+
+  QueryId AddQuery(const QueryGraph& q) override {
+    return static_cast<QueryId>(multi_.AddQuery(q));
+  }
+  bool RemoveQuery(QueryId id) override { return multi_.RemoveQuery(id); }
+
+  std::vector<QueryId> QueryIds() const override {
+    std::vector<QueryId> ids;
+    for (size_t id : multi_.QueryIds()) {
+      ids.push_back(static_cast<QueryId>(id));
+    }
+    return ids;
+  }
+
+  const LabeledGraph& host_graph() const override {
+    return multi_.host_graph();
+  }
+
+  MultiGamma& multi() { return multi_; }
+
+ protected:
+  void RunMatchPhase(const UpdateBatch& batch, bool positive,
+                     const BatchOptions& /*options*/,
+                     BatchReport* report) override {
+    MultiBatchResult mbr;
+    mbr.per_query.resize(multi_.NumQueries());
+    multi_.RunMatchAll(batch, positive, &mbr);
+    std::vector<size_t> ids = multi_.QueryIds();
+    bool launch_counted = false;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      BatchResult& src = mbr.per_query[i];
+      QueryReport* qr = &report->queries[i];  // InitReport order
+      GAMMA_CHECK(qr->id == static_cast<QueryId>(ids[i]));
+      auto& src_v = positive ? src.positive_matches : src.negative_matches;
+      auto& dst = positive ? qr->positive_matches : qr->negative_matches;
+      dst.insert(dst.end(), std::make_move_iterator(src_v.begin()),
+                 std::make_move_iterator(src_v.end()));
+      qr->match_stats.MergeSequential(src.match_stats);
+      qr->timed_out = qr->timed_out || src.match_stats.timed_out;
+      qr->overflowed = qr->overflowed || src.overflowed;
+      if (!launch_counted) {
+        // One fused launch shared by all queries: charge it once at the
+        // report level (every per_query record describes the same
+        // kernel).
+        report->match_stats.MergeSequential(src.match_stats);
+        launch_counted = true;
+      }
+    }
+  }
+
+  void RunUpdatePhase(const UpdateBatch& batch,
+                      const BatchOptions& /*options*/,
+                      BatchReport* report) override {
+    MultiBatchResult mbr;
+    mbr.per_query.resize(multi_.NumQueries());
+    multi_.RunUpdate(batch, &mbr);
+    report->update_stats = mbr.update_stats;
+    report->preprocess_host_seconds = mbr.preprocess_host_seconds;
+    for (QueryReport& qr : report->queries) {
+      qr.update_stats = mbr.update_stats;
+      qr.timed_out = qr.timed_out || mbr.update_stats.timed_out;
+      qr.preprocess_host_seconds = mbr.preprocess_host_seconds;
+    }
+  }
+
+ private:
+  MultiGamma multi_;
+};
+
+namespace {
+
+// ------------------------------------------------------------ CsmAdapter
+
+/// The five sequential CPU baselines behind the Engine interface: one
+/// CsmEngine instance per registered query, each processing the batch
+/// edge-at-a-time.  Matching is interleaved with updates in the CSM
+/// chassis, so everything happens in RunUpdatePhase.
+class CsmAdapter final : public Engine {
+ public:
+  CsmAdapter(const char* registry_name, std::string csm_key,
+             const LabeledGraph& g, const EngineOptions& options)
+      : name_(registry_name),
+        csm_key_(std::move(csm_key)),
+        graph_(g),
+        result_cap_(options.csm_result_cap),
+        default_budget_(options.csm_budget_seconds) {}
+
+  const char* Name() const override { return name_; }
+
+  QueryId AddQuery(const QueryGraph& q) override {
+    Slot slot;
+    slot.id = next_id_++;
+    slot.engine = MakeCsmEngine(csm_key_, graph_, q);
+    slot.engine->set_result_cap(result_cap_);
+    slots_.push_back(std::move(slot));
+    return slots_.back().id;
+  }
+
+  bool RemoveQuery(QueryId id) override {
+    for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+      if (it->id == id) {
+        slots_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::vector<QueryId> QueryIds() const override {
+    std::vector<QueryId> ids;
+    ids.reserve(slots_.size());
+    for (const Slot& s : slots_) ids.push_back(s.id);
+    return ids;
+  }
+
+  const LabeledGraph& host_graph() const override { return graph_; }
+
+ protected:
+  void RunMatchPhase(const UpdateBatch&, bool, const BatchOptions&,
+                     BatchReport*) override {}
+
+  void RunUpdatePhase(const UpdateBatch& batch,
+                      const BatchOptions& options,
+                      BatchReport* report) override {
+    double budget = options.budget_seconds > 0 ? options.budget_seconds
+                                               : default_budget_;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      QueryReport* qr = &report->queries[i];  // InitReport order
+      GAMMA_CHECK(qr->id == s.id);
+      Timer t;
+      std::vector<MatchRecord> raw = s.engine->ProcessBatch(batch, budget);
+      qr->host_wall_seconds = t.ElapsedSeconds();
+      qr->timed_out = qr->timed_out || s.engine->timed_out();
+      qr->overflowed = qr->overflowed || s.engine->overflowed();
+      // The chassis interleaves positives and negatives edge by edge;
+      // deliver in that order so order-sensitive sinks (delta views)
+      // see the same sequence the engine produced.
+      for (const MatchRecord& m : raw) {
+        DeliverDirect(options, qr, m);
+      }
+    }
+    ApplyBatch(&graph_, batch);
+  }
+
+ private:
+  struct Slot {
+    QueryId id = kInvalidQueryId;
+    std::unique_ptr<CsmEngine> engine;
+  };
+
+  const char* name_;
+  std::string csm_key_;  ///< MakeCsmEngine key ("TF", "SYM", ...)
+  LabeledGraph graph_;   ///< canonical evolving host graph
+  size_t result_cap_;
+  double default_budget_;
+  std::vector<Slot> slots_;
+  QueryId next_id_ = 0;
+};
+
+std::string Canonical(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- EngineRegistry
+
+EngineRegistry::EngineRegistry() {
+  auto add = [this](const char* name, EngineFactory f) {
+    entries_.emplace(name, Entry{std::move(f), /*is_alias=*/false});
+  };
+  auto alias = [this](const char* name, const char* target) {
+    entries_.emplace(name, Entry{entries_.at(target).factory,
+                                 /*is_alias=*/true});
+  };
+
+  add("gamma", [](const LabeledGraph& g, const EngineOptions& o) {
+    return std::unique_ptr<Engine>(new GammaEngine(g, o));
+  });
+  add("multi", [](const LabeledGraph& g, const EngineOptions& o) {
+    return std::unique_ptr<Engine>(new MultiGammaEngine(g, o));
+  });
+  struct Csm {
+    const char* name;
+    const char* alias;
+    const char* key;
+  };
+  for (const Csm& c : {Csm{"tf", "turboflux", "TF"},
+                       Csm{"sym", "symbi", "SYM"},
+                       Csm{"rf", "rapidflow", "RF"},
+                       Csm{"cl", "calig", "CL"},
+                       Csm{"gf", "graphflow", "GF"}}) {
+    add(c.name, [c](const LabeledGraph& g, const EngineOptions& o) {
+      return std::unique_ptr<Engine>(new CsmAdapter(c.name, c.key, g, o));
+    });
+    alias(c.alias, c.name);
+  }
+  alias("multigamma", "multi");
+}
+
+EngineRegistry& EngineRegistry::Instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+void EngineRegistry::Register(const std::string& name,
+                              EngineFactory factory) {
+  entries_[Canonical(name)] = Entry{std::move(factory), /*is_alias=*/false};
+}
+
+bool EngineRegistry::Has(const std::string& name) const {
+  return entries_.count(Canonical(name)) > 0;
+}
+
+std::vector<std::string> EngineRegistry::Names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.is_alias) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<Engine> EngineRegistry::Make(
+    const std::string& name, const LabeledGraph& g,
+    const EngineOptions& options) const {
+  auto it = entries_.find(Canonical(name));
+  GAMMA_CHECK_MSG(it != entries_.end(), "unknown engine name");
+  return it->second.factory(g, options);
+}
+
+std::unique_ptr<Engine> MakeEngine(const std::string& name,
+                                   const LabeledGraph& g,
+                                   const EngineOptions& options) {
+  return EngineRegistry::Instance().Make(name, g, options);
+}
+
+std::vector<std::string> EngineNames() {
+  return EngineRegistry::Instance().Names();
+}
+
+std::vector<MatchRecord> NetDelta(const QueryReport& report) {
+  std::vector<MatchRecord> raw = report.positive_matches;
+  raw.insert(raw.end(), report.negative_matches.begin(),
+             report.negative_matches.end());
+  return NetEffect(raw);
+}
+
+}  // namespace bdsm

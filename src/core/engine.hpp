@@ -1,0 +1,307 @@
+/// \file engine.hpp
+/// The unified engine layer: every matching system in this repository —
+/// GAMMA (one device graph per query), MultiGamma (one shared device
+/// graph, fused launches) and the five sequential CSM baselines
+/// (TurboFlux, SymBi, RapidFlow, CaLiG, Graphflow) — behind one
+/// interface, so benches, examples and serving code select an engine by
+/// name instead of by code path.
+///
+/// The interface is the paper's problem statement made operational:
+/// queries are registered and removed at runtime (`AddQuery` /
+/// `RemoveQuery`), one `ProcessBatch` call digests an update batch for
+/// every live query, and results are delivered either materialized in
+/// the returned `BatchReport` or streamed through a `ResultSink`
+/// callback (the postprocess hook of Fig. 3) without ever building
+/// unbounded vectors.
+///
+/// Quickstart:
+///   auto engine = MakeEngine("gamma", initial_graph);
+///   QueryId q = engine->AddQuery(query);
+///   BatchReport r = engine->ProcessBatch(batch);
+///   // r.Find(q)->positive_matches / ->negative_matches, r.*_stats
+///
+/// Streaming:
+///   struct Alert : ResultSink {
+///     void OnMatch(QueryId q, const MatchRecord& m) override { ... }
+///   } sink;
+///   BatchOptions opts;
+///   opts.sink = &sink;
+///   opts.materialize = false;  // counts only, no vectors
+///   engine->ProcessBatch(batch, opts);
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/gamma.hpp"
+#include "core/match.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm {
+
+/// Stable handle of a registered query.  Ids are engine-scoped,
+/// monotonically assigned, and never reused after RemoveQuery.
+using QueryId = uint32_t;
+inline constexpr QueryId kInvalidQueryId = static_cast<QueryId>(-1);
+
+/// Streaming delivery target.  OnMatch is invoked once per incremental
+/// match, after each processing phase, on the caller's thread.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnMatch(QueryId query, const MatchRecord& m) = 0;
+};
+
+/// A ResultSink that collects matches per query (tests, small tools).
+class CollectingSink : public ResultSink {
+ public:
+  void OnMatch(QueryId query, const MatchRecord& m) override {
+    matches_[query].push_back(m);
+  }
+  const std::vector<MatchRecord>& MatchesFor(QueryId q) const {
+    static const std::vector<MatchRecord> kEmpty;
+    auto it = matches_.find(q);
+    return it == matches_.end() ? kEmpty : it->second;
+  }
+  size_t TotalCount() const {
+    size_t n = 0;
+    for (const auto& [q, v] : matches_) n += v.size();
+    return n;
+  }
+
+ private:
+  std::unordered_map<QueryId, std::vector<MatchRecord>> matches_;
+};
+
+/// Per-ProcessBatch knobs.
+struct BatchOptions {
+  /// Per-query host budget in seconds for the CPU (CSM) engines; 0 uses
+  /// the engine default (EngineOptions::csm_budget_seconds).  Device
+  /// engines take their budget from
+  /// GammaOptions::device.host_budget_seconds at construction.
+  double budget_seconds = 0.0;
+  /// When set, every incremental match is also delivered via OnMatch.
+  ResultSink* sink = nullptr;
+  /// When false, match vectors in the report stay empty (counts are
+  /// still exact) — combine with `sink` for bounded-memory streaming.
+  bool materialize = true;
+};
+
+/// One query's share of a batch: matches (or just counts when not
+/// materializing) plus the unified timing/truncation story that was
+/// previously split across BatchResult::TimedOut(),
+/// CsmEngine::timed_out() and BatchResult::overflowed.
+struct QueryReport {
+  QueryId id = kInvalidQueryId;
+
+  std::vector<MatchRecord> positive_matches;  ///< empty if !materialize
+  std::vector<MatchRecord> negative_matches;  ///< empty if !materialize
+  size_t num_positive = 0;  ///< exact counts, independent of materialize
+  size_t num_negative = 0;
+
+  bool timed_out = false;   ///< a host/launch budget expired
+  bool overflowed = false;  ///< a result cap was hit
+
+  DeviceStats update_stats;  ///< zero for CPU engines
+  DeviceStats match_stats;   ///< zero for CPU engines
+  double preprocess_host_seconds = 0.0;
+  double host_wall_seconds = 0.0;  ///< this query's host time share
+
+  /// The "unsolved query" condition of Table III: results are partial.
+  bool Truncated() const { return timed_out || overflowed; }
+
+  size_t TotalMatches() const { return num_positive + num_negative; }
+
+  /// Modeled device latency (device engines): update + matching
+  /// makespan with CPU preprocessing overlapped (§IV-A).
+  double ModeledSeconds(const DeviceConfig& cfg) const {
+    double device = static_cast<double>(update_stats.makespan_ticks +
+                                        match_stats.makespan_ticks) *
+                    cfg.TickSeconds();
+    return std::max(device, preprocess_host_seconds);
+  }
+
+  // Streaming bookkeeping (managed by Engine; not part of the API).
+  size_t streamed_positive = 0;
+  size_t streamed_negative = 0;
+};
+
+/// Everything one batch produced across all registered queries.
+struct BatchReport {
+  /// One entry per live query, in registration order.
+  std::vector<QueryReport> queries;
+
+  /// Aggregate device stats: the graph-update kernel (charged once for
+  /// shared-graph engines) and the matching launches.
+  DeviceStats update_stats;
+  DeviceStats match_stats;
+  double preprocess_host_seconds = 0.0;
+  double host_wall_seconds = 0.0;  ///< whole ProcessBatch call
+
+  QueryReport* Find(QueryId id) {
+    for (QueryReport& q : queries) {
+      if (q.id == id) return &q;
+    }
+    return nullptr;
+  }
+  const QueryReport* Find(QueryId id) const {
+    return const_cast<BatchReport*>(this)->Find(id);
+  }
+
+  bool Truncated() const {
+    for (const QueryReport& q : queries) {
+      if (q.Truncated()) return true;
+    }
+    return false;
+  }
+
+  size_t TotalMatches() const {
+    size_t n = 0;
+    for (const QueryReport& q : queries) n += q.TotalMatches();
+    return n;
+  }
+
+  double ModeledSeconds(const DeviceConfig& cfg) const {
+    double device = static_cast<double>(update_stats.makespan_ticks +
+                                        match_stats.makespan_ticks) *
+                    cfg.TickSeconds();
+    return std::max(device, preprocess_host_seconds);
+  }
+};
+
+/// The unified engine interface.  Implementations: GammaEngine (one
+/// Gamma instance per query), MultiGammaEngine (shared device graph,
+/// fused launches), CsmAdapter (each CSM baseline).  Construct through
+/// MakeEngine()/EngineRegistry.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  /// Registry name ("gamma", "multi", "tf", ...).
+  virtual const char* Name() const = 0;
+
+  /// True when latencies should be read from ModeledSeconds (simulated
+  /// device makespan); false for CPU engines measured by host wall.
+  virtual bool ModelsDevice() const { return false; }
+
+  /// Registers a pattern against the *current* graph state; it takes
+  /// part in every subsequent ProcessBatch.
+  virtual QueryId AddQuery(const QueryGraph& q) = 0;
+  /// Unregisters; returns false if the id is unknown (already removed).
+  virtual bool RemoveQuery(QueryId id) = 0;
+  /// Live query ids, in registration order.
+  virtual std::vector<QueryId> QueryIds() const = 0;
+  size_t NumQueries() const { return QueryIds().size(); }
+
+  /// The engine's evolving host-side graph (updated by ProcessBatch).
+  virtual const LabeledGraph& host_graph() const = 0;
+
+  /// Digests one update batch for every live query: sanitizes it,
+  /// enumerates negative matches on the pre-update state, applies the
+  /// update, enumerates positive matches on the post-update state.
+  /// Matches are delivered per BatchOptions (materialized and/or
+  /// streamed).
+  BatchReport ProcessBatch(const UpdateBatch& batch,
+                           const BatchOptions& options = {});
+
+ protected:
+  friend class StreamPipeline;
+
+  /// Template-method phases over a batch already sanitized against
+  /// host_graph().  StreamPipeline drives them directly so it can
+  /// overlap host preparation of batch i+1 with the positive phase of
+  /// batch i.  Engines whose processing cannot be split (the sequential
+  /// CSM chassis interleaves matching with updates) do all their work
+  /// in RunUpdatePhase and leave RunMatchPhase empty.
+  virtual void RunMatchPhase(const UpdateBatch& batch, bool positive,
+                             const BatchOptions& options,
+                             BatchReport* report) = 0;
+  virtual void RunUpdatePhase(const UpdateBatch& batch,
+                              const BatchOptions& options,
+                              BatchReport* report) = 0;
+
+  /// Creates one QueryReport slot per live query.  Slots appear in
+  /// QueryIds() order, so phase implementations may index
+  /// report->queries positionally instead of calling Find().
+  void InitReport(BatchReport* report) const;
+
+  /// Streams matches appended since the previous flush to the sink and,
+  /// when not materializing, drops them; maintains the num_* counts.
+  static void FlushPhase(const BatchOptions& options, BatchReport* report);
+
+  /// Delivers one match immediately — count + sink + (if materializing)
+  /// report vector — preserving the caller's emission order.  For
+  /// engines whose matches do not arrive polarity-grouped (the CSM
+  /// chassis interleaves positives and negatives edge by edge); matches
+  /// delivered this way are skipped by the next FlushPhase.
+  static void DeliverDirect(const BatchOptions& options, QueryReport* qr,
+                            const MatchRecord& m);
+};
+
+/// Construction options for MakeEngine / EngineRegistry.
+struct EngineOptions {
+  /// Device-engine ("gamma", "multi") configuration, including the
+  /// per-launch host budget and result cap.
+  GammaOptions gamma;
+  /// Result cap for the CPU (CSM) engines (0 = unlimited); exceeding it
+  /// reports the query truncated, mirroring GammaOptions::result_cap.
+  size_t csm_result_cap = 1'500'000;
+  /// Default per-query host budget for the CPU engines (0 = unlimited);
+  /// BatchOptions::budget_seconds overrides it per batch.
+  double csm_budget_seconds = 0.0;
+};
+
+using EngineFactory = std::function<std::unique_ptr<Engine>(
+    const LabeledGraph&, const EngineOptions&)>;
+
+/// String-keyed engine factory.  Built-in names (case-insensitive):
+///   "gamma"              one device graph + kernel pipeline per query
+///   "multi"              shared device graph, fused multi-query launches
+///   "tf" | "turboflux"   TurboFlux-lite   (CPU baseline)
+///   "sym" | "symbi"      SymBi-lite       (CPU baseline)
+///   "rf" | "rapidflow"   RapidFlow-lite   (CPU baseline)
+///   "cl" | "calig"       CaLiG-lite       (CPU baseline)
+///   "gf" | "graphflow"   Graphflow-lite   (CPU baseline)
+class EngineRegistry {
+ public:
+  static EngineRegistry& Instance();
+
+  /// Registers a factory under `name` (overwrites an existing entry).
+  void Register(const std::string& name, EngineFactory factory);
+  bool Has(const std::string& name) const;
+  /// Canonical (non-alias) registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Builds the engine over an initial graph; GAMMA_CHECKs on unknown
+  /// names (use Has() to probe).
+  std::unique_ptr<Engine> Make(const std::string& name,
+                               const LabeledGraph& g,
+                               const EngineOptions& options = {}) const;
+
+ private:
+  EngineRegistry();
+  struct Entry {
+    EngineFactory factory;
+    bool is_alias = false;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Convenience wrappers over EngineRegistry::Instance().
+std::unique_ptr<Engine> MakeEngine(const std::string& name,
+                                   const LabeledGraph& g,
+                                   const EngineOptions& options = {});
+std::vector<std::string> EngineNames();
+
+/// A query's *net* batch delta: device engines already emit it (this is
+/// the identity on their output, modulo order); the CSM baselines emit
+/// a raw sequential stream whose (+,-) flips cancel pairwise (the
+/// paper's Example 1 redundancy).  Requires a materialized report.
+std::vector<MatchRecord> NetDelta(const QueryReport& report);
+
+}  // namespace bdsm

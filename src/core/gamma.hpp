@@ -110,10 +110,11 @@ class Gamma {
   Device& device() { return device_; }
 
  private:
-  friend class StreamPipeline;  // drives the same phases with overlap
+  friend class GammaEngine;  // drives the same phases via the unified
+                             // Engine interface (see core/engine.hpp)
 
-  /// ProcessBatch phases, shared with StreamPipeline.  The batch passed
-  /// to these must already be sanitized.
+  /// ProcessBatch phases, shared with the engine adapter.  The batch
+  /// passed to these must already be sanitized.
   WbmResult RunMatchPhase(const UpdateBatch& batch, bool positive);
   /// GPMA + host mirror + dirty re-encode; fills the result's update
   /// stats and preprocess timing.

@@ -14,12 +14,30 @@ MultiGamma::MultiGamma(const LabeledGraph& initial, GammaOptions options)
 
 size_t MultiGamma::AddQuery(const QueryGraph& q) {
   PerQuery pq;
+  pq.id = next_query_id_++;
   pq.qctx = BuildQueryContext(q, options_.coalesced_search,
                               options_.aggressive_coalescing);
   pq.encoder = std::make_unique<CandidateEncoder>(q);
   pq.encoder->BuildAll(host_graph_);
   queries_.push_back(std::move(pq));
-  return queries_.size() - 1;
+  return queries_.back().id;
+}
+
+bool MultiGamma::RemoveQuery(size_t id) {
+  for (auto it = queries_.begin(); it != queries_.end(); ++it) {
+    if (it->id == id) {
+      queries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<size_t> MultiGamma::QueryIds() const {
+  std::vector<size_t> ids;
+  ids.reserve(queries_.size());
+  for (const PerQuery& pq : queries_) ids.push_back(pq.id);
+  return ids;
 }
 
 void MultiGamma::RunMatchAll(const UpdateBatch& batch, bool positive,
@@ -76,6 +94,22 @@ void MultiGamma::RunMatchAll(const UpdateBatch& batch, bool positive,
   }
 }
 
+void MultiGamma::RunUpdate(const UpdateBatch& batch,
+                           MultiBatchResult* out) {
+  UpdatePlan plan = gpma_.ApplyBatch(batch);
+  out->update_stats = SimulateGpmaUpdate(device_, plan, options_.gpma);
+  Timer host;
+  ApplyBatch(&host_graph_, batch);
+  for (PerQuery& pq : queries_) {
+    pq.encoder->ApplyBatchDirty(host_graph_, batch);
+  }
+  out->preprocess_host_seconds = host.ElapsedSeconds();
+  for (BatchResult& r : out->per_query) {
+    r.update_stats = out->update_stats;
+    r.preprocess_host_seconds = out->preprocess_host_seconds;
+  }
+}
+
 MultiBatchResult MultiGamma::ProcessBatch(const UpdateBatch& raw_batch) {
   MultiBatchResult out;
   out.per_query.resize(queries_.size());
@@ -83,20 +117,7 @@ MultiBatchResult MultiGamma::ProcessBatch(const UpdateBatch& raw_batch) {
   UpdateBatch batch = SanitizeBatch(host_graph_, raw_batch);
 
   RunMatchAll(batch, /*positive=*/false, &out);
-
-  UpdatePlan plan = gpma_.ApplyBatch(batch);
-  out.update_stats = SimulateGpmaUpdate(device_, plan, options_.gpma);
-  Timer host;
-  ApplyBatch(&host_graph_, batch);
-  for (PerQuery& pq : queries_) {
-    pq.encoder->ApplyBatchDirty(host_graph_, batch);
-  }
-  out.preprocess_host_seconds = host.ElapsedSeconds();
-  for (BatchResult& r : out.per_query) {
-    r.update_stats = out.update_stats;
-    r.preprocess_host_seconds = out.preprocess_host_seconds;
-  }
-
+  RunUpdate(batch, &out);
   RunMatchAll(batch, /*positive=*/true, &out);
   return out;
 }

@@ -30,31 +30,51 @@ class MultiGamma {
   explicit MultiGamma(const LabeledGraph& initial,
                       GammaOptions options = {});
 
-  /// Registers a pattern; returns its id (index into results).
+  /// Registers a pattern; returns its stable id.  Ids are assigned
+  /// monotonically and never reused, so they double as the per_query
+  /// index only until the first RemoveQuery.
   size_t AddQuery(const QueryGraph& q);
 
+  /// Unregisters a pattern; later batches no longer evaluate it.
+  /// Returns false when the id is unknown (never assigned or already
+  /// removed).
+  bool RemoveQuery(size_t id);
+
   size_t NumQueries() const { return queries_.size(); }
+  /// Live query ids, in registration order (aligned with
+  /// MultiBatchResult::per_query).
+  std::vector<size_t> QueryIds() const;
   const LabeledGraph& host_graph() const { return host_graph_; }
 
   /// Processes one batch for every registered query.
   MultiBatchResult ProcessBatch(const UpdateBatch& batch);
 
  private:
+  friend class MultiGammaEngine;  // drives the same phases, with overlap
+
   struct PerQuery {
+    size_t id = 0;
     QueryContext qctx;
     std::unique_ptr<CandidateEncoder> encoder;
   };
 
   /// Runs one polarity's kernel for every query (seeds fused into a
-  /// single launch so small queries share the device).
+  /// single launch so small queries share the device).  The batch must
+  /// already be sanitized; `out->per_query` must be sized.
   void RunMatchAll(const UpdateBatch& batch, bool positive,
                    MultiBatchResult* out);
+
+  /// GPMA update + host mirror + dirty re-encode of every query's
+  /// candidate table; fills the shared update stats and preprocess
+  /// timing (batch must already be sanitized).
+  void RunUpdate(const UpdateBatch& batch, MultiBatchResult* out);
 
   GammaOptions options_;
   LabeledGraph host_graph_;
   Gpma gpma_;
   Device device_;
   std::vector<PerQuery> queries_;
+  size_t next_query_id_ = 0;
 };
 
 }  // namespace bdsm

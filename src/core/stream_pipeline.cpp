@@ -7,17 +7,18 @@
 namespace bdsm {
 
 PipelineStats StreamPipeline::Run(const std::vector<UpdateBatch>& stream,
-                                  std::vector<BatchResult>* sink) {
+                                  std::vector<BatchReport>* reports,
+                                  const BatchOptions& options) {
   PipelineStats stats;
   Timer wall;
 
   // Background preparation: sanitize against the *current* host graph.
-  // Launched while the device runs the previous batch's positives
-  // kernel; the host graph is stable during that kernel, so the read is
+  // Launched while the engine runs the previous batch's positive phase;
+  // the host graph is final for the round by then, so the read is
   // race-free (see header).
   auto prepare = [this](const UpdateBatch& raw) {
     Timer t;
-    UpdateBatch clean = SanitizeBatch(gamma_->host_graph_, raw);
+    UpdateBatch clean = SanitizeBatch(engine_->host_graph(), raw);
     return std::make_pair(std::move(clean), t.ElapsedSeconds());
   };
 
@@ -33,41 +34,47 @@ PipelineStats StreamPipeline::Run(const std::vector<UpdateBatch>& stream,
 
     PipelineBatchStats bs;
     bs.prep_seconds = prep_seconds;
-    // This batch's preparation ran while batch i-1's positives kernel
+    // This batch's preparation ran while batch i-1's positive phase
     // did; the hidden portion is bounded by both durations.
     if (i > 0) {
       bs.prep_hidden_seconds = std::min(prep_seconds, last_kernel_wall);
     }
     bs.applied_ops = batch.size();
 
-    BatchResult result;
-    WbmResult neg = gamma_->RunMatchPhase(batch, /*positive=*/false);
-    result.negative_matches = std::move(neg.matches);
-    result.match_stats.MergeSequential(neg.stats);
-    result.overflowed = neg.overflowed;
+    Timer batch_wall;
+    BatchReport report;
+    engine_->InitReport(&report);
 
-    gamma_->RunUpdatePhase(batch, &result);
+    engine_->RunMatchPhase(batch, /*positive=*/false, options, &report);
+    Engine::FlushPhase(options, &report);
+
+    engine_->RunUpdatePhase(batch, options, &report);
+    Engine::FlushPhase(options, &report);
 
     // Host graph is now final for this round: kick off the next batch's
-    // preparation so it overlaps the positives kernel below.
+    // preparation so it overlaps the positive phase below.
     Timer overlap_timer;
     if (i + 1 < stream.size()) {
       prepared = std::async(std::launch::async, prepare, stream[i + 1]);
     }
 
-    WbmResult pos = gamma_->RunMatchPhase(batch, /*positive=*/true);
+    engine_->RunMatchPhase(batch, /*positive=*/true, options, &report);
     last_kernel_wall = overlap_timer.ElapsedSeconds();
-    result.positive_matches = std::move(pos.matches);
-    result.match_stats.MergeSequential(pos.stats);
-    result.overflowed = result.overflowed || pos.overflowed;
+    Engine::FlushPhase(options, &report);
 
-    bs.positive_matches = result.positive_matches.size();
-    bs.negative_matches = result.negative_matches.size();
-    bs.device = result.update_stats;
-    bs.device.MergeSequential(result.match_stats);
+    report.host_wall_seconds = batch_wall.ElapsedSeconds();
+    for (QueryReport& qr : report.queries) {
+      if (qr.host_wall_seconds == 0.0) {
+        qr.host_wall_seconds = report.host_wall_seconds;
+      }
+      bs.positive_matches += qr.num_positive;
+      bs.negative_matches += qr.num_negative;
+    }
+    bs.device = report.update_stats;
+    bs.device.MergeSequential(report.match_stats);
     stats.total_hidden_seconds += bs.prep_hidden_seconds;
     stats.batches.push_back(bs);
-    if (sink) sink->push_back(std::move(result));
+    if (reports) reports->push_back(std::move(report));
   }
 
   stats.wall_seconds = wall.ElapsedSeconds();

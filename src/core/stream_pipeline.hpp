@@ -5,33 +5,38 @@
 /// runs batch i's matching kernel, the CPU already prepares batch i+1
 /// (sanitization, seed extraction) so the kernel never waits on host
 /// bookkeeping.  This module implements that overlap for a stream
-/// ∆B = (∆B1, ∆B2, ...):
+/// ∆B = (∆B1, ∆B2, ...) over ANY engine behind the unified Engine
+/// interface (core/engine.hpp) — single-query GAMMA, fused multi-query
+/// MultiGamma, or a CPU baseline:
 ///
 ///   for each batch i:
 ///     [host]   take the prepared batch (from the background worker)
-///     [device] negatives kernel on the pre-update state
-///     [both]   GPMA update + host mirror + dirty re-encode
+///     [engine] negative-match phase on the pre-update state
+///     [both]   update phase (device graph + host mirror + re-encode)
 ///     [host->bg] start preparing batch i+1   <── overlaps ──┐
-///     [device] positives kernel on the post-update state  <─┘
+///     [engine] positive-match phase on the post-update state  <─┘
 ///
-/// Preparation only reads the host graph, which is stable during the
-/// positives kernel, so the overlap is race-free.  Results are
-/// bit-identical to calling Gamma::ProcessBatch per batch (tested).
+/// Preparation only reads the host graph, which is final for the round
+/// once the update phase returns, so the overlap is race-free.  Results
+/// are bit-identical to calling Engine::ProcessBatch per batch (tested,
+/// including over MultiGamma).  Engines that cannot split their
+/// processing (the sequential CSM chassis) do all work in the update
+/// phase; the pipeline stays correct, it just hides nothing.
 #pragma once
 
 #include <vector>
 
-#include "core/gamma.hpp"
+#include "core/engine.hpp"
 
 namespace bdsm {
 
 struct PipelineBatchStats {
   size_t applied_ops = 0;
-  size_t positive_matches = 0;
+  size_t positive_matches = 0;  ///< summed over all registered queries
   size_t negative_matches = 0;
   double prep_seconds = 0.0;      ///< host preparation (overlappable)
   double prep_hidden_seconds = 0.0;  ///< portion hidden behind the device
-  DeviceStats device;             ///< update + both matching kernels
+  DeviceStats device;             ///< update + matching kernels
 };
 
 struct PipelineStats {
@@ -53,17 +58,19 @@ struct PipelineStats {
 
 class StreamPipeline {
  public:
-  /// Wraps an engine; the pipeline drives the same members ProcessBatch
-  /// uses, phase by phase.
-  explicit StreamPipeline(Gamma* gamma) : gamma_(gamma) {}
+  /// Wraps any engine; the pipeline drives the same phases
+  /// Engine::ProcessBatch uses, overlapping preparation.
+  explicit StreamPipeline(Engine* engine) : engine_(engine) {}
 
-  /// Processes the whole stream.  `sink`, when non-null, receives every
-  /// batch's incremental matches (the postprocess hook of Fig. 3).
+  /// Processes the whole stream.  `reports`, when non-null, receives
+  /// every batch's BatchReport; `options` (sink / materialize / budget)
+  /// applies to every batch.
   PipelineStats Run(const std::vector<UpdateBatch>& stream,
-                    std::vector<BatchResult>* sink = nullptr);
+                    std::vector<BatchReport>* reports = nullptr,
+                    const BatchOptions& options = {});
 
  private:
-  Gamma* gamma_;
+  Engine* engine_;
 };
 
 }  // namespace bdsm

@@ -152,6 +152,28 @@ TEST(CsmEngineTest, TimeoutReported) {
   auto gf = MakeCsmEngine("GF", g, q);
   gf->ProcessBatch(batch, /*budget_seconds=*/0.05);
   EXPECT_TRUE(gf->timed_out());
+  EXPECT_TRUE(gf->Truncated());
+}
+
+TEST(CsmEngineTest, ResultCapReportsOverflowNotTimeout) {
+  // Hitting the result cap is a memory condition, not a deadline one;
+  // the two abort causes are reported separately.
+  std::vector<Label> labels(30, 0);
+  LabeledGraph g(labels);
+  UpdateBatch batch;
+  for (VertexId a = 0; a < 30; ++a) {
+    for (VertexId b = a + 1; b < 30; ++b) {
+      batch.push_back(UpdateOp{true, a, b, kNoLabel});
+    }
+  }
+  QueryGraph q({0, 0});
+  q.AddEdge(0, 1);
+  auto gf = MakeCsmEngine("GF", g, q);
+  gf->set_result_cap(5);
+  gf->ProcessBatch(batch);
+  EXPECT_TRUE(gf->overflowed());
+  EXPECT_FALSE(gf->timed_out());
+  EXPECT_TRUE(gf->Truncated());
 }
 
 TEST(NetEffectTest, CancelsFlips) {

@@ -77,6 +77,61 @@ TEST(MultiGammaTest, SharedUpdateChargedOnce) {
   EXPECT_GT(res.update_stats.makespan_ticks, 0u);
 }
 
+TEST(MultiGammaTest, RemoveQueryKeepsOthersCorrect) {
+  LabeledGraph g = GenerateUniformGraph(150, 500, 3, 1, 97);
+  QueryGraph tri({0, 1, 1});
+  tri.AddEdge(0, 1);
+  tri.AddEdge(1, 2);
+  tri.AddEdge(0, 2);
+  QueryGraph path({0, 1, 2});
+  path.AddEdge(0, 1);
+  path.AddEdge(1, 2);
+  QueryGraph wedge({1, 0, 1});
+  wedge.AddEdge(0, 1);
+  wedge.AddEdge(1, 2);
+
+  MultiGamma multi(g, GammaOptions{});
+  size_t id_tri = multi.AddQuery(tri);
+  size_t id_path = multi.AddQuery(path);
+  size_t id_wedge = multi.AddQuery(wedge);
+  ASSERT_TRUE(multi.RemoveQuery(id_path));
+  EXPECT_FALSE(multi.RemoveQuery(id_path));  // ids never reused
+  EXPECT_FALSE(multi.RemoveQuery(999));
+  EXPECT_EQ(multi.NumQueries(), 2u);
+  EXPECT_EQ(multi.QueryIds(), (std::vector<size_t>{id_tri, id_wedge}));
+
+  // The survivors behave exactly like a MultiGamma that never saw the
+  // removed query, across a stream of batches.
+  MultiGamma witness(g, GammaOptions{});
+  witness.AddQuery(tri);
+  witness.AddQuery(wedge);
+
+  UpdateStreamGenerator gen(98);
+  for (int round = 0; round < 3; ++round) {
+    UpdateBatch batch = SanitizeBatch(
+        multi.host_graph(), gen.MakeMixed(multi.host_graph(), 35, 2, 1, 0));
+    MultiBatchResult got = multi.ProcessBatch(batch);
+    MultiBatchResult want = witness.ProcessBatch(batch);
+    ASSERT_EQ(got.per_query.size(), 2u);
+    for (size_t qi = 0; qi < 2; ++qi) {
+      EXPECT_EQ(CanonicalKeys(got.per_query[qi].positive_matches),
+                CanonicalKeys(want.per_query[qi].positive_matches))
+          << "round " << round << " query " << qi;
+      EXPECT_EQ(CanonicalKeys(got.per_query[qi].negative_matches),
+                CanonicalKeys(want.per_query[qi].negative_matches))
+          << "round " << round << " query " << qi;
+    }
+  }
+
+  // Removing the last queries empties the engine but keeps it usable.
+  ASSERT_TRUE(multi.RemoveQuery(id_tri));
+  ASSERT_TRUE(multi.RemoveQuery(id_wedge));
+  EXPECT_EQ(multi.NumQueries(), 0u);
+  UpdateBatch batch = gen.MakeInsertions(multi.host_graph(), 10, 0);
+  MultiBatchResult res = multi.ProcessBatch(batch);
+  EXPECT_TRUE(res.per_query.empty());
+}
+
 TEST(MultiGammaTest, NoQueriesIsFine) {
   LabeledGraph g = GenerateUniformGraph(50, 120, 2, 1, 95);
   MultiGamma multi(g, GammaOptions{});

@@ -1,6 +1,7 @@
 /// Stream-pipeline tests: the asynchronous overlap must be a pure
-/// scheduling change — results identical to per-batch ProcessBatch —
-/// and the bookkeeping (hidden-prep accounting, per-batch stats) sane.
+/// scheduling change — results identical to per-batch ProcessBatch for
+/// every engine it drives — and the bookkeeping (hidden-prep
+/// accounting, per-batch stats) sane.
 #include <gtest/gtest.h>
 
 #include "core/stream_pipeline.hpp"
@@ -33,38 +34,129 @@ QueryGraph TestQuery() {
   return q;
 }
 
+QueryGraph PathQuery() {
+  QueryGraph q({0, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  return q;
+}
+
 TEST(StreamPipelineTest, MatchesSerialProcessing) {
   LabeledGraph g = GenerateUniformGraph(150, 500, 3, 1, 61);
   QueryGraph q = TestQuery();
   auto stream = MakeStream(g, 5, 40, 62);
 
-  GammaOptions opts;
-  opts.device.num_sms = 2;
+  EngineOptions opts;
+  opts.gamma.device.num_sms = 2;
 
   // Serial reference.
-  Gamma serial(g, q, opts);
+  auto serial = MakeEngine("gamma", g, opts);
+  QueryId sq = serial->AddQuery(q);
   std::vector<std::vector<std::string>> want;
   for (const UpdateBatch& b : stream) {
-    BatchResult r = serial.ProcessBatch(b);
-    auto keys = CanonicalKeys(r.positive_matches);
-    auto neg = CanonicalKeys(r.negative_matches);
+    BatchReport r = serial->ProcessBatch(b);
+    const QueryReport* qr = r.Find(sq);
+    ASSERT_NE(qr, nullptr);
+    auto keys = CanonicalKeys(qr->positive_matches);
+    auto neg = CanonicalKeys(qr->negative_matches);
     keys.insert(keys.end(), neg.begin(), neg.end());
     want.push_back(keys);
   }
 
   // Pipelined run.
-  Gamma pipelined(g, q, opts);
-  StreamPipeline pipe(&pipelined);
-  std::vector<BatchResult> results;
-  PipelineStats stats = pipe.Run(stream, &results);
+  auto pipelined = MakeEngine("gamma", g, opts);
+  QueryId pq = pipelined->AddQuery(q);
+  StreamPipeline pipe(pipelined.get());
+  std::vector<BatchReport> reports;
+  PipelineStats stats = pipe.Run(stream, &reports);
 
-  ASSERT_EQ(results.size(), stream.size());
+  ASSERT_EQ(reports.size(), stream.size());
   ASSERT_EQ(stats.batches.size(), stream.size());
-  for (size_t i = 0; i < results.size(); ++i) {
-    auto keys = CanonicalKeys(results[i].positive_matches);
-    auto neg = CanonicalKeys(results[i].negative_matches);
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const QueryReport* qr = reports[i].Find(pq);
+    ASSERT_NE(qr, nullptr);
+    auto keys = CanonicalKeys(qr->positive_matches);
+    auto neg = CanonicalKeys(qr->negative_matches);
     keys.insert(keys.end(), neg.begin(), neg.end());
     EXPECT_EQ(keys, want[i]) << "batch " << i;
+  }
+}
+
+// The acceptance bar for multi-query pipelining: StreamPipeline over a
+// MultiGamma-backed engine must be *bit-identical* to per-batch
+// ProcessBatch — same match vectors in the same order, same stats.
+TEST(StreamPipelineTest, OverMultiGammaBitIdenticalToPerBatch) {
+  LabeledGraph g = GenerateUniformGraph(150, 500, 3, 1, 71);
+  auto stream = MakeStream(g, 4, 35, 72);
+
+  EngineOptions opts;
+  opts.gamma.device.num_sms = 2;
+
+  auto serial = MakeEngine("multi", g, opts);
+  auto pipelined = MakeEngine("multi", g, opts);
+  std::vector<QueryId> ids;
+  for (const QueryGraph& q : {TestQuery(), PathQuery()}) {
+    QueryId a = serial->AddQuery(q);
+    QueryId b = pipelined->AddQuery(q);
+    ASSERT_EQ(a, b);
+    ids.push_back(a);
+  }
+
+  std::vector<BatchReport> want;
+  for (const UpdateBatch& b : stream) {
+    want.push_back(serial->ProcessBatch(b));
+  }
+
+  StreamPipeline pipe(pipelined.get());
+  std::vector<BatchReport> got;
+  pipe.Run(stream, &got);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].queries.size(), want[i].queries.size());
+    for (QueryId id : ids) {
+      const QueryReport* w = want[i].Find(id);
+      const QueryReport* p = got[i].Find(id);
+      ASSERT_NE(w, nullptr);
+      ASSERT_NE(p, nullptr);
+      // Bit-identical: exact vectors, not just canonicalized sets.
+      EXPECT_EQ(p->positive_matches, w->positive_matches)
+          << "batch " << i << " query " << id;
+      EXPECT_EQ(p->negative_matches, w->negative_matches)
+          << "batch " << i << " query " << id;
+      EXPECT_EQ(p->match_stats.makespan_ticks,
+                w->match_stats.makespan_ticks);
+      EXPECT_EQ(p->update_stats.makespan_ticks,
+                w->update_stats.makespan_ticks);
+    }
+  }
+}
+
+// CPU (CSM) engines cannot split their phases; the pipeline must still
+// produce the same results as per-batch ProcessBatch.
+TEST(StreamPipelineTest, OverCsmEngineMatchesPerBatch) {
+  LabeledGraph g = GenerateUniformGraph(100, 320, 2, 1, 73);
+  auto stream = MakeStream(g, 3, 25, 74);
+
+  auto serial = MakeEngine("rf", g);
+  auto pipelined = MakeEngine("rf", g);
+  QueryId sq = serial->AddQuery(TestQuery());
+  QueryId pq = pipelined->AddQuery(TestQuery());
+
+  std::vector<BatchReport> want;
+  for (const UpdateBatch& b : stream) {
+    want.push_back(serial->ProcessBatch(b));
+  }
+  StreamPipeline pipe(pipelined.get());
+  std::vector<BatchReport> got;
+  pipe.Run(stream, &got);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].Find(pq)->positive_matches,
+              want[i].Find(sq)->positive_matches);
+    EXPECT_EQ(got[i].Find(pq)->negative_matches,
+              want[i].Find(sq)->negative_matches);
   }
 }
 
@@ -73,19 +165,21 @@ TEST(StreamPipelineTest, StatsAreConsistent) {
   QueryGraph q = TestQuery();
   auto stream = MakeStream(g, 4, 30, 64);
 
-  Gamma gamma(g, q, GammaOptions{});
-  StreamPipeline pipe(&gamma);
-  std::vector<BatchResult> results;
-  PipelineStats stats = pipe.Run(stream, &results);
+  auto engine = MakeEngine("gamma", g);
+  QueryId qid = engine->AddQuery(q);
+  StreamPipeline pipe(engine.get());
+  std::vector<BatchReport> reports;
+  PipelineStats stats = pipe.Run(stream, &reports);
 
   EXPECT_GT(stats.wall_seconds, 0.0);
   EXPECT_GE(stats.total_hidden_seconds, 0.0);
   size_t total = 0;
   for (size_t i = 0; i < stats.batches.size(); ++i) {
     const PipelineBatchStats& b = stats.batches[i];
+    const QueryReport* qr = reports[i].Find(qid);
     EXPECT_EQ(b.applied_ops, stream[i].size());
-    EXPECT_EQ(b.positive_matches, results[i].positive_matches.size());
-    EXPECT_EQ(b.negative_matches, results[i].negative_matches.size());
+    EXPECT_EQ(b.positive_matches, qr->positive_matches.size());
+    EXPECT_EQ(b.negative_matches, qr->negative_matches.size());
     EXPECT_GE(b.prep_seconds, b.prep_hidden_seconds);
     total += b.positive_matches + b.negative_matches;
   }
@@ -94,8 +188,9 @@ TEST(StreamPipelineTest, StatsAreConsistent) {
 
 TEST(StreamPipelineTest, EmptyStream) {
   LabeledGraph g = GenerateUniformGraph(50, 120, 2, 1, 65);
-  Gamma gamma(g, TestQuery(), GammaOptions{});
-  StreamPipeline pipe(&gamma);
+  auto engine = MakeEngine("gamma", g);
+  engine->AddQuery(TestQuery());
+  StreamPipeline pipe(engine.get());
   PipelineStats stats = pipe.Run({});
   EXPECT_TRUE(stats.batches.empty());
   EXPECT_EQ(stats.TotalMatches(), 0u);
@@ -107,12 +202,40 @@ TEST(StreamPipelineTest, GraphStateTracksStream) {
   LabeledGraph expected = g;
   for (const auto& b : stream) ApplyBatch(&expected, b);
 
-  Gamma gamma(g, TestQuery(), GammaOptions{});
-  StreamPipeline pipe(&gamma);
+  auto engine = MakeEngine("gamma", g);
+  engine->AddQuery(TestQuery());
+  StreamPipeline pipe(engine.get());
   pipe.Run(stream);
-  EXPECT_EQ(gamma.host_graph().NumEdges(), expected.NumEdges());
-  EXPECT_EQ(gamma.host_graph().CollectEdges(), expected.CollectEdges());
-  EXPECT_EQ(gamma.device_graph().NumEdges(), expected.NumEdges());
+  EXPECT_EQ(engine->host_graph().NumEdges(), expected.NumEdges());
+  EXPECT_EQ(engine->host_graph().CollectEdges(), expected.CollectEdges());
+}
+
+// Streaming delivery through the pipeline equals the materialized
+// per-batch reports.
+TEST(StreamPipelineTest, SinkThroughPipeline) {
+  LabeledGraph g = GenerateUniformGraph(120, 400, 3, 1, 68);
+  auto stream = MakeStream(g, 3, 30, 69);
+
+  auto engine = MakeEngine("gamma", g);
+  QueryId qid = engine->AddQuery(TestQuery());
+
+  CollectingSink sink;
+  BatchOptions bo;
+  bo.sink = &sink;
+  bo.materialize = false;
+  StreamPipeline pipe(engine.get());
+  std::vector<BatchReport> reports;
+  pipe.Run(stream, &reports, bo);
+
+  size_t counted = 0;
+  for (const BatchReport& r : reports) {
+    const QueryReport* qr = r.Find(qid);
+    EXPECT_TRUE(qr->positive_matches.empty());  // not materialized
+    EXPECT_TRUE(qr->negative_matches.empty());
+    counted += qr->TotalMatches();
+  }
+  EXPECT_EQ(sink.MatchesFor(qid).size(), counted);
+  EXPECT_GT(counted, 0u);
 }
 
 }  // namespace
