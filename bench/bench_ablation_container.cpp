@@ -1,4 +1,4 @@
-/// Design-choice ablation (DESIGN.md §5 / paper §V-C): GPMA vs a
+/// Design-choice ablation (paper §V-C; docs/BENCHMARKS.md): GPMA vs a
 /// rebuild-per-batch CSR container for the device graph, across batch
 /// sizes.  Not a paper figure; it substantiates the paper's adoption
 /// of GPMA ("for its simplicity and efficiency" in applying update
@@ -17,7 +17,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_ablation_container", argc, argv);
   Scale scale;
   PrintHeader("Ablation: graph container",
               "GPMA incremental updates vs full CSR rebuild (modeled "
@@ -53,6 +54,15 @@ int main() {
       printf("%-4s %8zu | %12.3f %12.3f | %7.1fx\n", ds, batch.size(),
              us_gpma, us_rebuild,
              us_gpma > 0 ? us_rebuild / us_gpma : 0.0);
+
+      JsonRow row;
+      row.Set("dataset", ds)
+          .Set("batch_ops", batch.size())
+          .Set("gpma_us", us_gpma)
+          .Set("rebuild_us", us_rebuild)
+          .Set("rebuild_over_gpma",
+               us_gpma > 0 ? us_rebuild / us_gpma : 0.0);
+      JsonSink::Instance().Add(std::move(row));
     }
   }
   printf("\nShape check: rebuild cost ~constant in the batch size (full "

@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 
 #include "util/timer.hpp"
@@ -68,6 +70,17 @@ CellResult RunEngineCell(const std::string& engine_name,
   }
   cell.avg_latency_s = cell.solved ? total / double(cell.solved) : 0.0;
   cell.avg_utilization = cell.solved ? util / double(cell.solved) : 0.0;
+
+  if (JsonSink::Instance().enabled()) {
+    JsonRow row;
+    row.Set("engine", engine_name)
+        .Set("avg_latency_s", cell.avg_latency_s)
+        .Set("solved", cell.solved)
+        .Set("unsolved", cell.unsolved)
+        .Set("total_matches", static_cast<size_t>(cell.total_matches))
+        .Set("avg_utilization", cell.avg_utilization);
+    JsonSink::Instance().Add(std::move(row));
+  }
   return cell;
 }
 
@@ -90,9 +103,184 @@ void PrintHeader(const char* experiment, const char* what,
   printf(
       "scaling: %zu queries/set (paper 50), %.2gs budget/query (paper "
       "1800s), batch cap %zu ops; datasets are synthetic twins "
-      "(DESIGN.md #2); CSM = host wall seconds, GAMMA = modeled device "
-      "seconds.\n\n",
+      "(docs/BENCHMARKS.md); CSM = host wall seconds, GAMMA = modeled "
+      "device seconds.\n\n",
       scale.queries_per_set, scale.query_budget_s, scale.max_batch_ops);
+}
+
+// ------------------------------------------------- perf trajectory JSON
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (c == '\t') {
+      out += "\\t";
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (u < 0x20) {  // JSON forbids raw control characters
+      char buf[8];
+      snprintf(buf, sizeof(buf), "\\u%04x", u);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan literals; a bench emitting one is a bug we
+  // still want visible in the file, not a parse error.
+  if (std::strchr(buf, 'n') || std::strchr(buf, 'i')) {
+    return "null";
+  }
+  return buf;
+}
+
+}  // namespace
+
+void JsonRow::Encode(const std::string& key, std::string literal) {
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(literal);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(literal));
+}
+
+JsonRow& JsonRow::Set(const std::string& key, double value) {
+  Encode(key, JsonNumber(value));
+  return *this;
+}
+
+JsonRow& JsonRow::Set(const std::string& key, size_t value) {
+  Encode(key, std::to_string(value));
+  return *this;
+}
+
+JsonRow& JsonRow::Set(const std::string& key, const std::string& value) {
+  Encode(key, "\"" + JsonEscape(value) + "\"");
+  return *this;
+}
+
+JsonRow& JsonRow::SetBool(const std::string& key, bool value) {
+  Encode(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonSink& JsonSink::Instance() {
+  static JsonSink sink;
+  return sink;
+}
+
+void JsonSink::Open(const std::string& bench_name, const std::string& path) {
+  bench_name_ = bench_name;
+  path_ = path;
+}
+
+void JsonSink::SetContextLiteral(const std::string& key,
+                                 std::string literal) {
+  for (auto& [k, v] : context_) {
+    if (k == key) {
+      v = std::move(literal);
+      return;
+    }
+  }
+  context_.emplace_back(key, std::move(literal));
+}
+
+void JsonSink::Context(const std::string& key, const std::string& value) {
+  SetContextLiteral(key, "\"" + JsonEscape(value) + "\"");
+}
+
+void JsonSink::Context(const std::string& key, double value) {
+  SetContextLiteral(key, JsonNumber(value));
+}
+
+void JsonSink::Context(const std::string& key, size_t value) {
+  SetContextLiteral(key, std::to_string(value));
+}
+
+void JsonSink::ClearContext(const std::string& key) {
+  for (auto it = context_.begin(); it != context_.end(); ++it) {
+    if (it->first == key) {
+      context_.erase(it);
+      return;
+    }
+  }
+}
+
+void JsonSink::Add(JsonRow row) {
+  if (!enabled()) return;
+  JsonRow merged;
+  for (const auto& [k, v] : context_) merged.Encode(k, v);
+  for (const auto& [k, v] : row.fields_) merged.Encode(k, v);
+  rows_.push_back(std::move(merged));
+}
+
+void JsonSink::Flush() {
+  if (!enabled()) return;
+  FILE* f = fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+    return;
+  }
+  fprintf(f, "{\n  \"schema\": \"bdsm-bench-v1\",\n  \"bench\": \"%s\",\n"
+             "  \"rows\": [\n",
+          JsonEscape(bench_name_).c_str());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    fprintf(f, "    {");
+    const auto& fields = rows_[i].fields_;
+    for (size_t j = 0; j < fields.size(); ++j) {
+      fprintf(f, "%s\"%s\": %s", j ? ", " : "",
+              JsonEscape(fields[j].first).c_str(), fields[j].second.c_str());
+    }
+    fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
+  }
+  fprintf(f, "  ]\n}\n");
+  fclose(f);
+  printf("wrote %zu JSON rows to %s\n", rows_.size(), path_.c_str());
+}
+
+void InitBench(const char* bench_name, int argc, char** argv,
+               const char* default_json_path) {
+  const char* path = default_json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") != 0) continue;
+    if (i + 1 >= argc) {
+      // Fail fast: silently dropping the trajectory after a minutes-long
+      // run is worse than refusing to start.
+      fprintf(stderr, "%s: --json needs a path argument\n", bench_name);
+      exit(2);
+    }
+    path = argv[i + 1];
+  }
+  if (path != nullptr) {
+    JsonSink::Instance().Open(bench_name, path);
+    std::atexit([] { JsonSink::Instance().Flush(); });
+  }
+}
+
+void JsonContext(const std::string& key, const std::string& value) {
+  JsonSink::Instance().Context(key, value);
+}
+void JsonContext(const std::string& key, double value) {
+  JsonSink::Instance().Context(key, value);
+}
+void JsonContext(const std::string& key, size_t value) {
+  JsonSink::Instance().Context(key, value);
 }
 
 }  // namespace bdsm::bench

@@ -1,14 +1,21 @@
 /// \file bench_common.hpp
 /// Shared harness of the paper-reproduction benchmarks (one binary per
-/// table/figure; see DESIGN.md §4 for the experiment index).
+/// table/figure; docs/BENCHMARKS.md is the experiment index).
 ///
 /// Every measurement goes through the unified Engine interface
 /// (core/engine.hpp): `RunEngineCell("tf" | "sym" | "rf" | "cl" | "gf" |
 /// "gamma" | "multi", ...)` — engine choice is a string, not a code
 /// path, so every bench can sweep methods from one loop.
 ///
-/// Methodology notes (also recorded in EXPERIMENTS.md):
-/// * Datasets are the synthetic twins of Table II (scaled; DESIGN.md §2).
+/// Every bench binary except `bench_micro` (whose main belongs to
+/// google-benchmark) also accepts `--json <path>` (wired through
+/// InitBench): when given, each measured cell is appended as one row of
+/// a machine-readable perf-trajectory file (schema in
+/// docs/BENCHMARKS.md), so figure benches can feed regression tracking
+/// without scraping stdout.
+///
+/// Methodology notes (the scaling rationale lives in docs/BENCHMARKS.md):
+/// * Datasets are the synthetic twins of Table II (scaled).
 /// * Query sets are extracted per structure class like §VI-A; the per-set
 ///   count and the per-query time budget are scaled from the paper's
 ///   50 queries / 30 minutes to keep the whole suite minutes-long on one
@@ -76,6 +83,70 @@ CellResult RunEngineCell(const std::string& engine, const LabeledGraph& g,
 
 /// "0.553" or "12.3(2)" — the paper's latency(unsolved) cell format.
 std::string FormatCell(const CellResult& r);
+
+// ------------------------------------------------- perf trajectory JSON
+
+/// One flat JSON object; insertion order is preserved in the output.
+class JsonRow {
+ public:
+  JsonRow& Set(const std::string& key, double value);
+  JsonRow& Set(const std::string& key, size_t value);
+  JsonRow& Set(const std::string& key, const std::string& value);
+  JsonRow& Set(const std::string& key, const char* value) {
+    return Set(key, std::string(value));
+  }
+  JsonRow& SetBool(const std::string& key, bool value);
+
+ private:
+  friend class JsonSink;
+  void Encode(const std::string& key, std::string literal);
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Collects JsonRows and writes `{"schema": "bdsm-bench-v1", "bench":
+/// <name>, "rows": [...]}` to the path given via `--json` (schema
+/// documented in docs/BENCHMARKS.md).  Disabled (all calls no-ops)
+/// until Open()/InitBench() enables it, so benches can emit
+/// unconditionally.  Flush() runs automatically at process exit.
+class JsonSink {
+ public:
+  static JsonSink& Instance();
+
+  void Open(const std::string& bench_name, const std::string& path);
+  bool enabled() const { return !path_.empty(); }
+
+  /// Sticky context merged into every subsequent row (loop position:
+  /// dataset, structure class, rate, ...).  Setting a key replaces it;
+  /// clear keys that do not apply to the next sweep.
+  void Context(const std::string& key, const std::string& value);
+  void Context(const std::string& key, double value);
+  void Context(const std::string& key, size_t value);
+  void ClearContext(const std::string& key);
+
+  void Add(JsonRow row);
+  void Flush();
+
+ private:
+  void SetContextLiteral(const std::string& key, std::string literal);
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<std::pair<std::string, std::string>> context_;
+  std::vector<JsonRow> rows_;
+};
+
+/// Shared entry chores for every bench main: scans argv for
+/// `--json <path>` (or uses `default_json_path` when the flag is
+/// absent; pass nullptr for "disabled by default") and opens the
+/// JsonSink.  RunEngineCell then records one row per cell
+/// automatically.
+void InitBench(const char* bench_name, int argc, char** argv,
+               const char* default_json_path = nullptr);
+
+/// Shorthand for JsonSink::Instance().Context(...).
+void JsonContext(const std::string& key, const std::string& value);
+void JsonContext(const std::string& key, double value);
+void JsonContext(const std::string& key, size_t value);
 
 /// Prints the standard header block for a bench binary.
 void PrintHeader(const char* experiment, const char* what,

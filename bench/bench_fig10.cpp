@@ -14,7 +14,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig10", argc, argv);
   Scale scale;
   PrintHeader("Figure 10",
               "Latency vs density of update regions (k-core sampled "
@@ -47,6 +48,9 @@ int main() {
       UpdateBatch batch = gen.MakeCoreInsertions(
           g, scale.max_batch_ops / 2, k,
           spec.edge_labels > 1 ? spec.edge_labels : 0);
+      JsonContext("dataset", "LS");
+      JsonContext("structure", ToString(cls));
+      JsonContext("density", name);
       printf("%-8s |", name);
       for (const char* m : kBaselineMethods) {
         CellResult r = RunEngineCell(m, g, queries, batch, scale);

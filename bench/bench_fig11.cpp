@@ -10,7 +10,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig11", argc, argv);
   Scale scale;
   PrintHeader("Figure 11",
               "Mixed workloads, insert:delete = 2:1 (paper follows "
@@ -34,6 +35,8 @@ int main() {
         printf("%-7s | (no extractable queries)\n", ToString(cls));
         continue;
       }
+      JsonContext("dataset", ds);
+      JsonContext("structure", ToString(cls));
       printf("%-7s |", ToString(cls));
       for (const char* m : kBaselineMethods) {
         CellResult r = RunEngineCell(m, g, queries, batch, scale);

@@ -12,7 +12,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig12", argc, argv);
   Scale scale;
   PrintHeader("Figure 12",
               "Graph-update (GPMA) time and ratio of total, 10% rate",
@@ -50,6 +51,14 @@ int main() {
     printf("%-4s | %10.4f %10.4f %7.1f%% | %12.3f\n", spec.short_name,
            update_ms, match_ms, ratio,
            res.preprocess_host_seconds * 1e3);
+
+    JsonRow row;
+    row.Set("dataset", spec.short_name)
+        .Set("update_ms", update_ms)
+        .Set("match_ms", match_ms)
+        .Set("update_ratio_pct", ratio)
+        .Set("encode_host_ms", res.preprocess_host_seconds * 1e3);
+    JsonSink::Instance().Add(std::move(row));
   }
   printf("\nShape checks (paper): update time grows with dataset size / "
          "update volume; ratio stays below ~40%%; CPU-side encoding is "

@@ -25,13 +25,15 @@ double UtilPct(const LabeledGraph& g,
   opts.device.num_sms = 16;
   opts.device.warps_per_block = 4;
   opts.device.steal_policy = policy;
+  JsonContext("steal", policy == StealPolicy::kActive ? "ws" : "none");
   CellResult r = RunEngineCell("gamma", g, queries, batch, scale, opts);
   return 100.0 * r.avg_utilization;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig13", argc, argv);
   Scale scale;
   PrintHeader("Figure 13",
               "GPU utilization vs |V(Q)| and vs Ir, with (ws) and "
@@ -43,6 +45,7 @@ int main() {
     const LabeledGraph& g = CachedDataset(spec.id);
     UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
                                       scale.seed + 1);
+    JsonSink::Instance().ClearContext("rate_pct");
     printf("--- %s: utilization%% vs |V(Q)| ---\n", ds);
     printf("%-7s %6s | %8s %8s\n", "class", "|V(Q)|", "ws", "w/o ws");
     for (auto cls : AllClasses()) {
@@ -50,6 +53,9 @@ int main() {
         auto queries =
             MakeQuerySet(g, cls, nq, scale.queries_per_set, scale.seed + nq);
         if (queries.empty()) continue;
+        JsonContext("dataset", ds);
+        JsonContext("structure", ToString(cls));
+        JsonContext("query_size", nq);
         double with_ws =
             UtilPct(g, queries, batch, StealPolicy::kActive, scale);
         double without =
@@ -59,6 +65,7 @@ int main() {
         fflush(stdout);
       }
     }
+    JsonSink::Instance().ClearContext("query_size");
     printf("--- %s: utilization%% vs Ir ---\n", ds);
     printf("%-7s %6s | %8s %8s\n", "class", "Ir", "ws", "w/o ws");
     for (auto cls : AllClasses()) {
@@ -68,6 +75,9 @@ int main() {
       for (int rate : {2, 6, 10}) {
         UpdateBatch rb = MakeRateBatch(g, spec, rate / 100.0, scale,
                                        scale.seed + rate);
+        JsonContext("dataset", ds);
+        JsonContext("structure", ToString(cls));
+        JsonContext("rate_pct", static_cast<size_t>(rate));
         double with_ws = UtilPct(g, queries, rb, StealPolicy::kActive,
                                  scale);
         double without = UtilPct(g, queries, rb, StealPolicy::kNone,

@@ -28,7 +28,8 @@ CellResult RunVariant(const LabeledGraph& g,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig14", argc, argv);
   Scale scale;
   PrintHeader("Figure 14",
               "Ablation: WBM / WBM+cs / WBM+ws / WBM+cs+ws (modeled "
@@ -49,9 +50,15 @@ int main() {
       }
       UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
                                         scale.seed + 1);
+      JsonContext("structure", ToString(cls));
+      JsonContext("dataset", spec.short_name);
+      JsonContext("variant", "wbm");
       CellResult base = RunVariant(g, queries, batch, false, false, scale);
+      JsonContext("variant", "wbm+cs");
       CellResult cs = RunVariant(g, queries, batch, true, false, scale);
+      JsonContext("variant", "wbm+ws");
       CellResult ws = RunVariant(g, queries, batch, false, true, scale);
+      JsonContext("variant", "wbm+cs+ws");
       CellResult both = RunVariant(g, queries, batch, true, true, scale);
       auto speedup = [&](const CellResult& r) {
         return r.avg_latency_s > 0 ? base.avg_latency_s / r.avg_latency_s

@@ -43,7 +43,8 @@ struct KernelSetup {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig5", argc, argv);
   Scale scale;
   PrintHeader("Figure 5",
               "BFS vs DFS on LS: (a) device memory usage, (b) "
@@ -128,6 +129,20 @@ int main() {
       printf("%-7s | %10.4f %10.4f | %10.4f %10.4f\n", ToString(cls),
              comp(bfs.stats), comm(bfs.stats), comp(dfs.stats),
              comm(dfs.stats));
+
+      double bfs_peak = 0;
+      for (double p : bfs.memory_samples) bfs_peak = std::max(bfs_peak, p);
+      JsonRow row;
+      row.Set("dataset", "LS")
+          .Set("structure", ToString(cls))
+          .Set("bfs_peak_mem_pct", bfs_peak)
+          .Set("dfs_peak_mem_pct",
+               100.0 * double(dfs.stats.peak_device_bytes) / cap)
+          .Set("bfs_comp_ms", comp(bfs.stats))
+          .Set("bfs_comm_ms", comm(bfs.stats))
+          .Set("dfs_comp_ms", comp(dfs.stats))
+          .Set("dfs_comm_ms", comm(dfs.stats));
+      JsonSink::Instance().Add(std::move(row));
     });
   }
   printf("\nShape checks (paper): BFS peak -> 100%% (exhaustion), DFS "

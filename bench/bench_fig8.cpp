@@ -12,7 +12,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig8", argc, argv);
   Scale scale;
   scale.query_budget_s = 0.5;  // 5 sizes x 3 classes x 5 methods: tighter cap
   PrintHeader("Figure 8", "Latency & solved% vs |V(Q)| in {4,6,8,10,12}",
@@ -34,6 +35,9 @@ int main() {
           printf("%6zu | (no extractable queries)\n", nq);
           continue;
         }
+        JsonContext("dataset", ds);
+        JsonContext("structure", ToString(cls));
+        JsonContext("query_size", nq);
         printf("%6zu |", nq);
         size_t total_runs = 0, total_solved = 0;
         for (const char* m : kBaselineMethods) {

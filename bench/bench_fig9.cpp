@@ -11,7 +11,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_fig9", argc, argv);
   Scale scale;
   scale.query_budget_s = 0.5;
   PrintHeader("Figure 9", "Latency & solved% vs insertion rate Ir (%)",
@@ -33,6 +34,9 @@ int main() {
       for (int rate : {2, 4, 6, 8, 10}) {
         UpdateBatch batch = MakeRateBatch(g, spec, rate / 100.0, scale,
                                           scale.seed + rate);
+        JsonContext("dataset", ds);
+        JsonContext("structure", ToString(cls));
+        JsonContext("rate_pct", static_cast<size_t>(rate));
         printf("%5d%% |", rate);
         for (const char* m : kBaselineMethods) {
           CellResult r = RunEngineCell(m, g, queries, batch, scale);

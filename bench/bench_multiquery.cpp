@@ -29,7 +29,8 @@ uint64_t ReportTicks(const BatchReport& report) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_multiquery", argc, argv);
   Scale scale;
   PrintHeader("Multi-query registration (extension)",
               "Fused multi-pattern launches (\"multi\") vs one engine "
@@ -71,6 +72,13 @@ int main() {
     printf("%8zu | %14.2f %14.2f | %7.2fx\n", nq, fused_us, sep_us,
            fused_us > 0 ? sep_us / fused_us : 0.0);
     fflush(stdout);
+
+    JsonRow row;
+    row.Set("num_queries", nq)
+        .Set("fused_us", fused_us)
+        .Set("per_engine_us", sep_us)
+        .Set("fused_speedup", fused_us > 0 ? sep_us / fused_us : 0.0);
+    JsonSink::Instance().Add(std::move(row));
   }
 
   // Dynamic query churn: register 8 patterns, retire half mid-stream —

@@ -12,7 +12,8 @@
 using namespace bdsm;
 using namespace bdsm::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  InitBench("bench_table3", argc, argv);
   Scale scale;
   PrintHeader("Table III",
               "Overall performance vs baselines "
@@ -40,6 +41,8 @@ int main() {
       }
       UpdateBatch batch = MakeRateBatch(g, spec, scale.default_rate, scale,
                                         scale.seed + 1);
+      JsonContext("structure", ToString(cls));
+      JsonContext("dataset", spec.short_name);
       printf("%-7s %-4s |", ToString(cls), spec.short_name);
       for (const char* m : kMethods) {
         CellResult r = RunEngineCell(m, g, queries, batch, scale);

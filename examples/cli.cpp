@@ -3,11 +3,14 @@
 /// graph/query files.  Engine choice is a flag, not a code path.
 ///
 /// Usage:
-///   ./example_cli [--engine NAME] <graph-file> <query-file> [ins-rate%] [seed]
-///   ./example_cli [--engine NAME] --demo    # built-in dataset demo
+///   ./example_cli [--engine NAME] [--shards N] <graph-file> <query-file>
+///                 [ins-rate%] [seed]
+///   ./example_cli [--engine NAME] [--shards N] --demo   # built-in demo
 ///
 /// NAME is any registry name: gamma (default), multi, tf, sym, rf, cl,
-/// gf (see core/engine.hpp).
+/// gf — or a composite spec like sharded:gamma@4 (see core/engine.hpp).
+/// --shards N wraps the chosen engine in the sharded serving layer
+/// (serve/sharded_engine.hpp), equivalent to --engine sharded:NAME@N.
 ///
 /// File format (shared with the CSM literature; see graph/graph_io.hpp):
 ///   t <num_vertices> <num_edges>
@@ -71,19 +74,30 @@ int RunDemo(const std::string& engine_name) {
 
 int main(int argc, char** argv) {
   std::string engine_name = "gamma";
-  // Peel off --engine NAME wherever it appears.
+  long shards = 0;
+  // Peel off --engine NAME / --shards N wherever they appear.
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atol(argv[++i]);
+      if (shards < 1) {
+        fprintf(stderr, "--shards wants a positive count\n");
+        return 2;
+      }
     } else {
       args.push_back(argv[i]);
     }
   }
+  if (shards > 0) {
+    engine_name =
+        "sharded:" + engine_name + "@" + std::to_string(shards);
+  }
   if (!EngineRegistry::Instance().Has(engine_name)) {
     fprintf(stderr, "unknown engine \"%s\"; available:", engine_name.c_str());
     for (const std::string& n : EngineNames()) fprintf(stderr, " %s", n.c_str());
-    fprintf(stderr, "\n");
+    fprintf(stderr, " (or sharded:<engine>[@N])\n");
     return 2;
   }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Checks that relative Markdown links in the repo's docs resolve.
+
+Scans README.md and docs/*.md for [text](target) links; every target
+that is not an external URL or a pure #anchor must exist on disk
+(relative to the file containing the link).  CI runs this in the docs
+job so moved/renamed files that leave dangling links fail the build.
+
+Usage: python3 scripts/check_links.py [repo_root]
+"""
+import pathlib
+import re
+import sys
+
+# [text](target) — won't catch reference-style links, which these docs
+# don't use; code spans are stripped first so `[i](x)` in code is safe.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+CODE_BLOCK_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def links_in(path: pathlib.Path):
+    text = path.read_text(encoding="utf-8")
+    text = CODE_BLOCK_RE.sub("", text)
+    text = CODE_SPAN_RE.sub("", text)
+    return LINK_RE.findall(text)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    missing = []
+    checked = 0
+    for f in files:
+        if not f.exists():
+            continue
+        for target in links_in(f):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (f.parent / target.split("#", 1)[0]).resolve()
+            checked += 1
+            if not resolved.exists():
+                missing.append(f"{f}: broken link -> {target}")
+    for line in missing:
+        print(line, file=sys.stderr)
+    print(f"check_links: {checked} relative links checked, "
+          f"{len(missing)} broken")
+    return 1 if missing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@
 /// updated edge.
 ///
 /// These are faithful "lite" reimplementations, not the authors' code
-/// (unavailable offline); DESIGN.md §2 records the substitution.
+/// (unavailable offline); docs/BENCHMARKS.md records the substitution.
 #pragma once
 
 #include <memory>

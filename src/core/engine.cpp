@@ -5,6 +5,7 @@
 
 #include "baselines/csm_common.hpp"
 #include "core/multi_gamma.hpp"
+#include "serve/sharded_engine.hpp"
 #include "util/timer.hpp"
 
 namespace bdsm {
@@ -406,6 +407,12 @@ EngineRegistry::EngineRegistry() {
     alias(c.alias, c.name);
   }
   alias("multigamma", "multi");
+
+  // Composite serving specs ("sharded:inner@N").  Registered through an
+  // explicit hook rather than a serve/-local static initializer, which
+  // the linker would drop from the static library whenever no serve/
+  // symbol is referenced directly.
+  serve::RegisterServeEngines(this);
 }
 
 EngineRegistry& EngineRegistry::Instance() {
@@ -418,8 +425,21 @@ void EngineRegistry::Register(const std::string& name,
   entries_[Canonical(name)] = Entry{std::move(factory), /*is_alias=*/false};
 }
 
+void EngineRegistry::RegisterPrefix(const std::string& prefix,
+                                    SpecFactory factory,
+                                    SpecValidator validator) {
+  prefixes_[Canonical(prefix)] =
+      PrefixEntry{std::move(factory), std::move(validator)};
+}
+
 bool EngineRegistry::Has(const std::string& name) const {
-  return entries_.count(Canonical(name)) > 0;
+  std::string canonical = Canonical(name);
+  if (entries_.count(canonical) > 0) return true;
+  size_t colon = canonical.find(':');
+  if (colon == std::string::npos) return false;
+  auto it = prefixes_.find(canonical.substr(0, colon));
+  return it != prefixes_.end() &&
+         it->second.validator(canonical.substr(colon + 1));
 }
 
 std::vector<std::string> EngineRegistry::Names() const {
@@ -434,9 +454,21 @@ std::vector<std::string> EngineRegistry::Names() const {
 std::unique_ptr<Engine> EngineRegistry::Make(
     const std::string& name, const LabeledGraph& g,
     const EngineOptions& options) const {
-  auto it = entries_.find(Canonical(name));
-  GAMMA_CHECK_MSG(it != entries_.end(), "unknown engine name");
-  return it->second.factory(g, options);
+  std::string canonical = Canonical(name);
+  auto it = entries_.find(canonical);
+  if (it != entries_.end()) return it->second.factory(g, options);
+  size_t colon = canonical.find(':');
+  if (colon != std::string::npos) {
+    auto pit = prefixes_.find(canonical.substr(0, colon));
+    if (pit != prefixes_.end()) {
+      std::string rest = canonical.substr(colon + 1);
+      GAMMA_CHECK_MSG(pit->second.validator(rest),
+                      "malformed composite engine spec");
+      return pit->second.factory(rest, g, options);
+    }
+  }
+  GAMMA_CHECK_MSG(false, "unknown engine name");
+  return nullptr;
 }
 
 std::unique_ptr<Engine> MakeEngine(const std::string& name,

@@ -44,6 +44,10 @@
 
 namespace bdsm {
 
+namespace serve {
+class ShardedEngine;
+}
+
 /// Stable handle of a registered query.  Ids are engine-scoped,
 /// monotonically assigned, and never reused after RemoveQuery.
 using QueryId = uint32_t;
@@ -211,6 +215,9 @@ class Engine {
 
  protected:
   friend class StreamPipeline;
+  // The serving layer drives the same phases across inner engines it
+  // owns (see serve/sharded_engine.hpp).
+  friend class serve::ShardedEngine;
 
   /// Template-method phases over a batch already sanitized against
   /// host_graph().  StreamPipeline drives them directly so it can
@@ -218,6 +225,14 @@ class Engine {
   /// batch i.  Engines whose processing cannot be split (the sequential
   /// CSM chassis interleaves matching with updates) do all their work
   /// in RunUpdatePhase and leave RunMatchPhase empty.
+  ///
+  /// Phase contract: a driver must run every batch through the full,
+  /// fixed sequence — RunMatchPhase(positive=false), RunUpdatePhase,
+  /// RunMatchPhase(positive=true) — even when a phase has no seeds.
+  /// The order is semantically forced (negatives need the pre-update
+  /// state, positives the post-update state), and engines may rely on
+  /// the negative phase marking the start of a batch (ShardedEngine
+  /// resets its per-batch shard scratch there).
   virtual void RunMatchPhase(const UpdateBatch& batch, bool positive,
                              const BatchOptions& options,
                              BatchReport* report) = 0;
@@ -254,6 +269,14 @@ struct EngineOptions {
   /// Default per-query host budget for the CPU engines (0 = unlimited);
   /// BatchOptions::budget_seconds overrides it per batch.
   double csm_budget_seconds = 0.0;
+
+  /// --- serving layer (serve/sharded_engine.hpp) ---
+  /// Worker threads for ShardedEngine's phase fan-out (0 = one per
+  /// shard).  Output never depends on this; only wall-clock does.
+  size_t serve_threads = 0;
+  /// Capacity of the SubmitBatch ingest queue: SubmitBatch blocks (and
+  /// TrySubmitBatch refuses) once this many batches are waiting.
+  size_t serve_queue_capacity = 8;
 };
 
 using EngineFactory = std::function<std::unique_ptr<Engine>(
@@ -267,6 +290,11 @@ using EngineFactory = std::function<std::unique_ptr<Engine>(
 ///   "rf" | "rapidflow"   RapidFlow-lite   (CPU baseline)
 ///   "cl" | "calig"       CaLiG-lite       (CPU baseline)
 ///   "gf" | "graphflow"   Graphflow-lite   (CPU baseline)
+///
+/// Composite specs — `"<prefix>:<rest>"` — build engines parameterized by
+/// the spec string itself.  The serving layer registers the "sharded"
+/// prefix: "sharded:gamma\@8" is a ShardedEngine over 8 gamma shards
+/// (serve/sharded_engine.hpp).
 class EngineRegistry {
  public:
   static EngineRegistry& Instance();
@@ -274,7 +302,7 @@ class EngineRegistry {
   /// Registers a factory under `name` (overwrites an existing entry).
   void Register(const std::string& name, EngineFactory factory);
   bool Has(const std::string& name) const;
-  /// Canonical (non-alias) registered names, sorted.
+  /// Canonical (non-alias, non-prefix) registered names, sorted.
   std::vector<std::string> Names() const;
 
   /// Builds the engine over an initial graph; GAMMA_CHECKs on unknown
@@ -283,13 +311,32 @@ class EngineRegistry {
                                const LabeledGraph& g,
                                const EngineOptions& options = {}) const;
 
+  /// A composite-spec factory receives the part of the spec after
+  /// `"<prefix>:"`, already lower-cased.
+  using SpecFactory = std::function<std::unique_ptr<Engine>(
+      const std::string& rest, const LabeledGraph&, const EngineOptions&)>;
+  /// Validates the `"<rest>"` of a spec without building (drives Has()).
+  using SpecValidator = std::function<bool(const std::string& rest)>;
+
+  /// Registers a composite-spec prefix: Make(`"<prefix>:<rest>"`, ...)
+  /// dispatches to `factory`, Has(`"<prefix>:<rest>"`) to `validator`.
+  /// Plain names always win — the prefix path is only consulted for
+  /// specs containing ':'.
+  void RegisterPrefix(const std::string& prefix, SpecFactory factory,
+                      SpecValidator validator);
+
  private:
   EngineRegistry();
   struct Entry {
     EngineFactory factory;
     bool is_alias = false;
   };
+  struct PrefixEntry {
+    SpecFactory factory;
+    SpecValidator validator;
+  };
   std::unordered_map<std::string, Entry> entries_;
+  std::unordered_map<std::string, PrefixEntry> prefixes_;
 };
 
 /// Convenience wrappers over EngineRegistry::Instance().

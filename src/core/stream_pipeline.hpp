@@ -30,23 +30,29 @@
 
 namespace bdsm {
 
+/// Per-batch accounting of one pipeline round.
 struct PipelineBatchStats {
+  /// Update ops that survived sanitization and were applied.
   size_t applied_ops = 0;
   size_t positive_matches = 0;  ///< summed over all registered queries
-  size_t negative_matches = 0;
+  size_t negative_matches = 0;  ///< summed over all registered queries
   double prep_seconds = 0.0;      ///< host preparation (overlappable)
   double prep_hidden_seconds = 0.0;  ///< portion hidden behind the device
   DeviceStats device;             ///< update + matching kernels
 };
 
+/// Whole-stream accounting returned by StreamPipeline::Run.
 struct PipelineStats {
+  /// One entry per batch of the stream, in order.
   std::vector<PipelineBatchStats> batches;
+  /// End-to-end host wall time of the Run call.
   double wall_seconds = 0.0;
   /// Host preparation time hidden behind device kernels — the paper's
   /// asynchrony payoff ("minimizing the time overhead of preceding
   /// steps prior to result computation").
   double total_hidden_seconds = 0.0;
 
+  /// Positive + negative matches over every batch and query.
   size_t TotalMatches() const {
     size_t n = 0;
     for (const auto& b : batches) {
@@ -56,15 +62,22 @@ struct PipelineStats {
   }
 };
 
+/// Drives a batch stream through any Engine with host/device overlap
+/// (see the file comment for the phase schedule).  The pipeline holds
+/// the engine only by pointer: the caller keeps ownership and may
+/// inspect or mutate the engine between Run calls (not during one).
 class StreamPipeline {
  public:
   /// Wraps any engine; the pipeline drives the same phases
   /// Engine::ProcessBatch uses, overlapping preparation.
   explicit StreamPipeline(Engine* engine) : engine_(engine) {}
 
-  /// Processes the whole stream.  `reports`, when non-null, receives
-  /// every batch's BatchReport; `options` (sink / materialize / budget)
-  /// applies to every batch.
+  /// Processes the whole stream in order.  `reports`, when non-null,
+  /// receives every batch's BatchReport (bit-identical to per-batch
+  /// ProcessBatch calls); `options` (sink / materialize / budget)
+  /// applies to every batch.  Batches are sanitized against the
+  /// engine's evolving host graph as part of the overlapped
+  /// preparation, so the raw stream may contain conflicting ops.
   PipelineStats Run(const std::vector<UpdateBatch>& stream,
                     std::vector<BatchReport>* reports = nullptr,
                     const BatchOptions& options = {});

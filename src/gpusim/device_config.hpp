@@ -2,7 +2,8 @@
 /// Configuration and statistics of the simulated GPU.
 ///
 /// This repository reproduces a GPU paper on a machine without a GPU
-/// (DESIGN.md §2): the device below is a deterministic discrete-event
+/// (docs/ARCHITECTURE.md): the device below is a deterministic
+/// discrete-event
 /// model of the execution hierarchy GAMMA's kernels are written against —
 /// SMs hosting blocks of warps, 32 SIMT lanes per warp, per-block shared
 /// memory, transaction-based global memory with coalescing.  Time is

@@ -26,8 +26,8 @@ class WarpOps {
  public:
   /// __ballot_sync: every lane contributes a predicate bit.  One warp
   /// step; returns the 32-bit (lane-count-bit) mask.
-  /// (std::vector<bool> by reference: its proxy iterators cannot form a
-  /// span.)
+  /// (`std::vector<bool>` by reference: its proxy iterators cannot form
+  /// a span.)
   static uint32_t Ballot(WarpContext& ctx, const std::vector<bool>& lanes) {
     ctx.ChargeCompute(ctx.lanes());
     uint32_t mask = 0;

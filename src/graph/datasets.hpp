@@ -7,7 +7,7 @@
 /// parameters the paper's analysis depends on — label alphabet sizes,
 /// average degree, degree skew, and (for NF/LS) edge-label skew — at a
 /// size where every experiment completes in seconds on one CPU core.
-/// See DESIGN.md §2 for the substitution rationale.
+/// See docs/BENCHMARKS.md for the substitution rationale.
 #pragma once
 
 #include <string>

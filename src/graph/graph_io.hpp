@@ -2,9 +2,9 @@
 /// Plain-text graph serialization in the format common to the CSM
 /// literature (and to the paper's baselines' repositories):
 ///
-///   t <num_vertices> <num_edges>
-///   v <id> <label> [degree]        (degree optional, ignored on load)
-///   e <u> <v> [edge_label]
+///   `t <num_vertices> <num_edges>`
+///   `v <id> <label> [degree]`        (degree optional, ignored on load)
+///   `e <u> <v> [edge_label]`
 ///
 /// Lets users run GAMMA on their own graphs and lets tests round-trip.
 #pragma once

@@ -20,15 +20,18 @@ namespace bdsm {
 
 /// One edge update: the paper's "(⊕, e)" with ⊕ ∈ {+, -}.
 struct UpdateOp {
-  bool is_insert;
-  VertexId u;
-  VertexId v;
-  Label elabel = kNoLabel;
+  bool is_insert;           ///< ⊕: true = insertion, false = deletion
+  VertexId u;               ///< edge endpoint (graphs are undirected)
+  VertexId v;               ///< edge endpoint
+  Label elabel = kNoLabel;  ///< edge label; kNoLabel on unlabeled graphs
 
   friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
 };
 
 /// A batch ∆B of updates; |∆B| > 1 makes the graph *batch-dynamic*.
+/// Engines only guarantee the *net* match difference across the whole
+/// batch; feed batches to Engine::ProcessBatch or StreamPipeline::Run,
+/// which sanitize them first (see SanitizeBatch).
 using UpdateBatch = std::vector<UpdateOp>;
 
 /// Applies a batch to the host graph.  Deletions execute before

@@ -1,0 +1,72 @@
+/// \file result_fanin.hpp
+/// Thread-safe fan-in of many streaming producers into one ResultSink.
+///
+/// The Engine streaming contract (core/engine.hpp) delivers matches on
+/// the caller's thread; user sinks are therefore written single-threaded.
+/// Under sharding, N shard workers stream concurrently, so their
+/// deliveries must be funneled through one serialization point before
+/// they reach the user's sink.  FanInSink is that point: it owns one
+/// mutex and a downstream pointer, and hands each producer a `Lane` — a
+/// ResultSink that (1) remaps the producer's engine-local QueryIds to
+/// the ids the consumer knows, and (2) takes the shared lock around
+/// every downstream OnMatch.
+///
+/// Ordering guarantees: matches from ONE lane arrive downstream in the
+/// order that lane emitted them (per-query emission order is preserved,
+/// exactly as for an unsharded engine).  Matches from different lanes
+/// interleave arbitrarily — cross-shard delivery order is scheduling-
+/// dependent, which is inherent to concurrent serving.  Counts and
+/// per-query sequences are deterministic; only the cross-query
+/// interleaving is not.
+///
+/// Lifetime: lanes hold a pointer to their FanInSink, which must outlive
+/// them; the downstream sink must outlive the batch being streamed.  A
+/// null downstream turns every lane into a no-op, so one set of lanes
+/// serves both streaming and non-streaming batches.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <utility>
+
+#include "core/engine.hpp"
+
+namespace bdsm::serve {
+
+/// Serialization point for concurrent streaming producers.
+class FanInSink {
+ public:
+  explicit FanInSink(ResultSink* downstream = nullptr)
+      : downstream_(downstream) {}
+
+  /// Retargets the fan-in (e.g. per batch).  Must not race with active
+  /// lane deliveries; ShardedEngine calls it only between batches.
+  void set_downstream(ResultSink* sink) { downstream_ = sink; }
+  ResultSink* downstream() const { return downstream_; }
+
+  /// One producer's entry into the fan-in.  `remap` translates the
+  /// producer's QueryIds into the consumer's (identity when empty).
+  class Lane final : public ResultSink {
+   public:
+    Lane(FanInSink* parent, std::function<QueryId(QueryId)> remap)
+        : parent_(parent), remap_(std::move(remap)) {}
+
+    void OnMatch(QueryId query, const MatchRecord& m) override {
+      ResultSink* down = parent_->downstream_;
+      if (down == nullptr) return;
+      QueryId mapped = remap_ ? remap_(query) : query;
+      std::lock_guard<std::mutex> lock(parent_->mu_);
+      down->OnMatch(mapped, m);
+    }
+
+   private:
+    FanInSink* parent_;
+    std::function<QueryId(QueryId)> remap_;
+  };
+
+ private:
+  std::mutex mu_;
+  ResultSink* downstream_;
+};
+
+}  // namespace bdsm::serve

@@ -1,0 +1,332 @@
+#include "serve/sharded_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/common.hpp"
+#include "util/timer.hpp"
+
+namespace bdsm::serve {
+
+std::optional<ShardedSpec> ParseShardedSpec(const std::string& spec) {
+  if (spec.empty()) return std::nullopt;
+  std::string inner = spec;
+  size_t num_shards = ShardedEngine::kDefaultShards;
+  size_t at = spec.rfind('@');
+  if (at != std::string::npos) {
+    inner = spec.substr(0, at);
+    std::string count = spec.substr(at + 1);
+    if (count.empty()) return std::nullopt;
+    size_t n = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9') return std::nullopt;
+      n = n * 10 + static_cast<size_t>(c - '0');
+      if (n > 4096) return std::nullopt;  // sanity bound, not a target
+    }
+    if (n == 0) return std::nullopt;
+    num_shards = n;
+  }
+  // No nesting of composite specs.
+  if (inner.empty() || inner.find(':') != std::string::npos ||
+      inner.find('@') != std::string::npos) {
+    return std::nullopt;
+  }
+  return ShardedSpec{std::move(inner), num_shards};
+}
+
+ShardedEngine::ShardedEngine(const std::string& inner, size_t num_shards,
+                             const LabeledGraph& g,
+                             const EngineOptions& options)
+    : pool_(options.serve_threads > 0 ? options.serve_threads : num_shards),
+      queue_capacity_(options.serve_queue_capacity) {
+  GAMMA_CHECK_MSG(num_shards > 0, "ShardedEngine needs at least one shard");
+  GAMMA_CHECK_MSG(queue_capacity_ > 0, "ingest queue needs capacity >= 1");
+  name_ = "sharded:" + inner + "@" + std::to_string(num_shards);
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    Shard shard;
+    shard.engine = MakeEngine(inner, g, options);
+    shards_.push_back(std::move(shard));
+  }
+  shard_busy_seconds_.assign(num_shards, 0.0);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_[s].lane = std::make_unique<FanInSink::Lane>(
+        &fanin_, [this, s](QueryId inner_id) {
+          const auto& map = shards_[s].to_public;
+          auto it = map.find(inner_id);
+          return it == map.end() ? inner_id : it->second;
+        });
+  }
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  queue_space_.notify_all();
+  dispatcher_.join();
+}
+
+QueryId ShardedEngine::AddQuery(const QueryGraph& q) {
+  QueryId public_id = next_id_++;
+  size_t shard = public_id % shards_.size();
+  QueryId inner_id = shards_[shard].engine->AddQuery(q);
+  shards_[shard].to_public[inner_id] = public_id;
+  slots_.push_back(SlotRef{public_id, shard, inner_id});
+  return public_id;
+}
+
+bool ShardedEngine::RemoveQuery(QueryId id) {
+  for (auto it = slots_.begin(); it != slots_.end(); ++it) {
+    if (it->public_id != id) continue;
+    Shard& shard = shards_[it->shard];
+    GAMMA_CHECK(shard.engine->RemoveQuery(it->inner_id));
+    shard.to_public.erase(it->inner_id);
+    slots_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<QueryId> ShardedEngine::QueryIds() const {
+  std::vector<QueryId> ids;
+  ids.reserve(slots_.size());
+  for (const SlotRef& ref : slots_) ids.push_back(ref.public_id);
+  return ids;
+}
+
+size_t ShardedEngine::ShardOf(QueryId id) const {
+  for (const SlotRef& ref : slots_) {
+    if (ref.public_id == id) return ref.shard;
+  }
+  return kInvalidShard;
+}
+
+void ShardedEngine::BeginBatch(const BatchOptions& options) {
+  if (poisoned_.load(std::memory_order_relaxed)) {
+    throw std::runtime_error(
+        "ShardedEngine poisoned: an earlier batch failed mid-flight "
+        "and shard replicas may have diverged");
+  }
+  fanin_.set_downstream(options.sink);
+  for (Shard& shard : shards_) {
+    // InitReport only rebuilds the query slots; the aggregates must be
+    // zeroed explicitly since scratch is reused across batches.
+    shard.scratch = BatchReport{};
+    shard.engine->InitReport(&shard.scratch);
+  }
+}
+
+void ShardedEngine::ForEachShard(
+    const BatchOptions& options,
+    const std::function<void(Shard&, const BatchOptions&)>& phase_body) {
+  std::vector<double> phase_seconds(shards_.size(), 0.0);
+  try {
+    pool_.ParallelFor(shards_.size(), [&](size_t s) {
+      // Thread-CPU, not wall: each shard task runs on one worker, and
+      // its cost must not inflate when workers share cores (see
+      // ShardBusySeconds docs).
+      ThreadCpuTimer timer;
+      Shard& shard = shards_[s];
+      BatchOptions inner = options;
+      inner.sink = options.sink != nullptr ? shard.lane.get() : nullptr;
+      phase_body(shard, inner);
+      // Stream this phase's new matches through the shard's lane and
+      // maintain the shard-local counts, exactly as the unsharded
+      // driver would between phases.
+      Engine::FlushPhase(inner, &shard.scratch);
+      phase_seconds[s] = timer.ElapsedSeconds();
+    });
+  } catch (...) {
+    // A shard failing mid-phase may leave the replicas diverged (some
+    // applied this batch's work, some did not) — poison on every drive
+    // path, not just the dispatcher's.
+    poisoned_.store(true, std::memory_order_relaxed);
+    throw;
+  }
+  // Serving stats: each phase is a barrier, so its concurrent cost is
+  // the slowest shard's (the critical path a host with enough cores
+  // pays); per-shard busy time accumulates for utilization views.
+  double slowest = 0.0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_busy_seconds_[s] += phase_seconds[s];
+    slowest = std::max(slowest, phase_seconds[s]);
+  }
+  critical_path_seconds_ += slowest;
+}
+
+void ShardedEngine::ResetServingStats() {
+  shard_busy_seconds_.assign(shards_.size(), 0.0);
+  critical_path_seconds_ = 0.0;
+}
+
+void ShardedEngine::MergeIntoReport(const BatchOptions& options,
+                                    BatchReport* report) {
+  GAMMA_CHECK(report->queries.size() == slots_.size());
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const SlotRef& ref = slots_[i];
+    QueryReport& out = report->queries[i];  // InitReport order
+    GAMMA_CHECK(out.id == ref.public_id);
+    const QueryReport* in = shards_[ref.shard].scratch.Find(ref.inner_id);
+    GAMMA_CHECK(in != nullptr);
+
+    out.num_positive = in->num_positive;
+    out.num_negative = in->num_negative;
+    out.timed_out = in->timed_out;
+    out.overflowed = in->overflowed;
+    out.update_stats = in->update_stats;
+    out.match_stats = in->match_stats;
+    out.preprocess_host_seconds = in->preprocess_host_seconds;
+    out.host_wall_seconds = in->host_wall_seconds;
+    if (options.materialize) {
+      // Shard scratch accumulates across phases; append only the tail
+      // this merge hasn't seen yet (the public vector's size tracks it).
+      out.positive_matches.insert(
+          out.positive_matches.end(),
+          in->positive_matches.begin() +
+              static_cast<ptrdiff_t>(out.positive_matches.size()),
+          in->positive_matches.end());
+      out.negative_matches.insert(
+          out.negative_matches.end(),
+          in->negative_matches.begin() +
+              static_cast<ptrdiff_t>(out.negative_matches.size()),
+          in->negative_matches.end());
+    }
+    // The fan-in lanes already streamed and counted everything merged
+    // here; advance the flush markers so the outer FlushPhase neither
+    // re-counts nor re-delivers.
+    out.streamed_positive = out.positive_matches.size();
+    out.streamed_negative = out.negative_matches.size();
+  }
+
+  // Aggregates, rebuilt from the shard aggregates in shard-index order.
+  // DeviceStats accumulation is commutative (sums/maxes/ors), so for
+  // per-query-independent inner engines this equals the unsharded
+  // engine's query-order accumulation bit for bit.
+  report->update_stats = DeviceStats{};
+  report->match_stats = DeviceStats{};
+  report->preprocess_host_seconds = 0.0;
+  for (const Shard& shard : shards_) {
+    report->update_stats.MergeSequential(shard.scratch.update_stats);
+    report->match_stats.MergeSequential(shard.scratch.match_stats);
+    report->preprocess_host_seconds +=
+        shard.scratch.preprocess_host_seconds;
+  }
+}
+
+void ShardedEngine::RunMatchPhase(const UpdateBatch& batch, bool positive,
+                                  const BatchOptions& options,
+                                  BatchReport* report) {
+  // The negative phase is always the first phase of a batch (both
+  // Engine::ProcessBatch and StreamPipeline run negative -> update ->
+  // positive), so it doubles as the per-batch reset point.
+  if (!positive) BeginBatch(options);
+  ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+    shard.engine->RunMatchPhase(batch, positive, inner, &shard.scratch);
+  });
+  MergeIntoReport(options, report);
+}
+
+void ShardedEngine::RunUpdatePhase(const UpdateBatch& batch,
+                                   const BatchOptions& options,
+                                   BatchReport* report) {
+  // Every shard applies the batch to its own replica, keeping all
+  // host graphs (and any late AddQuery) in lockstep.
+  ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+    shard.engine->RunUpdatePhase(batch, inner, &shard.scratch);
+  });
+  MergeIntoReport(options, report);
+}
+
+std::future<BatchReport> ShardedEngine::SubmitBatch(UpdateBatch batch,
+                                                    BatchOptions options) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  queue_space_.wait(lock, [this] {
+    return queue_.size() < queue_capacity_ || stopping_;
+  });
+  GAMMA_CHECK_MSG(!stopping_, "SubmitBatch on a stopping engine");
+  PendingBatch pending;
+  pending.batch = std::move(batch);
+  pending.options = options;
+  std::future<BatchReport> result = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  lock.unlock();
+  queue_ready_.notify_one();
+  return result;
+}
+
+std::optional<std::future<BatchReport>> ShardedEngine::TrySubmitBatch(
+    UpdateBatch batch, BatchOptions options) {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  if (queue_.size() >= queue_capacity_ || stopping_) return std::nullopt;
+  PendingBatch pending;
+  pending.batch = std::move(batch);
+  pending.options = options;
+  std::future<BatchReport> result = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  lock.unlock();
+  queue_ready_.notify_one();
+  return result;
+}
+
+size_t ShardedEngine::PendingBatches() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+void ShardedEngine::DispatchLoop() {
+  for (;;) {
+    PendingBatch pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_ready_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+      // On shutdown the queue is drained first: every accepted batch
+      // still gets processed and its future fulfilled.
+      if (queue_.empty()) return;
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    queue_space_.notify_one();
+    // A failing batch (e.g. bad_alloc out of a shard) must fail its own
+    // future, not take down the dispatcher and the process with it.
+    // It also poisons the engine: the batch may have been applied to
+    // some shard replicas and not others, so serving on would produce
+    // silently inconsistent merges.
+    try {
+      if (poisoned_.load(std::memory_order_relaxed)) {
+        throw std::runtime_error(
+            "ShardedEngine poisoned: an earlier batch failed mid-flight "
+            "and shard replicas may have diverged");
+      }
+      pending.promise.set_value(
+          ProcessBatch(pending.batch, pending.options));
+    } catch (...) {
+      poisoned_.store(true, std::memory_order_relaxed);
+      pending.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void RegisterServeEngines(EngineRegistry* registry) {
+  registry->RegisterPrefix(
+      "sharded",
+      [](const std::string& rest, const LabeledGraph& g,
+         const EngineOptions& options) {
+        std::optional<ShardedSpec> spec = ParseShardedSpec(rest);
+        GAMMA_CHECK_MSG(spec.has_value(), "bad sharded engine spec");
+        return std::unique_ptr<Engine>(new ShardedEngine(
+            spec->inner, spec->num_shards, g, options));
+      },
+      [](const std::string& rest) {
+        std::optional<ShardedSpec> spec = ParseShardedSpec(rest);
+        return spec.has_value() &&
+               EngineRegistry::Instance().Has(spec->inner);
+      });
+}
+
+}  // namespace bdsm::serve

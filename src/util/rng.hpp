@@ -3,7 +3,7 @@
 ///
 /// Everything in GAMMA that is random is seeded explicitly so that every
 /// experiment and every property test is exactly reproducible (see
-/// DESIGN.md "Determinism").
+/// docs/ARCHITECTURE.md, "Determinism conventions").
 #pragma once
 
 #include <cmath>

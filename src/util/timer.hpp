@@ -1,8 +1,10 @@
 /// \file timer.hpp
-/// Wall-clock timing helpers for the benchmark harnesses.
+/// Wall-clock and thread-CPU timing helpers for the benchmark and
+/// serving harnesses.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace bdsm {
 
@@ -22,6 +24,29 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU seconds consumed by the *calling thread* so far.  Unlike wall
+/// time, this is unaffected by how many other threads share the cores,
+/// so per-task measurements stay meaningful on oversubscribed hosts
+/// (the serving layer's critical-path accounting relies on this).
+inline double ThreadCpuSeconds() {
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// Stopwatch over ThreadCpuSeconds().  Only valid when started and
+/// read on the same thread.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(ThreadCpuSeconds()) {}
+  void Reset() { start_ = ThreadCpuSeconds(); }
+  double ElapsedSeconds() const { return ThreadCpuSeconds() - start_; }
+
+ private:
+  double start_;
 };
 
 }  // namespace bdsm

@@ -1,0 +1,490 @@
+/// Serving-layer tests (src/serve/): ShardedEngine parity against the
+/// unsharded inner engine for every registry name, determinism across
+/// pool sizes, query removal on shards, streaming fan-in, the bounded
+/// SubmitBatch ingest queue (back-pressure), StreamPipeline over a
+/// sharded engine, and the registry's composite-spec syntax.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/stream_pipeline.hpp"
+#include "graph/graph_generator.hpp"
+#include "graph/update_stream.hpp"
+#include "serve/sharded_engine.hpp"
+
+namespace bdsm {
+namespace {
+
+using serve::ParseShardedSpec;
+using serve::ShardedEngine;
+
+const char* const kAllEngines[] = {"gamma", "multi", "tf", "sym",
+                                   "rf",    "cl",    "gf"};
+
+QueryGraph TriangleQuery() {
+  QueryGraph q({0, 0, 1});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  q.AddEdge(0, 2);
+  return q;
+}
+
+QueryGraph PathQuery() {
+  QueryGraph q({0, 1, 2});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  return q;
+}
+
+QueryGraph WedgeQuery() {
+  QueryGraph q({1, 0, 1});
+  q.AddEdge(0, 1);
+  q.AddEdge(1, 2);
+  return q;
+}
+
+std::vector<QueryGraph> FiveQueries() {
+  return {TriangleQuery(), PathQuery(), WedgeQuery(), PathQuery(),
+          TriangleQuery()};
+}
+
+void ExpectStatsEq(const DeviceStats& a, const DeviceStats& b,
+                   const char* what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(a.makespan_ticks, b.makespan_ticks);
+  EXPECT_EQ(a.total_busy_ticks, b.total_busy_ticks);
+  EXPECT_EQ(a.total_warp_ticks, b.total_warp_ticks);
+  EXPECT_EQ(a.global_transactions, b.global_transactions);
+  EXPECT_EQ(a.coalesced_words, b.coalesced_words);
+  EXPECT_EQ(a.uncoalesced_words, b.uncoalesced_words);
+  EXPECT_EQ(a.shared_accesses, b.shared_accesses);
+  EXPECT_EQ(a.compute_steps, b.compute_steps);
+  EXPECT_EQ(a.steal_events, b.steal_events);
+  EXPECT_EQ(a.tasks_executed, b.tasks_executed);
+  EXPECT_EQ(a.transfer_bytes, b.transfer_bytes);
+  EXPECT_EQ(a.transfer_ticks, b.transfer_ticks);
+  EXPECT_EQ(a.peak_device_bytes, b.peak_device_bytes);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+std::vector<std::string> SortedKeys(const std::vector<MatchRecord>& ms) {
+  std::vector<std::string> keys = CanonicalKeys(ms);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Everything deterministic in two reports must match.  `with_stats`
+/// (which also demands exact match-vector order) is dropped only for
+/// inner engines whose launch decomposition legitimately changes under
+/// sharding: "multi" fuses each shard's queries into shared launches,
+/// so its schedule-dependent emission order and launch stats reflect
+/// the decomposition, while each query's match multiset does not.
+void ExpectReportsEq(const BatchReport& got, const BatchReport& want,
+                     bool with_stats) {
+  ASSERT_EQ(got.queries.size(), want.queries.size());
+  for (size_t i = 0; i < want.queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const QueryReport& g = got.queries[i];
+    const QueryReport& w = want.queries[i];
+    EXPECT_EQ(g.id, w.id);
+    if (with_stats) {
+      EXPECT_EQ(g.positive_matches, w.positive_matches);
+      EXPECT_EQ(g.negative_matches, w.negative_matches);
+    } else {
+      EXPECT_EQ(SortedKeys(g.positive_matches),
+                SortedKeys(w.positive_matches));
+      EXPECT_EQ(SortedKeys(g.negative_matches),
+                SortedKeys(w.negative_matches));
+    }
+    EXPECT_EQ(g.num_positive, w.num_positive);
+    EXPECT_EQ(g.num_negative, w.num_negative);
+    EXPECT_EQ(g.timed_out, w.timed_out);
+    EXPECT_EQ(g.overflowed, w.overflowed);
+    if (with_stats) {
+      ExpectStatsEq(g.update_stats, w.update_stats, "query update_stats");
+      ExpectStatsEq(g.match_stats, w.match_stats, "query match_stats");
+    }
+  }
+  if (with_stats) {
+    ExpectStatsEq(got.update_stats, want.update_stats, "update_stats");
+    ExpectStatsEq(got.match_stats, want.match_stats, "match_stats");
+  }
+}
+
+/// A 3-batch mixed stream prepared against the evolving graph (the
+/// per-batch sanitized form every engine will see).
+std::vector<UpdateBatch> MakeStream(const LabeledGraph& g, uint64_t seed,
+                                    size_t ops_per_batch = 25) {
+  UpdateStreamGenerator gen(seed);
+  std::vector<UpdateBatch> stream;
+  LabeledGraph evolving = g;
+  for (int i = 0; i < 3; ++i) {
+    UpdateBatch b =
+        SanitizeBatch(evolving, gen.MakeMixed(evolving, ops_per_batch, 2, 1, 0));
+    ApplyBatch(&evolving, b);
+    stream.push_back(std::move(b));
+  }
+  return stream;
+}
+
+// The acceptance bar: for every registry engine and several shard
+// counts, the sharded report is bit-identical to the unsharded inner
+// engine's over a multi-batch stream — matches (order included),
+// counts, truncation flags, and, for per-query-independent engines,
+// the full deterministic device stats.  "multi" fuses each shard's
+// queries into shared launches, so its launch-level stats legitimately
+// reflect the sharded decomposition; everything else is still
+// bit-identical.
+TEST(ShardedEngineTest, BitIdenticalToUnshardedForAllEngines) {
+  LabeledGraph g = GenerateUniformGraph(120, 420, 3, 1, 2024);
+  std::vector<UpdateBatch> stream = MakeStream(g, 2025);
+
+  for (const char* name : kAllEngines) {
+    bool with_stats = std::string(name) != "multi";
+    auto reference = MakeEngine(name, g);
+    for (const QueryGraph& q : FiveQueries()) reference->AddQuery(q);
+    std::vector<BatchReport> want;
+    for (const UpdateBatch& b : stream) {
+      want.push_back(reference->ProcessBatch(b));
+    }
+    ASSERT_GT(want[0].TotalMatches(), 0u)
+        << "workload must exercise matching";
+
+    for (size_t shards : {1u, 2u, 3u}) {
+      SCOPED_TRACE(std::string(name) + " @ " + std::to_string(shards));
+      ShardedEngine sharded(name, shards, g);
+      for (const QueryGraph& q : FiveQueries()) sharded.AddQuery(q);
+      for (size_t i = 0; i < stream.size(); ++i) {
+        SCOPED_TRACE("batch " + std::to_string(i));
+        BatchReport got = sharded.ProcessBatch(stream[i]);
+        ExpectReportsEq(got, want[i], with_stats);
+      }
+      EXPECT_EQ(sharded.host_graph().NumEdges(),
+                reference->host_graph().NumEdges());
+    }
+  }
+}
+
+// Output must not depend on the pool size: merging happens in fixed
+// shard order after a barrier, never in completion order.
+TEST(ShardedEngineTest, DeterministicAcrossThreadCounts) {
+  LabeledGraph g = GenerateUniformGraph(100, 350, 3, 1, 61);
+  std::vector<UpdateBatch> stream = MakeStream(g, 62);
+
+  for (const char* name : {"gamma", "multi", "rf"}) {
+    SCOPED_TRACE(name);
+    std::vector<BatchReport> baseline;
+    for (size_t threads : {1u, 2u, 8u}) {
+      EngineOptions opts;
+      opts.serve_threads = threads;
+      ShardedEngine sharded(name, /*num_shards=*/4, g, opts);
+      for (const QueryGraph& q : FiveQueries()) sharded.AddQuery(q);
+      for (size_t i = 0; i < stream.size(); ++i) {
+        BatchReport report = sharded.ProcessBatch(stream[i]);
+        if (threads == 1) {
+          baseline.push_back(std::move(report));
+        } else {
+          SCOPED_TRACE("threads " + std::to_string(threads) + " batch " +
+                       std::to_string(i));
+          // Same shard decomposition -> stats identical even for multi.
+          ExpectReportsEq(report, baseline[i], /*with_stats=*/true);
+        }
+      }
+    }
+  }
+}
+
+// Removing a query on one shard must not disturb the others, and a
+// query added after batches have been processed must see the evolved
+// graph — both compared against an unsharded engine doing the same
+// add/remove sequence.
+TEST(ShardedEngineTest, RemoveAndLateAddOnShards) {
+  LabeledGraph g = GenerateUniformGraph(120, 400, 3, 1, 71);
+  std::vector<UpdateBatch> stream = MakeStream(g, 72);
+
+  ShardedEngine sharded("gamma", 3, g);
+  auto reference = MakeEngine("gamma", g);
+
+  std::vector<QueryId> sharded_ids, ref_ids;
+  for (const QueryGraph& q : FiveQueries()) {
+    sharded_ids.push_back(sharded.AddQuery(q));
+    ref_ids.push_back(reference->AddQuery(q));
+  }
+  EXPECT_EQ(sharded_ids, ref_ids);  // stable engine-scoped ids
+  // Round-robin placement is deterministic.
+  EXPECT_EQ(sharded.ShardOf(sharded_ids[0]), 0u);
+  EXPECT_EQ(sharded.ShardOf(sharded_ids[4]), 1u);
+
+  // Drop one query from each shard (ids 1, 2, 3 live on shards 1, 2, 0).
+  for (QueryId id : {sharded_ids[1], sharded_ids[2], sharded_ids[3]}) {
+    EXPECT_TRUE(sharded.RemoveQuery(id));
+    EXPECT_FALSE(sharded.RemoveQuery(id));  // ids are never reused
+    EXPECT_TRUE(reference->RemoveQuery(id));
+  }
+  EXPECT_EQ(sharded.ShardOf(sharded_ids[1]), ShardedEngine::kInvalidShard);
+  EXPECT_EQ(sharded.QueryIds(), reference->QueryIds());
+
+  ExpectReportsEq(sharded.ProcessBatch(stream[0]),
+                  reference->ProcessBatch(stream[0]),
+                  /*with_stats=*/true);
+
+  // Late registration lands on a shard whose replica has evolved.
+  QueryId late_s = sharded.AddQuery(WedgeQuery());
+  QueryId late_r = reference->AddQuery(WedgeQuery());
+  EXPECT_EQ(late_s, late_r);
+  BatchReport got = sharded.ProcessBatch(stream[1]);
+  BatchReport want = reference->ProcessBatch(stream[1]);
+  ExpectReportsEq(got, want, /*with_stats=*/true);
+  EXPECT_NE(got.Find(late_s), nullptr);
+}
+
+// Fewer queries than shards (empty shards) and zero queries: replicas
+// still advance in lockstep.
+TEST(ShardedEngineTest, EmptyShardsStayInLockstep) {
+  LabeledGraph g = GenerateUniformGraph(60, 150, 2, 1, 81);
+  std::vector<UpdateBatch> stream = MakeStream(g, 82, /*ops_per_batch=*/10);
+
+  ShardedEngine sharded("gamma", 4, g);
+  BatchReport empty = sharded.ProcessBatch(stream[0]);
+  EXPECT_TRUE(empty.queries.empty());
+  EXPECT_EQ(sharded.host_graph().NumEdges(),
+            [&] {
+              LabeledGraph w = g;
+              ApplyBatch(&w, stream[0]);
+              return w.NumEdges();
+            }());
+
+  QueryId q = sharded.AddQuery(TriangleQuery());  // three shards stay empty
+  BatchReport got = sharded.ProcessBatch(stream[1]);
+
+  LabeledGraph evolved = g;
+  ApplyBatch(&evolved, stream[0]);
+  auto witness = MakeEngine("gamma", evolved);
+  QueryId wq = witness->AddQuery(TriangleQuery());
+  BatchReport want = witness->ProcessBatch(stream[1]);
+  EXPECT_EQ(got.Find(q)->positive_matches, want.Find(wq)->positive_matches);
+  EXPECT_EQ(got.Find(q)->negative_matches, want.Find(wq)->negative_matches);
+  ExpectStatsEq(got.match_stats, want.match_stats, "match_stats");
+}
+
+// Streaming under sharding: the fan-in preserves each query's emission
+// sequence exactly as the unsharded engine streams it, and counts
+// survive materialize=false.
+TEST(ShardedEngineTest, StreamingFanInPreservesPerQueryOrder) {
+  LabeledGraph g = GenerateUniformGraph(100, 350, 3, 1, 91);
+  std::vector<UpdateBatch> stream = MakeStream(g, 92);
+
+  // "gamma" flushes per phase; "gf" delivers match-by-match through
+  // DeliverDirect — both delivery paths must survive the fan-in.
+  for (const char* name : {"gamma", "gf"}) {
+    SCOPED_TRACE(name);
+    auto reference = MakeEngine(name, g);
+    ShardedEngine sharded(name, 3, g);
+    for (const QueryGraph& q : FiveQueries()) {
+      reference->AddQuery(q);
+      sharded.AddQuery(q);
+    }
+
+    CollectingSink want_sink, got_sink;
+    BatchOptions bo;
+    bo.materialize = false;
+    for (const UpdateBatch& b : stream) {
+      bo.sink = &want_sink;
+      BatchReport want = reference->ProcessBatch(b, bo);
+      bo.sink = &got_sink;
+      BatchReport got = sharded.ProcessBatch(b, bo);
+
+      ExpectReportsEq(got, want, /*with_stats=*/false);
+      for (const QueryReport& qr : got.queries) {
+        EXPECT_TRUE(qr.positive_matches.empty());
+        EXPECT_TRUE(qr.negative_matches.empty());
+      }
+    }
+    ASSERT_GT(want_sink.TotalCount(), 0u);
+    for (QueryId q : sharded.QueryIds()) {
+      SCOPED_TRACE("query " + std::to_string(q));
+      // Per-query arrival sequence is identical, not just the multiset.
+      EXPECT_EQ(got_sink.MatchesFor(q), want_sink.MatchesFor(q));
+    }
+  }
+}
+
+// The async front door: futures resolve, in submission order, to the
+// same reports direct ProcessBatch calls produce.
+TEST(ShardedEngineTest, SubmitBatchMatchesDirectProcessing) {
+  LabeledGraph g = GenerateUniformGraph(100, 350, 3, 1, 101);
+  std::vector<UpdateBatch> stream = MakeStream(g, 102);
+
+  ShardedEngine direct("gamma", 2, g);
+  ShardedEngine async("gamma", 2, g);
+  for (const QueryGraph& q : FiveQueries()) {
+    direct.AddQuery(q);
+    async.AddQuery(q);
+  }
+
+  std::vector<std::future<BatchReport>> futures;
+  for (const UpdateBatch& b : stream) {
+    futures.push_back(async.SubmitBatch(b));
+  }
+  for (size_t i = 0; i < stream.size(); ++i) {
+    SCOPED_TRACE("batch " + std::to_string(i));
+    BatchReport got = futures[i].get();
+    BatchReport want = direct.ProcessBatch(stream[i]);
+    ExpectReportsEq(got, want, /*with_stats=*/true);
+  }
+  EXPECT_EQ(async.host_graph().NumEdges(), direct.host_graph().NumEdges());
+}
+
+/// Blocks the dispatcher inside its first delivery until released, so
+/// the test can observe a full ingest queue deterministically.
+struct GateSink final : ResultSink {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false;
+  bool release = false;
+
+  void OnMatch(QueryId, const MatchRecord&) override {
+    std::unique_lock<std::mutex> lock(mu);
+    if (release) return;
+    entered = true;
+    cv.notify_all();
+    cv.wait(lock, [this] { return release; });
+  }
+  void WaitUntilBlocked() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return entered; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  }
+};
+
+// Back-pressure: once `serve_queue_capacity` batches wait behind an
+// in-flight one, TrySubmitBatch sheds load instead of queueing more;
+// accepted batches all complete once the stall clears.
+TEST(ShardedEngineTest, BoundedQueueAppliesBackPressure) {
+  LabeledGraph g = GenerateUniformGraph(100, 350, 3, 1, 111);
+  std::vector<UpdateBatch> stream = MakeStream(g, 112);
+
+  // The gated batch must stream at least one match to block on.
+  {
+    auto probe = MakeEngine("gamma", g);
+    for (const QueryGraph& q : FiveQueries()) probe->AddQuery(q);
+    ASSERT_GT(probe->ProcessBatch(stream[0]).TotalMatches(), 0u);
+  }
+
+  EngineOptions opts;
+  opts.serve_queue_capacity = 2;
+  ShardedEngine sharded("gamma", 2, g, opts);
+  for (const QueryGraph& q : FiveQueries()) sharded.AddQuery(q);
+  EXPECT_EQ(sharded.QueueCapacity(), 2u);
+
+  GateSink gate;
+  BatchOptions gated;
+  gated.sink = &gate;
+  std::future<BatchReport> first = sharded.SubmitBatch(stream[0], gated);
+  gate.WaitUntilBlocked();  // dispatcher is mid-batch; queue is empty
+
+  auto second = sharded.TrySubmitBatch(stream[1]);
+  auto third = sharded.TrySubmitBatch(stream[2]);
+  ASSERT_TRUE(second.has_value());
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(sharded.PendingBatches(), 2u);
+
+  auto rejected = sharded.TrySubmitBatch(stream[2]);
+  EXPECT_FALSE(rejected.has_value());  // explicit back-pressure
+
+  gate.Release();
+  BatchReport r1 = first.get();
+  BatchReport r2 = second->get();
+  BatchReport r3 = third->get();
+  EXPECT_GT(r1.TotalMatches() + r2.TotalMatches() + r3.TotalMatches(), 0u);
+  EXPECT_EQ(sharded.PendingBatches(), 0u);
+
+  // Capacity is available again once the burst drains.
+  auto again = sharded.TrySubmitBatch(stream[2]);
+  ASSERT_TRUE(again.has_value());
+  again->get();
+}
+
+// StreamPipeline drives a sharded engine through the same phases it
+// drives any engine — bit-identical to per-batch ProcessBatch.
+TEST(ShardedEngineTest, StreamPipelineOverShardedIsBitIdentical) {
+  LabeledGraph g = GenerateUniformGraph(120, 420, 3, 1, 121);
+  std::vector<UpdateBatch> stream = MakeStream(g, 122);
+
+  ShardedEngine piped("gamma", 3, g);
+  ShardedEngine batched("gamma", 3, g);
+  for (const QueryGraph& q : FiveQueries()) {
+    piped.AddQuery(q);
+    batched.AddQuery(q);
+  }
+
+  StreamPipeline pipe(&piped);
+  std::vector<BatchReport> got;
+  PipelineStats stats = pipe.Run(stream, &got);
+  ASSERT_EQ(got.size(), stream.size());
+  EXPECT_GT(stats.TotalMatches(), 0u);
+
+  for (size_t i = 0; i < stream.size(); ++i) {
+    SCOPED_TRACE("batch " + std::to_string(i));
+    ExpectReportsEq(got[i], batched.ProcessBatch(stream[i]),
+                    /*with_stats=*/true);
+  }
+}
+
+TEST(ShardedSpecTest, ParseAndRegistry) {
+  auto spec = ParseShardedSpec("gamma@8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->inner, "gamma");
+  EXPECT_EQ(spec->num_shards, 8u);
+
+  spec = ParseShardedSpec("rf");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->inner, "rf");
+  EXPECT_EQ(spec->num_shards, ShardedEngine::kDefaultShards);
+
+  EXPECT_FALSE(ParseShardedSpec("").has_value());
+  EXPECT_FALSE(ParseShardedSpec("gamma@").has_value());
+  EXPECT_FALSE(ParseShardedSpec("gamma@0").has_value());
+  EXPECT_FALSE(ParseShardedSpec("gamma@x").has_value());
+  EXPECT_FALSE(ParseShardedSpec("gamma@2@3").has_value());
+  EXPECT_FALSE(ParseShardedSpec("sharded:gamma@2").has_value());  // no nesting
+
+  EngineRegistry& reg = EngineRegistry::Instance();
+  EXPECT_TRUE(reg.Has("sharded:gamma@2"));
+  EXPECT_TRUE(reg.Has("sharded:turboflux"));  // inner aliases resolve
+  EXPECT_TRUE(reg.Has("SHARDED:Gamma@2"));    // case-insensitive
+  EXPECT_FALSE(reg.Has("sharded:no-such-engine@2"));
+  EXPECT_FALSE(reg.Has("sharded:gamma@0"));
+  EXPECT_FALSE(reg.Has("nosuchprefix:gamma@2"));
+
+  // Prefix specs don't pollute the plain-name listing.
+  for (const std::string& n : EngineNames()) {
+    EXPECT_EQ(n.find(':'), std::string::npos) << n;
+  }
+
+  LabeledGraph g = GenerateUniformGraph(60, 150, 2, 1, 131);
+  auto engine = MakeEngine("SHARDED:Gamma@2", g);
+  EXPECT_STREQ(engine->Name(), "sharded:gamma@2");
+  EXPECT_TRUE(engine->ModelsDevice());
+  auto* sharded = dynamic_cast<ShardedEngine*>(engine.get());
+  ASSERT_NE(sharded, nullptr);
+  EXPECT_EQ(sharded->NumShards(), 2u);
+
+  auto defaulted = MakeEngine("sharded:gf", g);
+  EXPECT_STREQ(defaulted->Name(),
+               ("sharded:gf@" +
+                std::to_string(ShardedEngine::kDefaultShards))
+                   .c_str());
+  EXPECT_FALSE(defaulted->ModelsDevice());
+}
+
+}  // namespace
+}  // namespace bdsm
