@@ -251,7 +251,10 @@ void JsonSink::Flush() {
   }
   fprintf(f, "  ]\n}\n");
   fclose(f);
-  printf("wrote %zu JSON rows to %s\n", rows_.size(), path_.c_str());
+  // Status goes to stderr: bench stdout may itself be machine-readable
+  // (bench_micro --benchmark_format=json) and must stay parseable.
+  fprintf(stderr, "wrote %zu JSON rows to %s\n", rows_.size(),
+          path_.c_str());
 }
 
 void InitBench(const char* bench_name, int argc, char** argv,

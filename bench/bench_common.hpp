@@ -7,12 +7,12 @@
 /// "gamma" | "multi", ...)` — engine choice is a string, not a code
 /// path, so every bench can sweep methods from one loop.
 ///
-/// Every bench binary except `bench_micro` (whose main belongs to
-/// google-benchmark) also accepts `--json <path>` (wired through
-/// InitBench): when given, each measured cell is appended as one row of
-/// a machine-readable perf-trajectory file (schema in
-/// docs/BENCHMARKS.md), so figure benches can feed regression tracking
-/// without scraping stdout.
+/// Every bench binary — `bench_micro` included (its custom main peels
+/// the flag off before google-benchmark parses argv) — accepts
+/// `--json <path>` (wired through InitBench): when given, each
+/// measured cell is appended as one row of a machine-readable
+/// perf-trajectory file (schema in docs/BENCHMARKS.md), so benches can
+/// feed regression tracking without scraping stdout.
 ///
 /// Methodology notes (the scaling rationale lives in docs/BENCHMARKS.md):
 /// * Datasets are the synthetic twins of Table II (scaled).

@@ -3,8 +3,18 @@
 /// intersections / adjacency probes), GPMA updates, incremental
 /// encoding, and the unified engine layer (dispatch + streaming
 /// delivery overhead).  Not a paper table — engineering guardrails.
+///
+/// Like every other bench, accepts `--json <path>` (perf-trajectory
+/// schema in docs/BENCHMARKS.md): each google-benchmark run lands as
+/// one row (name, iterations, real/cpu time in the run's time unit).
+/// The flag is peeled off before google-benchmark parses the rest of
+/// the command line, so all `--benchmark_*` flags keep working.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <memory>
+
+#include "bench_common.hpp"
 #include "core/encoder.hpp"
 #include "core/engine.hpp"
 #include "gpma/gpma.hpp"
@@ -166,7 +176,63 @@ void BM_EngineStreamingSink(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineStreamingSink);
 
+// Mirrors every measured run into the shared JsonSink so bench_micro
+// feeds the same perf-trajectory files as the figure benches.  Wraps
+// the flag-selected display reporter (instead of subclassing
+// ConsoleReporter) so --benchmark_format et al. keep working.
+class TrajectoryReporter : public benchmark::BenchmarkReporter {
+ public:
+  explicit TrajectoryReporter(benchmark::BenchmarkReporter* inner)
+      : inner_(inner) {}
+
+  bool ReportContext(const Context& context) override {
+    return inner_->ReportContext(context);
+  }
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      bench::JsonRow row;
+      row.Set("name", run.benchmark_name())
+          .Set("label", run.report_label)
+          .Set("iterations", static_cast<size_t>(run.iterations))
+          .Set("real_time", run.GetAdjustedRealTime())
+          .Set("cpu_time", run.GetAdjustedCPUTime())
+          .Set("time_unit", benchmark::GetTimeUnitString(run.time_unit));
+      bench::JsonSink::Instance().Add(std::move(row));
+    }
+    inner_->ReportRuns(runs);
+  }
+  void Finalize() override { inner_->Finalize(); }
+
+ private:
+  benchmark::BenchmarkReporter* inner_;
+};
+
 }  // namespace
 }  // namespace bdsm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // InitBench consumes --json <path>; google-benchmark must not see it
+  // (it rejects unknown flags), so strip the pair from its argv copy.
+  bdsm::bench::InitBench("bench_micro", argc, argv);
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // skip the path too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&bench_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data())) {
+    return 1;
+  }
+  std::unique_ptr<benchmark::BenchmarkReporter> display(
+      benchmark::CreateDefaultDisplayReporter());
+  bdsm::TrajectoryReporter reporter(display.get());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,206 @@
+/// SLO-style scenario driver: runs any registry engine spec over any
+/// named workload scenario (src/workload/) and reports per-batch
+/// latency percentiles (p50/p95/p99), throughput, and truncation
+/// counts.  Not a paper table — this is the serving-layer benchmark
+/// substrate every scaling PR measures against (docs/WORKLOADS.md).
+///
+/// Usage:
+///   bench_scenarios [--scenario NAME|all] [--engine SPEC[,SPEC...]]
+///                   [--seed N] [--json PATH] [--record PATH]
+///                   [--replay PATH] [--budget SECONDS] [--list]
+///
+/// Defaults: --scenario smoke, --engine gamma, --seed 2024
+/// (workload::kDefaultScenarioSeed).  Engines may be any registry name
+/// or composite spec, e.g. "sharded:gamma@4".  --record freezes the
+/// generated stream as a trace artifact; --replay substitutes a
+/// recorded trace for the generated stream.
+///
+/// Latency metric per engine (one CPU core; never wall-clock
+/// parallelism claims): modeled device seconds for device engines,
+/// critical-path seconds for sharded CPU engines, host wall otherwise —
+/// each JSON row names its clock in "latency_metric".
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "workload/scenario_runner.hpp"
+
+using namespace bdsm;
+using namespace bdsm::workload;
+
+namespace {
+
+void ListScenarios() {
+  printf("available scenarios (--scenario NAME):\n");
+  for (const ScenarioSpec& s : AllScenarios()) {
+    printf("  %-10s %s [%s, %zu batches x ~%zu ops, %zu queries of %zu]\n",
+           s.name.c_str(), s.description.c_str(),
+           StreamKindName(s.stream.kind), s.stream.num_batches,
+           s.stream.ops_per_batch, s.num_queries, s.query_size);
+  }
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= s.size()) {
+    size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
+            const EngineOptions& options) {
+  ScenarioReport r = runner.Run(engine_spec, options);
+  double p50 = r.LatencyPercentile(50), p95 = r.LatencyPercentile(95),
+         p99 = r.LatencyPercentile(99);
+  printf(
+      "  %-16s %zu batches | latency (%s) p50 %.4g ms  p95 %.4g ms  "
+      "p99 %.4g ms | %.4g ops/s | matches %zu | truncated %zu queries / "
+      "%zu batches\n",
+      engine_spec.c_str(), r.batches.size(), r.latency_metric.c_str(),
+      p50 * 1e3, p95 * 1e3, p99 * 1e3, r.ThroughputOpsPerSec(),
+      r.total_matches, r.truncated_queries, r.truncated_batches);
+
+  bench::JsonRow row;
+  row.Set("engine", engine_spec)
+      .Set("latency_metric", r.latency_metric)
+      .Set("num_queries", r.num_queries)
+      .Set("batches", r.batches.size())
+      .Set("total_ops", r.total_ops)
+      .Set("total_matches", r.total_matches)
+      .Set("latency_p50_s", p50)
+      .Set("latency_p95_s", p95)
+      .Set("latency_p99_s", p99)
+      .Set("latency_mean_s", r.MeanLatencySeconds())
+      .Set("throughput_ops_per_s", r.ThroughputOpsPerSec())
+      .Set("truncated_queries", r.truncated_queries)
+      .Set("truncated_batches", r.truncated_batches);
+  bench::JsonSink::Instance().Add(std::move(row));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario_name = "smoke";
+  std::string engines_arg = "gamma";
+  std::string record_path, replay_path;
+  uint64_t seed = kDefaultScenarioSeed;
+  double budget_s = 0.0;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s needs an argument\n", flag);
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--scenario") == 0) {
+      scenario_name = next("--scenario");
+    } else if (std::strcmp(argv[i], "--engine") == 0) {
+      engines_arg = next("--engine");
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(next("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--record") == 0) {
+      record_path = next("--record");
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay_path = next("--replay");
+    } else if (std::strcmp(argv[i], "--budget") == 0) {
+      budget_s = std::atof(next("--budget"));
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      list_only = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // consumed by InitBench
+    } else {
+      fprintf(stderr, "unknown flag %s\n", argv[i]);
+      ListScenarios();
+      return 2;
+    }
+  }
+  if (list_only) {
+    ListScenarios();
+    return 0;
+  }
+  bench::InitBench("bench_scenarios", argc, argv);
+
+  std::vector<const ScenarioSpec*> scenarios;
+  if (scenario_name == "all") {
+    // One trace file cannot serve several scenarios: --record would
+    // silently keep only the last scenario's stream and --replay would
+    // feed one scenario's stream to graphs it is invalid against.
+    if (!record_path.empty() || !replay_path.empty()) {
+      fprintf(stderr,
+              "--record/--replay need a single --scenario, not all\n");
+      return 2;
+    }
+    for (const ScenarioSpec& s : AllScenarios()) scenarios.push_back(&s);
+  } else {
+    const ScenarioSpec* s = FindScenario(scenario_name);
+    if (s == nullptr) {
+      fprintf(stderr, "unknown scenario \"%s\"\n", scenario_name.c_str());
+      ListScenarios();
+      return 2;
+    }
+    scenarios.push_back(s);
+  }
+
+  std::vector<std::string> engines = SplitCommas(engines_arg);
+  for (const std::string& e : engines) {
+    if (!EngineRegistry::Instance().Has(e)) {
+      fprintf(stderr, "unknown engine \"%s\"; available:", e.c_str());
+      for (const std::string& n : EngineNames())
+        fprintf(stderr, " %s", n.c_str());
+      fprintf(stderr, " (or sharded:<engine>[@N])\n");
+      return 2;
+    }
+  }
+
+  EngineOptions options;
+  if (budget_s > 0.0) {
+    options.gamma.device.host_budget_seconds = budget_s;
+    options.csm_budget_seconds = budget_s;
+  }
+
+  printf("=== scenario driver ===\nseed %llu (default %llu; see "
+         "docs/WORKLOADS.md)\n\n",
+         static_cast<unsigned long long>(seed),
+         static_cast<unsigned long long>(kDefaultScenarioSeed));
+
+  for (const ScenarioSpec* spec : scenarios) {
+    ScenarioRunner runner(*spec, seed);
+    if (!replay_path.empty()) {
+      if (!runner.ReplayTrace(replay_path)) {
+        fprintf(stderr, "cannot replay trace %s\n", replay_path.c_str());
+        return 1;
+      }
+    }
+    if (!record_path.empty()) {
+      if (!runner.RecordTrace(record_path)) {
+        fprintf(stderr, "cannot record trace %s\n", record_path.c_str());
+        return 1;
+      }
+      printf("recorded %zu batches to %s\n", runner.stream().size(),
+             record_path.c_str());
+    }
+    printf("scenario %-10s [%s] — %s\n  graph |V|=%zu |E|=%zu, "
+           "%zu queries, %zu batches%s\n",
+           spec->name.c_str(), StreamKindName(spec->stream.kind),
+           spec->description.c_str(), runner.graph().NumVertices(),
+           runner.graph().NumEdges(), runner.queries().size(),
+           runner.stream().size(),
+           replay_path.empty() ? "" : " (replayed)");
+    bench::JsonContext("scenario", spec->name);
+    bench::JsonContext("seed", static_cast<size_t>(seed));
+    for (const std::string& e : engines) RunOne(runner, e, options);
+    printf("\n");
+  }
+  return 0;
+}

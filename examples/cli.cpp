@@ -6,11 +6,17 @@
 ///   ./example_cli [--engine NAME] [--shards N] <graph-file> <query-file>
 ///                 [ins-rate%] [seed]
 ///   ./example_cli [--engine NAME] [--shards N] --demo   # built-in demo
+///   ./example_cli [--engine NAME] [--shards N] --scenario NAME
+///                 [--seed N]                # named workload scenario
 ///
 /// NAME is any registry name: gamma (default), multi, tf, sym, rf, cl,
 /// gf — or a composite spec like sharded:gamma@4 (see core/engine.hpp).
 /// --shards N wraps the chosen engine in the sharded serving layer
 /// (serve/sharded_engine.hpp), equivalent to --engine sharded:NAME@N.
+/// --scenario runs a named workload from the scenario catalog
+/// (src/workload/scenario.hpp; docs/WORKLOADS.md) through the chosen
+/// engine and prints latency percentiles, throughput and truncation —
+/// the same driver bench_scenarios uses.
 ///
 /// File format (shared with the CSM literature; see graph/graph_io.hpp):
 ///   t <num_vertices> <num_edges>
@@ -26,10 +32,41 @@
 #include "graph/graph_io.hpp"
 #include "graph/query_extractor.hpp"
 #include "graph/update_stream.hpp"
+#include "workload/scenario_runner.hpp"
 
 using namespace bdsm;
 
 namespace {
+
+int RunScenario(const std::string& engine_name,
+                const std::string& scenario_name, uint64_t seed) {
+  const workload::ScenarioSpec* spec =
+      workload::FindScenario(scenario_name);
+  if (spec == nullptr) {
+    fprintf(stderr, "unknown scenario \"%s\"; available:",
+            scenario_name.c_str());
+    for (const workload::ScenarioSpec& s : workload::AllScenarios()) {
+      fprintf(stderr, " %s", s.name.c_str());
+    }
+    fprintf(stderr, "\n");
+    return 2;
+  }
+  printf("scenario %s — %s (seed %llu)\n", spec->name.c_str(),
+         spec->description.c_str(),
+         static_cast<unsigned long long>(seed));
+  workload::ScenarioRunner runner(*spec, seed);
+  printf("graph |V|=%zu |E|=%zu, %zu queries, %zu batches\n",
+         runner.graph().NumVertices(), runner.graph().NumEdges(),
+         runner.queries().size(), runner.stream().size());
+  workload::ScenarioReport r = runner.Run(engine_name);
+  printf("engine %s: latency (%s) p50 %.4g ms, p95 %.4g ms, p99 %.4g ms; "
+         "%.4g ops/s; %zu matches; truncated %zu queries / %zu batches\n",
+         engine_name.c_str(), r.latency_metric.c_str(),
+         r.LatencyPercentile(50) * 1e3, r.LatencyPercentile(95) * 1e3,
+         r.LatencyPercentile(99) * 1e3, r.ThroughputOpsPerSec(),
+         r.total_matches, r.truncated_queries, r.truncated_batches);
+  return 0;
+}
 
 int RunDemo(const std::string& engine_name) {
   printf("demo: GH dataset twin, one extracted sparse query, 3 batches, "
@@ -74,12 +111,19 @@ int RunDemo(const std::string& engine_name) {
 
 int main(int argc, char** argv) {
   std::string engine_name = "gamma";
+  std::string scenario_name;
+  uint64_t scenario_seed = workload::kDefaultScenarioSeed;
   long shards = 0;
-  // Peel off --engine NAME / --shards N wherever they appear.
+  // Peel off --engine NAME / --shards N / --scenario NAME / --seed N
+  // wherever they appear.
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
       engine_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      scenario_seed = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atol(argv[++i]);
       if (shards < 1) {
@@ -101,6 +145,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!scenario_name.empty()) {
+    return RunScenario(engine_name, scenario_name, scenario_seed);
+  }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
     return RunDemo(engine_name);
   }
@@ -108,8 +155,9 @@ int main(int argc, char** argv) {
     fprintf(stderr,
             "usage: %s [--engine NAME] <graph-file> <query-file> "
             "[ins-rate%%] [seed]\n"
-            "       %s [--engine NAME] --demo\n",
-            argv[0], argv[0]);
+            "       %s [--engine NAME] --demo\n"
+            "       %s [--engine NAME] --scenario NAME [--seed N]\n",
+            argv[0], argv[0], argv[0]);
     return 2;
   }
   LabeledGraph g = LoadGraph(args[0]);

@@ -7,7 +7,10 @@
 /// `UpdateStreamGenerator` synthesizes the workloads used throughout the
 /// evaluation: pure insertion at rate Ir, pure deletion, the 2:1 mixed
 /// workload of Fig. 11, and the k-core-restricted dense-region insertions
-/// of Fig. 10.
+/// of Fig. 10.  The richer scenario workloads (power-law growth,
+/// sliding-window expiry, bursts, churn, hotspots) and the trace
+/// record/replay format live one layer up in src/workload/ (see
+/// docs/WORKLOADS.md); they emit the same `UpdateBatch` format.
 #pragma once
 
 #include <vector>

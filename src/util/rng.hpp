@@ -14,6 +14,15 @@
 
 namespace bdsm {
 
+/// The SplitMix64 finalizer: the standard cheap, well-distributed
+/// 64-bit mixer (also used as the seed expander below and by
+/// DeriveSeed).
+inline uint64_t SplitMix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 /// xorshift128+ generator: tiny state, passes BigCrush for our purposes,
 /// and much faster than std::mt19937 for the bulk sampling the dataset
 /// generators do.
@@ -25,10 +34,7 @@ class Rng {
     // SplitMix64 expansion of the seed into the two state words.
     auto next = [&seed]() {
       seed += 0x9e3779b97f4a7c15ull;
-      uint64_t z = seed;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-      return z ^ (z >> 31);
+      return SplitMix64(seed);
     };
     s0_ = next();
     s1_ = next();
@@ -64,6 +70,17 @@ class Rng {
  private:
   uint64_t s0_, s1_;
 };
+
+/// Deterministically derives an independent sub-seed from a master seed
+/// and a stable stream id (SplitMix64 over the pair).  The workload
+/// layer routes one user-facing `--seed` through this to give each
+/// consumer (stream generator, query extractor, ...) its own
+/// decorrelated RNG stream: changing one consumer's draws never
+/// perturbs another's (see src/workload/scenario.hpp for the id
+/// registry and docs/WORKLOADS.md for the convention).
+inline uint64_t DeriveSeed(uint64_t master, uint64_t stream_id) {
+  return SplitMix64(master + 0x9e3779b97f4a7c15ull * (stream_id + 1));
+}
 
 /// Zipf-distributed sampler over {0, ..., n-1} with exponent `s`.
 /// Used to reproduce the skewed label distributions of the Netflow and

@@ -1,0 +1,128 @@
+#include "workload/scenario.hpp"
+
+#include "graph/query_extractor.hpp"
+
+namespace bdsm::workload {
+
+namespace {
+
+size_t DatasetElabels(DatasetId id) {
+  for (const DatasetSpec& s : AllDatasets()) {
+    if (s.id == id) return s.edge_labels > 1 ? s.edge_labels : 0;
+  }
+  return 0;
+}
+
+ScenarioSpec MakeSpec(std::string name, std::string description,
+                      DatasetId dataset, StreamKind kind,
+                      size_t num_batches, size_t ops_per_batch,
+                      size_t num_queries, size_t query_size,
+                      bool mixed_classes) {
+  ScenarioSpec s;
+  s.name = std::move(name);
+  s.description = std::move(description);
+  s.dataset = dataset;
+  s.stream.kind = kind;
+  s.stream.num_batches = num_batches;
+  s.stream.ops_per_batch = ops_per_batch;
+  s.stream.elabels = DatasetElabels(dataset);
+  s.num_queries = num_queries;
+  s.query_size = query_size;
+  s.mixed_classes = mixed_classes;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<ScenarioSpec>& AllScenarios() {
+  static const std::vector<ScenarioSpec> kScenarios = [] {
+    std::vector<ScenarioSpec> v;
+
+    // CI's scenario: small enough for seconds on one core, still
+    // exercising mixed inserts+deletes and a real extracted query.
+    ScenarioSpec smoke =
+        MakeSpec("smoke", "tiny uniform mix on GH (CI gate)",
+                 DatasetId::kGithub, StreamKind::kUniform,
+                 /*batches=*/3, /*ops=*/48, /*queries=*/2,
+                 /*qsize=*/4, /*mixed=*/false);
+    v.push_back(smoke);
+
+    v.push_back(MakeSpec(
+        "uniform", "uniform endpoint mix on GH (baseline shape)",
+        DatasetId::kGithub, StreamKind::kUniform, 8, 200, 4, 5, true));
+
+    v.push_back(MakeSpec(
+        "powerlaw",
+        "Chung-Lu degree-skewed growth on ST (preferential attachment)",
+        DatasetId::kSkitter, StreamKind::kPowerLaw, 8, 200, 4, 5, true));
+
+    ScenarioSpec temporal = MakeSpec(
+        "temporal",
+        "sliding-window insert/expire on NF (edge-labeled, window 3)",
+        DatasetId::kNetflow, StreamKind::kTemporal, 10, 150, 3, 4, false);
+    temporal.stream.window_batches = 3;
+    v.push_back(temporal);
+
+    ScenarioSpec burst = MakeSpec(
+        "burst", "flash-crowd spikes on GH (every 4th batch 6x, crowded)",
+        DatasetId::kGithub, StreamKind::kBurst, 8, 100, 4, 5, true);
+    burst.stream.burst_factor = 6.0;
+    burst.stream.burst_period = 4;
+    v.push_back(burst);
+
+    v.push_back(MakeSpec(
+        "churn", "deletion-heavy turnover on AZ (65% deletes)",
+        DatasetId::kAmazon, StreamKind::kChurn, 8, 200, 4, 5, true));
+
+    v.push_back(MakeSpec(
+        "hotspot", "hot-vertex concentration on LJ (1% of V, p=0.8)",
+        DatasetId::kLiveJournal, StreamKind::kHotspot, 8, 200, 4, 5,
+        true));
+
+    // Many small heterogeneous queries: the MultiGamma-sharing /
+    // ShardedEngine-placement stressor.
+    v.push_back(MakeSpec(
+        "multishare",
+        "12 mixed-class queries on GH (MultiGamma/sharding stressor)",
+        DatasetId::kGithub, StreamKind::kUniform, 6, 150, 12, 4, true));
+
+    return v;
+  }();
+  return kScenarios;
+}
+
+const ScenarioSpec* FindScenario(const std::string& name) {
+  for (const ScenarioSpec& s : AllScenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<QueryGraph> BuildQuerySet(const LabeledGraph& g,
+                                      const ScenarioSpec& spec,
+                                      uint64_t seed) {
+  QueryExtractor ex(g, DeriveSeed(seed, kSeedQueryExtract));
+  static const QueryGraph::StructureClass kRotation[] = {
+      QueryGraph::StructureClass::kSparse,
+      QueryGraph::StructureClass::kTree,
+      QueryGraph::StructureClass::kDense};
+  std::vector<QueryGraph> queries;
+  queries.reserve(spec.num_queries);
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    QueryGraph::StructureClass cls =
+        spec.mixed_classes ? kRotation[i % 3] : spec.query_class;
+    auto q = ex.Extract(spec.query_size, cls);
+    // Dense (and occasionally Sparse) can be unsamplable on sparse
+    // twins; degrade gracefully rather than shrink the set.
+    if (!q && cls != QueryGraph::StructureClass::kSparse) {
+      q = ex.Extract(spec.query_size, QueryGraph::StructureClass::kSparse);
+    }
+    if (!q) {
+      q = ex.Extract(spec.query_size, QueryGraph::StructureClass::kTree);
+    }
+    if (q) queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+}  // namespace bdsm::workload

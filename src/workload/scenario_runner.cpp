@@ -1,0 +1,115 @@
+#include "workload/scenario_runner.hpp"
+
+#include "serve/sharded_engine.hpp"
+#include "util/logging.hpp"
+#include "util/stats.hpp"
+
+namespace bdsm::workload {
+
+double ScenarioReport::TotalLatencySeconds() const {
+  double s = 0.0;
+  for (const ScenarioBatchMetric& b : batches) s += b.latency_seconds;
+  return s;
+}
+
+double ScenarioReport::MeanLatencySeconds() const {
+  return batches.empty() ? 0.0
+                         : TotalLatencySeconds() /
+                               static_cast<double>(batches.size());
+}
+
+double ScenarioReport::LatencyPercentile(double p) const {
+  Samples s;
+  for (const ScenarioBatchMetric& b : batches) s.Add(b.latency_seconds);
+  return s.Percentile(p);
+}
+
+double ScenarioReport::ThroughputOpsPerSec() const {
+  double total = TotalLatencySeconds();
+  return total > 0.0 ? static_cast<double>(total_ops) / total : 0.0;
+}
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, uint64_t seed)
+    : spec_(spec),
+      seed_(seed),
+      stream_seed_(seed),
+      graph_(LoadDataset(spec.dataset)) {
+  queries_ = BuildQuerySet(graph_, spec_, seed_);
+  StreamGenerator gen(spec_.stream, DeriveSeed(seed_, kSeedStreamGen));
+  stream_ = gen.Generate(graph_);
+}
+
+bool ScenarioRunner::ReplayTrace(const std::string& path) {
+  TraceMeta meta;
+  auto stream = ReadTrace(path, &meta);
+  if (!stream) return false;
+  // A trace is only valid against the graph it was recorded for; the
+  // scenario name pins the dataset twin (the master seed does not — the
+  // twins are generated from their own fixed seeds), so a name mismatch
+  // means the replay invariant cannot hold and the run would measure
+  // garbage.  Seed mismatches are fine: same scenario, different draw.
+  if (meta.scenario != spec_.name) {
+    GAMMA_LOG_WARN(
+        "trace %s was recorded for scenario \"%s\", not \"%s\"; refusing",
+        path.c_str(), meta.scenario.c_str(), spec_.name.c_str());
+    return false;
+  }
+  stream_ = std::move(*stream);
+  // Provenance follows the stream: a re-recorded trace must carry the
+  // seed its batches were actually generated from, not this runner's.
+  stream_seed_ = meta.seed;
+  return true;
+}
+
+bool ScenarioRunner::RecordTrace(const std::string& path) const {
+  return WriteTrace(path, TraceMeta{stream_seed_, spec_.name}, stream_);
+}
+
+ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
+                                   const EngineOptions& options) const {
+  ScenarioReport out;
+  out.scenario = spec_.name;
+  out.engine = engine_spec;
+  out.seed = seed_;
+  out.num_queries = queries_.size();
+
+  std::unique_ptr<Engine> engine = MakeEngine(engine_spec, graph_, options);
+  for (const QueryGraph& q : queries_) engine->AddQuery(q);
+
+  auto* sharded = dynamic_cast<serve::ShardedEngine*>(engine.get());
+  const bool modeled = engine->ModelsDevice();
+  out.latency_metric = modeled ? "modeled-device"
+                       : sharded != nullptr ? "critical-path"
+                                            : "host-wall";
+  if (sharded != nullptr) sharded->ResetServingStats();
+  double critical_prev = 0.0;
+
+  out.batches.reserve(stream_.size());
+  for (const UpdateBatch& batch : stream_) {
+    BatchReport report = engine->ProcessBatch(batch);
+    ScenarioBatchMetric m;
+    m.ops = batch.size();
+    for (const QueryReport& qr : report.queries) {
+      m.positive_matches += qr.num_positive;
+      m.negative_matches += qr.num_negative;
+      if (qr.Truncated()) ++m.truncated_queries;
+    }
+    if (modeled) {
+      m.latency_seconds = report.ModeledSeconds(options.gamma.device);
+    } else if (sharded != nullptr) {
+      double critical_now = sharded->CriticalPathSeconds();
+      m.latency_seconds = critical_now - critical_prev;
+      critical_prev = critical_now;
+    } else {
+      m.latency_seconds = report.host_wall_seconds;
+    }
+    out.total_ops += m.ops;
+    out.total_matches += m.positive_matches + m.negative_matches;
+    out.truncated_queries += m.truncated_queries;
+    if (m.truncated_queries > 0) ++out.truncated_batches;
+    out.batches.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace bdsm::workload

@@ -1,0 +1,103 @@
+/// \file scenario_runner.hpp
+/// Binds a named scenario to any registry engine spec and measures it.
+///
+/// The ScenarioRunner is the SLO-style driver behind `bench_scenarios`
+/// and `example_cli --scenario`: it materializes a scenario (dataset
+/// twin + extracted query set + generated or replayed update stream),
+/// runs the stream through an engine built by name — "gamma", "tf",
+/// "sharded:gamma\@4", anything the EngineRegistry resolves — and
+/// reports per-batch latency percentiles (p50/p95/p99), throughput, and
+/// truncation counts.
+///
+/// Latency metric (one core, no wall-clock parallelism claims — see
+/// docs/BENCHMARKS.md): device engines report modeled device seconds
+/// (`BatchReport::ModeledSeconds`); sharded CPU engines report the
+/// per-batch *critical path* (max-over-shards thread-CPU seconds per
+/// phase, `ShardedEngine::CriticalPathSeconds`); plain CPU engines
+/// report host wall seconds.  `ScenarioReport::latency_metric` names
+/// which clock produced the numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "workload/scenario.hpp"
+#include "workload/trace.hpp"
+
+namespace bdsm::workload {
+
+/// One batch's measurement.
+struct ScenarioBatchMetric {
+  size_t ops = 0;                ///< sanitized ops the engine digested
+  size_t positive_matches = 0;   ///< summed over queries
+  size_t negative_matches = 0;
+  size_t truncated_queries = 0;  ///< queries with partial results
+  double latency_seconds = 0.0;  ///< per the runner's latency metric
+};
+
+/// Everything one (scenario, engine) run produced.
+struct ScenarioReport {
+  std::string scenario;
+  std::string engine;
+  uint64_t seed = 0;
+  std::string latency_metric;  ///< "modeled-device"|"critical-path"|"host-wall"
+
+  size_t num_queries = 0;
+  size_t total_ops = 0;
+  size_t total_matches = 0;
+  size_t truncated_queries = 0;  ///< summed over batches
+  size_t truncated_batches = 0;  ///< batches with >= 1 truncated query
+  std::vector<ScenarioBatchMetric> batches;
+
+  double TotalLatencySeconds() const;
+  double MeanLatencySeconds() const;
+  /// Per-batch latency percentile, p in [0, 100].
+  double LatencyPercentile(double p) const;
+  /// Ops per second under the report's latency metric.
+  double ThroughputOpsPerSec() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// Materializes the scenario: loads the dataset twin, extracts the
+  /// query set (DeriveSeed(seed, kSeedQueryExtract)), and generates the
+  /// stream (DeriveSeed(seed, kSeedStreamGen)).  Deterministic in
+  /// (spec, seed).
+  ScenarioRunner(const ScenarioSpec& spec,
+                 uint64_t seed = kDefaultScenarioSeed);
+
+  /// Swaps the generated stream for a recorded trace (replay); the
+  /// dataset and query set still come from the spec, so the trace's
+  /// header must name this scenario (that pins the dataset twin the
+  /// stream is valid against) — a mismatch is refused with a warning.
+  /// Seed mismatches are accepted: same graph, different draw.  False
+  /// when the trace cannot be read or names another scenario.
+  bool ReplayTrace(const std::string& path);
+  /// Writes the current stream as a trace artifact; false on I/O error.
+  bool RecordTrace(const std::string& path) const;
+
+  /// Runs the whole stream through a freshly built engine.  `options`
+  /// tunes budgets/caps (EngineOptions defaults otherwise).
+  ScenarioReport Run(const std::string& engine_spec,
+                     const EngineOptions& options = {}) const;
+
+  const ScenarioSpec& spec() const { return spec_; }
+  uint64_t seed() const { return seed_; }
+  const LabeledGraph& graph() const { return graph_; }
+  const std::vector<QueryGraph>& queries() const { return queries_; }
+  const std::vector<UpdateBatch>& stream() const { return stream_; }
+
+ private:
+  ScenarioSpec spec_;
+  uint64_t seed_;
+  /// The seed the *stream* was generated from: == seed_ unless a trace
+  /// was replayed, in which case the trace header's seed carries over
+  /// so RecordTrace preserves provenance.
+  uint64_t stream_seed_;
+  LabeledGraph graph_;
+  std::vector<QueryGraph> queries_;
+  std::vector<UpdateBatch> stream_;
+};
+
+}  // namespace bdsm::workload

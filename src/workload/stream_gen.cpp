@@ -1,0 +1,213 @@
+#include "workload/stream_gen.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace bdsm::workload {
+
+const char* StreamKindName(StreamKind kind) {
+  switch (kind) {
+    case StreamKind::kUniform: return "uniform";
+    case StreamKind::kPowerLaw: return "powerlaw";
+    case StreamKind::kTemporal: return "temporal";
+    case StreamKind::kBurst: return "burst";
+    case StreamKind::kChurn: return "churn";
+    case StreamKind::kHotspot: return "hotspot";
+  }
+  return "?";
+}
+
+bool StreamKindFromName(const std::string& name, StreamKind* out) {
+  for (StreamKind k : AllStreamKinds()) {
+    if (name == StreamKindName(k)) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<StreamKind>& AllStreamKinds() {
+  static const std::vector<StreamKind> kKinds = {
+      StreamKind::kUniform, StreamKind::kPowerLaw, StreamKind::kTemporal,
+      StreamKind::kBurst,   StreamKind::kChurn,    StreamKind::kHotspot};
+  return kKinds;
+}
+
+namespace {
+
+/// Seeded partial-Fisher-Yates permutation of [0, n).
+std::vector<VertexId> RandomPermutation(size_t n, Rng& rng) {
+  std::vector<VertexId> perm(n);
+  for (size_t i = 0; i < n; ++i) perm[i] = static_cast<VertexId>(i);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    size_t j = i + rng.Uniform(n - i);
+    std::swap(perm[i], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace
+
+template <typename PickFn>
+UpdateBatch StreamGenerator::SampleInsertions(const LabeledGraph& g,
+                                              size_t count, PickFn&& pick) {
+  UpdateBatch batch;
+  if (g.NumVertices() < 2) return batch;
+  std::unordered_set<Edge, EdgeHash> used;
+  size_t attempts = 0;
+  const size_t max_attempts = count * 64 + 1024;
+  while (batch.size() < count && attempts++ < max_attempts) {
+    VertexId a = pick();
+    VertexId b = pick();
+    if (a == b) continue;
+    Edge e(a, b);
+    if (g.HasEdge(a, b) || used.count(e)) continue;
+    used.insert(e);
+    Label el = spec_.elabels == 0
+                   ? kNoLabel
+                   : static_cast<Label>(rng_.Uniform(spec_.elabels));
+    batch.push_back(UpdateOp{true, e.u, e.v, el});
+  }
+  return batch;
+}
+
+UpdateBatch StreamGenerator::SampleDeletions(const LabeledGraph& g,
+                                             size_t count) {
+  UpdateBatch batch;
+  std::vector<Edge> edges = g.CollectEdges();
+  if (edges.empty()) return batch;
+  count = std::min(count, edges.size());
+  for (size_t i = 0; i < count; ++i) {
+    size_t j = i + rng_.Uniform(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    Label el = g.EdgeLabel(edges[i].u, edges[i].v);
+    batch.push_back(UpdateOp{false, edges[i].u, edges[i].v, el});
+  }
+  return batch;
+}
+
+std::vector<UpdateBatch> StreamGenerator::Generate(const LabeledGraph& g) {
+  std::vector<UpdateBatch> stream;
+  stream.reserve(spec_.num_batches);
+  LabeledGraph evolving = g;  // private replica; caller's graph untouched
+  const size_t n = evolving.NumVertices();
+  if (n < 2) return stream;
+
+  // Kind-specific fixed state, sampled once so it is part of the seed's
+  // deterministic output.
+  std::vector<VertexId> perm;          // kPowerLaw rank -> vertex
+  ZipfSampler zipf(0, 1.0);            // re-built below for kPowerLaw
+  std::vector<VertexId> hot;           // kHotspot
+  std::deque<std::vector<Edge>> live;  // kTemporal insertion windows
+  if (spec_.kind == StreamKind::kPowerLaw) {
+    perm = RandomPermutation(n, rng_);
+    zipf = ZipfSampler(n, spec_.skew);
+  } else if (spec_.kind == StreamKind::kHotspot) {
+    size_t h = std::max<size_t>(
+        2, static_cast<size_t>(spec_.hotspot_fraction * double(n)));
+    h = std::min(h, n);
+    std::vector<VertexId> p = RandomPermutation(n, rng_);
+    hot.assign(p.begin(), p.begin() + h);
+  }
+
+  auto uniform_pick = [&]() -> VertexId {
+    return static_cast<VertexId>(rng_.Uniform(n));
+  };
+  // The shared mixed-batch shape: `insert_fraction` of ops_per_batch
+  // are insertions with endpoints from `pick`, the rest uniform
+  // deletions of existing edges.
+  auto mixed_batch = [&](double insert_fraction, auto&& pick) {
+    double f = std::clamp(insert_fraction, 0.0, 1.0);
+    size_t ins =
+        static_cast<size_t>(double(spec_.ops_per_batch) * f);
+    ins = std::min(ins, spec_.ops_per_batch);
+    UpdateBatch out = SampleInsertions(evolving, ins, pick);
+    UpdateBatch dels =
+        SampleDeletions(evolving, spec_.ops_per_batch - ins);
+    out.insert(out.end(), dels.begin(), dels.end());
+    return out;
+  };
+
+  for (size_t b = 0; b < spec_.num_batches; ++b) {
+    UpdateBatch batch;
+    switch (spec_.kind) {
+      case StreamKind::kUniform:
+        batch = mixed_batch(spec_.insert_fraction, uniform_pick);
+        break;
+      case StreamKind::kPowerLaw:
+        batch = mixed_batch(spec_.insert_fraction, [&]() -> VertexId {
+          return perm[zipf.Sample(rng_)];
+        });
+        break;
+      case StreamKind::kTemporal: {
+        // Fresh inserts this batch...
+        batch = SampleInsertions(evolving, spec_.ops_per_batch,
+                                 uniform_pick);
+        std::vector<Edge> inserted;
+        inserted.reserve(batch.size());
+        for (const UpdateOp& op : batch) inserted.emplace_back(op.u, op.v);
+        live.push_back(std::move(inserted));
+        // ...plus expiry of the window that just aged out.  Only edges
+        // still present expire (an expired edge may have been uniformly
+        // re-inserted later; it then lives in a younger window too — the
+        // presence check keeps the delete valid either way).
+        if (live.size() > spec_.window_batches) {
+          for (const Edge& e : live.front()) {
+            if (!evolving.HasEdge(e.u, e.v)) continue;
+            batch.push_back(
+                UpdateOp{false, e.u, e.v, evolving.EdgeLabel(e.u, e.v)});
+          }
+          live.pop_front();
+        }
+        break;
+      }
+      case StreamKind::kBurst: {
+        const size_t period = std::max<size_t>(2, spec_.burst_period);
+        const bool is_burst = (b + 1) % period == 0;
+        if (is_burst) {
+          // Flash crowd: a fresh small crowd absorbs the spike.
+          size_t c = std::max<size_t>(
+              2, static_cast<size_t>(spec_.crowd_fraction * double(n)));
+          c = std::min(c, n);
+          std::vector<VertexId> p = RandomPermutation(n, rng_);
+          std::vector<VertexId> crowd(p.begin(), p.begin() + c);
+          auto crowd_pick = [&]() -> VertexId {
+            if (rng_.Chance(0.9)) return crowd[rng_.PickIndex(crowd)];
+            return uniform_pick();
+          };
+          size_t ops = static_cast<size_t>(double(spec_.ops_per_batch) *
+                                           spec_.burst_factor);
+          batch = SampleInsertions(evolving, ops, crowd_pick);
+        } else {
+          batch = mixed_batch(spec_.insert_fraction, uniform_pick);
+        }
+        break;
+      }
+      case StreamKind::kChurn:
+        batch = mixed_batch(spec_.churn_insert_fraction, uniform_pick);
+        break;
+      case StreamKind::kHotspot:
+        batch = mixed_batch(spec_.insert_fraction, [&]() -> VertexId {
+          if (rng_.Chance(spec_.hotspot_prob)) {
+            return hot[rng_.PickIndex(hot)];
+          }
+          return uniform_pick();
+        });
+        break;
+    }
+    // Safety net: SampleInsertions/SampleDeletions already avoid
+    // conflicts, but sanitizing here guarantees the replay invariant
+    // even if a kind combines sub-batches imperfectly.
+    batch = SanitizeBatch(evolving, batch);
+    size_t applied = ApplyBatch(&evolving, batch);
+    GAMMA_CHECK(applied == batch.size());
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace bdsm::workload

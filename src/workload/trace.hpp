@@ -1,0 +1,120 @@
+/// \file trace.hpp
+/// Compact binary update-stream traces with record/replay.
+///
+/// A trace freezes an update stream — generated (workload/stream_gen.hpp)
+/// or real — into a reusable artifact: record once, replay anywhere, and
+/// two engines replaying the same trace are guaranteed the identical
+/// input.  The format is exact (no floats, explicit little-endian), so
+/// "same seed => byte-identical trace" is testable and holds across
+/// platforms.
+///
+/// Layout (version 1; all integers little-endian):
+///
+///   offset  size  field
+///        0     8  magic "BDSMTRC1"
+///        8     4  version            (u32, = 1)
+///       12     4  flags              (u32, = 0, reserved)
+///       16     8  seed               (u64, generator master seed)
+///       24     8  num_batches        (u64, patched by TraceWriter::Close)
+///       32     4  scenario name len  (u32)
+///       36     L  scenario name bytes (no terminator)
+///   then per batch:
+///              8  num_ops            (u64)
+///   then per op (13 bytes):
+///              1  is_insert          (u8, 0|1)
+///              4  u                  (u32)
+///              4  v                  (u32)
+///              4  elabel             (u32; kNoLabel = 0xffffffff)
+///
+/// The spec is duplicated in docs/WORKLOADS.md; bump `kTraceVersion`
+/// when changing the layout (readers reject unknown versions).
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/update_stream.hpp"
+
+namespace bdsm::workload {
+
+inline constexpr char kTraceMagic[8] = {'B', 'D', 'S', 'M',
+                                        'T', 'R', 'C', '1'};
+inline constexpr uint32_t kTraceVersion = 1;
+
+/// Provenance carried in the trace header.
+struct TraceMeta {
+  uint64_t seed = 0;      ///< master seed the stream was generated from
+  std::string scenario;   ///< scenario or generator name ("" for ad hoc)
+
+  friend bool operator==(const TraceMeta&, const TraceMeta&) = default;
+};
+
+/// Streams batches into a trace file.  Usage:
+///   TraceWriter w(path, meta);
+///   for (const UpdateBatch& b : stream) w.Append(b);
+///   w.Close();               // patches the header batch count
+/// The destructor calls Close(); check ok() after closing — a writer
+/// that hit an I/O error leaves no guarantees about the file.
+class TraceWriter {
+ public:
+  TraceWriter(const std::string& path, const TraceMeta& meta);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  bool ok() const { return ok_; }
+  void Append(const UpdateBatch& batch);
+  void Close();
+
+ private:
+  FILE* f_ = nullptr;
+  uint64_t num_batches_ = 0;
+  bool ok_ = false;
+};
+
+/// Reads a trace back.  Construction validates magic + version and
+/// loads the header; Next() then yields batches in order.
+class TraceReader {
+ public:
+  explicit TraceReader(const std::string& path);
+  ~TraceReader();
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+
+  /// False when the file is missing, has a bad magic, or an unknown
+  /// version; Next() on a !ok() reader always returns nullopt.
+  bool ok() const { return ok_; }
+  const TraceMeta& meta() const { return meta_; }
+  uint64_t num_batches() const { return num_batches_; }
+
+  /// Next batch, or nullopt at end-of-trace / on a truncated file
+  /// (truncation flips ok() to false so callers can tell the two
+  /// apart).
+  std::optional<UpdateBatch> Next();
+
+ private:
+  /// Bytes between the current file position and end-of-file; used to
+  /// sanity-check header/batch counts before allocating for them.
+  uint64_t RemainingBytes() const;
+
+  FILE* f_ = nullptr;
+  TraceMeta meta_;
+  uint64_t file_size_ = 0;
+  uint64_t num_batches_ = 0;
+  uint64_t read_batches_ = 0;
+  bool ok_ = false;
+};
+
+/// One-shot record: writes the whole stream; false on I/O failure.
+bool WriteTrace(const std::string& path, const TraceMeta& meta,
+                const std::vector<UpdateBatch>& stream);
+
+/// One-shot replay: reads the whole stream; nullopt on any error
+/// (missing file, bad magic/version, truncation).  `meta`, when
+/// non-null, receives the header.
+std::optional<std::vector<UpdateBatch>> ReadTrace(const std::string& path,
+                                                  TraceMeta* meta = nullptr);
+
+}  // namespace bdsm::workload
