@@ -52,8 +52,10 @@ CellResult RunEngineCell(const std::string& engine_name,
   opts.csm_budget_seconds = scale.query_budget_s;
 
   double total = 0.0, util = 0.0;
+  EngineInfo info;
   for (const QueryGraph& q : queries) {
     auto engine = MakeEngine(engine_name, g, opts);
+    info = engine->Describe();
     QueryId id = engine->AddQuery(q);
     BatchReport report = engine->ProcessBatch(batch);
     const QueryReport* qr = report.Find(id);
@@ -62,9 +64,18 @@ CellResult RunEngineCell(const std::string& engine_name,
       continue;
     }
     cell.total_matches += qr->TotalMatches();
-    total += engine->ModelsDevice()
-                 ? qr->ModeledSeconds(opts.gamma.device)
-                 : qr->host_wall_seconds;
+    // The engine's declared clock picks the honest latency.
+    switch (info.clock) {
+      case ClockDomain::kModeledDevice:
+        total += qr->ModeledSeconds(opts.gamma.device);
+        break;
+      case ClockDomain::kCriticalPath:
+        total += report.critical_path_seconds;
+        break;
+      case ClockDomain::kHostWall:
+        total += qr->host_wall_seconds;
+        break;
+    }
     util += qr->match_stats.Utilization();
     ++cell.solved;
   }
@@ -72,8 +83,15 @@ CellResult RunEngineCell(const std::string& engine_name,
   cell.avg_utilization = cell.solved ? util / double(cell.solved) : 0.0;
 
   if (JsonSink::Instance().enabled()) {
+    if (info.canonical_spec.empty()) {
+      // Empty query set: no engine was built above, so describe a
+      // throwaway instance to keep the provenance fields present.
+      info = MakeEngine(engine_name, g, opts)->Describe();
+    }
     JsonRow row;
     row.Set("engine", engine_name)
+        .Set("spec", info.canonical_spec)
+        .Set("clock", ClockDomainName(info.clock))
         .Set("avg_latency_s", cell.avg_latency_s)
         .Set("solved", cell.solved)
         .Set("unsolved", cell.unsolved)

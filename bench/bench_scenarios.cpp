@@ -10,8 +10,11 @@
 ///                   [--replay PATH] [--budget SECONDS] [--list]
 ///
 /// Defaults: --scenario smoke, --engine gamma, --seed 2024
-/// (workload::kDefaultScenarioSeed).  Engines may be any registry name
-/// or composite spec, e.g. "sharded:gamma@4".  --record freezes the
+/// (workload::kDefaultScenarioSeed).  Engines may be any registry spec
+/// per the canonical grammar of docs/ENGINES.md, e.g.
+/// "sharded(gamma, shards=4)" or "gamma(result_cap=100000)" (the
+/// legacy "sharded:gamma@4" sugar still parses); every spec is
+/// validated before the first run starts.  --record freezes the
 /// generated stream as a trace artifact; --replay substitutes a
 /// recorded trace for the generated stream.
 ///
@@ -22,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -43,15 +47,23 @@ void ListScenarios() {
   }
 }
 
-std::vector<std::string> SplitCommas(const std::string& s) {
+/// Splits a comma-separated engine list, honoring spec parentheses:
+/// "gamma,sharded(tf, shards=2)" is two specs, not three fragments.
+std::vector<std::string> SplitSpecList(const std::string& s) {
   std::vector<std::string> out;
-  size_t start = 0;
-  while (start <= s.size()) {
-    size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
+  std::string current;
+  int depth = 0;
+  for (char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')' && depth > 0) --depth;
+    if (c == ',' && depth == 0) {
+      if (!current.empty()) out.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
   }
+  if (!current.empty()) out.push_back(std::move(current));
   return out;
 }
 
@@ -70,6 +82,7 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
 
   bench::JsonRow row;
   row.Set("engine", engine_spec)
+      .Set("spec", r.canonical_spec)
       .Set("latency_metric", r.latency_metric)
       .Set("num_queries", r.num_queries)
       .Set("batches", r.batches.size())
@@ -152,13 +165,19 @@ int main(int argc, char** argv) {
     scenarios.push_back(s);
   }
 
-  std::vector<std::string> engines = SplitCommas(engines_arg);
+  // Fail fast: every engine spec is parsed and validated (names,
+  // nesting arity, option keys/values, recursively) before the first
+  // run starts — a sweep must never die on a typo mid-way through.
+  std::vector<std::string> engines = SplitSpecList(engines_arg);
+  if (engines.empty()) {
+    fprintf(stderr, "--engine needs at least one spec\n");
+    return 2;
+  }
   for (const std::string& e : engines) {
-    if (!EngineRegistry::Instance().Has(e)) {
-      fprintf(stderr, "unknown engine \"%s\"; available:", e.c_str());
-      for (const std::string& n : EngineNames())
-        fprintf(stderr, " %s", n.c_str());
-      fprintf(stderr, " (or sharded:<engine>[@N])\n");
+    if (std::optional<std::string> err =
+            EngineRegistry::Instance().Validate(e)) {
+      fprintf(stderr, "bad --engine spec \"%s\": %s\n", e.c_str(),
+              err->c_str());
       return 2;
     }
   }

@@ -3,17 +3,21 @@
 /// graph/query files.  Engine choice is a flag, not a code path.
 ///
 /// Usage:
-///   ./example_cli [--engine NAME] [--shards N] <graph-file> <query-file>
+///   ./example_cli [--engine SPEC] [--shards N] <graph-file> <query-file>
 ///                 [ins-rate%] [seed]
-///   ./example_cli [--engine NAME] [--shards N] --demo   # built-in demo
-///   ./example_cli [--engine NAME] [--shards N] --scenario NAME
+///   ./example_cli [--engine SPEC] [--shards N] --demo  # built-in demo
+///   ./example_cli [--engine SPEC] [--shards N] --scenario NAME
 ///                 [--seed N]                # named workload scenario
+///   ./example_cli --list-engines            # registered engines
 ///
-/// NAME is any registry name: gamma (default), multi, tf, sym, rf, cl,
-/// gf — or a composite spec like sharded:gamma@4 (see core/engine.hpp).
-/// --shards N wraps the chosen engine in the sharded serving layer
-/// (serve/sharded_engine.hpp), equivalent to --engine sharded:NAME@N.
-/// --scenario runs a named workload from the scenario catalog
+/// SPEC is any engine spec per the canonical grammar of
+/// docs/ENGINES.md: a plain name ("gamma" (default), "multi", "tf",
+/// ...), a spec with inline options ("gamma(result_cap=100000)"), or a
+/// composed wrapper ("sharded(gamma, shards=4)"; the legacy
+/// "sharded:gamma@4" sugar still parses).  --shards N wraps the chosen
+/// engine in the sharded serving layer (serve/sharded_engine.hpp),
+/// equivalent to writing the sharded(...) spec yourself.  --scenario
+/// runs a named workload from the scenario catalog
 /// (src/workload/scenario.hpp; docs/WORKLOADS.md) through the chosen
 /// engine and prints latency percentiles, throughput and truncation —
 /// the same driver bench_scenarios uses.
@@ -25,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/stream_pipeline.hpp"
@@ -109,13 +114,30 @@ int RunDemo(const std::string& engine_name) {
 
 }  // namespace
 
+int ListEngines() {
+  printf("registered engines (--engine SPEC; grammar in docs/ENGINES.md):\n");
+  for (const EngineRegistry::Listing& l :
+       EngineRegistry::Instance().Listings()) {
+    std::string keys;
+    for (const std::string& k : l.option_keys) {
+      keys += keys.empty() ? k : ", " + k;
+    }
+    printf("  %-8s e.g. %-36s %s%s\n", l.name.c_str(), l.example.c_str(),
+           keys.empty() ? "(no options)" : "options: ",
+           keys.c_str());
+  }
+  printf("legacy sugar: \"sharded:<engine>[@N]\" still parses to the "
+         "canonical form.\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   std::string engine_name = "gamma";
   std::string scenario_name;
   uint64_t scenario_seed = workload::kDefaultScenarioSeed;
   long shards = 0;
-  // Peel off --engine NAME / --shards N / --scenario NAME / --seed N
-  // wherever they appear.
+  // Peel off --engine SPEC / --shards N / --scenario NAME / --seed N /
+  // --list-engines wherever they appear.
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
@@ -124,6 +146,8 @@ int main(int argc, char** argv) {
       scenario_name = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       scenario_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--list-engines") == 0) {
+      return ListEngines();
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atol(argv[++i]);
       if (shards < 1) {
@@ -135,13 +159,22 @@ int main(int argc, char** argv) {
     }
   }
   if (shards > 0) {
-    engine_name =
-        "sharded:" + engine_name + "@" + std::to_string(shards);
+    // Wrap whatever spec --engine gave us; the tree nests arbitrarily.
+    try {
+      EngineSpec wrapped;
+      wrapped.name = "sharded";
+      wrapped.children.push_back(EngineSpec::Parse(engine_name));
+      wrapped.options.emplace_back("shards", std::to_string(shards));
+      engine_name = wrapped.ToString();
+    } catch (const EngineSpecError& e) {
+      fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
   }
-  if (!EngineRegistry::Instance().Has(engine_name)) {
-    fprintf(stderr, "unknown engine \"%s\"; available:", engine_name.c_str());
-    for (const std::string& n : EngineNames()) fprintf(stderr, " %s", n.c_str());
-    fprintf(stderr, " (or sharded:<engine>[@N])\n");
+  if (std::optional<std::string> err =
+          EngineRegistry::Instance().Validate(engine_name)) {
+    fprintf(stderr, "%s\n(--list-engines prints every registered "
+            "engine with an example spec)\n", err->c_str());
     return 2;
   }
 
@@ -153,11 +186,12 @@ int main(int argc, char** argv) {
   }
   if (args.size() < 2) {
     fprintf(stderr,
-            "usage: %s [--engine NAME] <graph-file> <query-file> "
+            "usage: %s [--engine SPEC] <graph-file> <query-file> "
             "[ins-rate%%] [seed]\n"
-            "       %s [--engine NAME] --demo\n"
-            "       %s [--engine NAME] --scenario NAME [--seed N]\n",
-            argv[0], argv[0], argv[0]);
+            "       %s [--engine SPEC] --demo\n"
+            "       %s [--engine SPEC] --scenario NAME [--seed N]\n"
+            "       %s --list-engines\n",
+            argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   LabeledGraph g = LoadGraph(args[0]);
@@ -183,7 +217,7 @@ int main(int argc, char** argv) {
   printf("engine %s: incremental matches +%zu / -%zu%s\n", engine->Name(),
          res.num_positive, res.num_negative,
          res.Truncated() ? " (TRUNCATED: budget/cap hit)" : "");
-  if (engine->ModelsDevice()) {
+  if (engine->Describe().clock == ClockDomain::kModeledDevice) {
     printf("modeled device: update %llu + match %llu ticks (%.3f ms); "
            "utilization %.1f%%; host wall %.3f ms\n",
            static_cast<unsigned long long>(res.update_stats.makespan_ticks),

@@ -11,6 +11,8 @@
 ///
 ///   ./example_quickstart [engine]
 #include <cstdio>
+#include <optional>
+#include <string>
 
 #include "core/engine.hpp"
 
@@ -18,12 +20,9 @@ using namespace bdsm;
 
 int main(int argc, char** argv) {
   const char* engine_name = argc > 1 ? argv[1] : "gamma";
-  if (!EngineRegistry::Instance().Has(engine_name)) {
-    fprintf(stderr, "unknown engine \"%s\"; available:", engine_name);
-    for (const std::string& n : EngineNames()) {
-      fprintf(stderr, " %s", n.c_str());
-    }
-    fprintf(stderr, "\n");
+  if (std::optional<std::string> err =
+          EngineRegistry::Instance().Validate(engine_name)) {
+    fprintf(stderr, "%s\n", err->c_str());
     return 2;
   }
 
@@ -76,7 +75,7 @@ int main(int argc, char** argv) {
     printf("  u0->v%u u1->v%u u2->v%u u3->v%u\n", m.m[0], m.m[1], m.m[2],
            m.m[3]);
   }
-  if (engine->ModelsDevice()) {
+  if (engine->Describe().clock == ClockDomain::kModeledDevice) {
     printf("modeled device latency: %.3f us (update %llu + match %llu "
            "ticks), utilization %.1f%%\n",
            res.ModeledSeconds(opts.gamma.device) * 1e6,

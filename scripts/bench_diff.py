@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Diffs two perf-trajectory files (BENCH_*.json, schema bdsm-bench-v1).
+
+Rows are keyed by their string-valued fields — the canonical-spec
+provenance field ("spec") that every bench row carries, plus whatever
+sweep context the bench recorded (dataset, scenario, structure class,
+...) — so a row compares against the row measuring the same cell in
+the other file, regardless of row order.  Numeric fields are compared
+as relative change (new vs old).
+
+Usage:
+  python3 scripts/bench_diff.py OLD.json NEW.json
+      [--metric FIELD]      only diff this numeric field (repeatable)
+      [--max-regress PCT]   exit 1 when a gated metric GROWS by more
+                            than PCT percent; requires --metric, and
+                            only makes sense for lower-is-better
+                            metrics (latencies, critical path)
+      [--all]               print unchanged rows too
+
+Intended for perf-trajectory checks: run a bench at two commits with
+--json, then `bench_diff.py old.json new.json --metric avg_latency_s
+--max-regress 20` fails the gate on a >20% latency regression.
+
+Exit codes: 0 ok, 1 regression over threshold, 2 usage/input error.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_rows(path):
+    try:
+        doc = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema") != "bdsm-bench-v1":
+        print(f"bench_diff: {path} is not a bdsm-bench-v1 file",
+              file=sys.stderr)
+        sys.exit(2)
+    return doc.get("bench", "?"), doc.get("rows", [])
+
+
+def row_key(row):
+    """Identity of a measured cell: every string field, sorted.
+
+    The "spec" field (the engine's canonical spec stamped from
+    Engine::Describe()) is the primary provenance component; string
+    sweep context (dataset, scenario, structure class, clock) completes
+    it.  Rows that share a key — numeric sweeps like a rate or shard
+    loop — are paired positionally, which is stable because benches
+    emit sweep rows in a deterministic order.
+    """
+    parts = []
+    for k, v in sorted(row.items()):
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            parts.append(f"{k}={v}")
+    return " ".join(parts)
+
+
+def numeric_fields(row, only):
+    out = {}
+    for k, v in row.items():
+        if isinstance(v, bool) or not isinstance(v, (int, float)):
+            continue
+        if only and k not in only:
+            continue
+        out[k] = v
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--metric", action="append", default=[],
+                    help="numeric field(s) to diff (default: all)")
+    ap.add_argument("--max-regress", type=float, default=None, metavar="PCT",
+                    help="fail when a --metric grows by more than PCT%% "
+                         "(lower-is-better metrics only)")
+    ap.add_argument("--all", action="store_true",
+                    help="print rows with no change too")
+    args = ap.parse_args()
+    if args.max_regress is not None and not args.metric:
+        # Growth is only a regression for lower-is-better metrics, so
+        # the gate must name which fields it judges.
+        print("bench_diff: --max-regress requires --metric (growth in a "
+              "higher-is-better metric like batches_per_s is not a "
+              "regression)", file=sys.stderr)
+        sys.exit(2)
+
+    old_bench, old_rows = load_rows(args.old)
+    new_bench, new_rows = load_rows(args.new)
+    if old_bench != new_bench:
+        print(f"bench_diff: comparing different benches "
+              f"({old_bench} vs {new_bench})", file=sys.stderr)
+
+    old_by_key = {}
+    for row in old_rows:
+        old_by_key.setdefault(row_key(row), []).append(row)
+
+    regressions = 0
+    matched = 0
+    for row in new_rows:
+        key = row_key(row)
+        bucket = old_by_key.get(key)
+        if not bucket:
+            print(f"NEW ROW   {key}")
+            continue
+        old_row = bucket.pop(0)
+        matched += 1
+        lines = []
+        for field, new_v in sorted(numeric_fields(row, args.metric).items()):
+            old_v = old_row.get(field)
+            if not isinstance(old_v, (int, float)) or isinstance(old_v, bool):
+                continue
+            if old_v == new_v:
+                continue
+            if old_v == 0:
+                rel = float("inf") if new_v != 0 else 0.0
+            else:
+                rel = 100.0 * (new_v - old_v) / abs(old_v)
+            mark = ""
+            if args.max_regress is not None and rel > args.max_regress:
+                mark = "  <-- REGRESSION"
+                regressions += 1
+            lines.append(f"    {field}: {old_v:.6g} -> {new_v:.6g} "
+                         f"({rel:+.1f}%){mark}")
+        if lines or args.all:
+            print(f"ROW       {key}")
+            for line in lines:
+                print(line)
+    for key, bucket in old_by_key.items():
+        for _ in bucket:
+            print(f"GONE      {key}")
+
+    print(f"bench_diff: {matched} rows matched, "
+          f"{len(new_rows) - matched} new, "
+          f"{sum(len(b) for b in old_by_key.values())} gone, "
+          f"{regressions} regressions over threshold")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

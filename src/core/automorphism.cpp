@@ -219,7 +219,6 @@ std::vector<EquivalentEdgeGroup> ComputeEquivalentEdgeGroups(
       out.k = grp.k;
       out.directed_orbit.push_back(grp.pairs[rep]);
       Permutation rep_sigma = grp.sigmas[rep];  // base -> rep
-      Permutation rep_inv = InverseOn(rep_sigma, grp.mask);
       for (size_t i : keep) {
         if (i == rep) continue;
         out.directed_orbit.push_back(grp.pairs[i]);

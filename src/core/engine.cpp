@@ -10,6 +10,18 @@
 
 namespace bdsm {
 
+const char* ClockDomainName(ClockDomain clock) {
+  switch (clock) {
+    case ClockDomain::kModeledDevice:
+      return "modeled-device";
+    case ClockDomain::kCriticalPath:
+      return "critical-path";
+    case ClockDomain::kHostWall:
+      return "host-wall";
+  }
+  return "unknown";
+}
+
 // ---------------------------------------------------------------- Engine
 
 BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
@@ -100,7 +112,12 @@ class GammaEngineBase : public Engine {
   GammaEngineBase(const LabeledGraph& g, const EngineOptions& options)
       : options_(options.gamma), graph_(g) {}
 
-  bool ModelsDevice() const override { return true; }
+  EngineInfo Describe() const override {
+    EngineInfo info;
+    info.canonical_spec = CanonicalSpecOrName();
+    info.clock = ClockDomain::kModeledDevice;
+    return info;
+  }
 
   QueryId AddQuery(const QueryGraph& q) override {
     Slot slot;
@@ -201,7 +218,13 @@ class MultiGammaEngine final : public Engine {
       : multi_(g, options.gamma) {}
 
   const char* Name() const override { return "multi"; }
-  bool ModelsDevice() const override { return true; }
+
+  EngineInfo Describe() const override {
+    EngineInfo info;
+    info.canonical_spec = CanonicalSpecOrName();
+    info.clock = ClockDomain::kModeledDevice;
+    return info;
+  }
 
   QueryId AddQuery(const QueryGraph& q) override {
     return static_cast<QueryId>(multi_.AddQuery(q));
@@ -291,6 +314,13 @@ class CsmAdapter final : public Engine {
 
   const char* Name() const override { return name_; }
 
+  EngineInfo Describe() const override {
+    EngineInfo info;
+    info.canonical_spec = CanonicalSpecOrName();
+    info.clock = ClockDomain::kHostWall;
+    return info;
+  }
+
   QueryId AddQuery(const QueryGraph& q) override {
     Slot slot;
     slot.id = next_id_++;
@@ -372,25 +402,104 @@ std::string Canonical(const std::string& name) {
   return out;
 }
 
+/// Joins strings as `a, b, c` for error messages and listings.
+std::string JoinSorted(std::vector<std::string> items) {
+  std::sort(items.begin(), items.end());
+  std::string out;
+  for (const std::string& s : items) {
+    if (!out.empty()) out += ", ";
+    out += s;
+  }
+  return out;
+}
+
+/// Inline option table of the device engines ("gamma", "multi").
+std::vector<EngineOptionKey> DeviceOptionKeys() {
+  return {
+      {"result_cap",
+       "cap on matches materialized per kernel launch (0 = unlimited)",
+       [](const std::string& v, EngineOptions* o) {
+         size_t n;
+         if (!ParseSizeValue(v, &n)) return false;
+         o->gamma.result_cap = n;
+         return true;
+       }},
+      {"budget", "per-launch host budget in seconds (0 = unlimited)",
+       [](const std::string& v, EngineOptions* o) {
+         double s;
+         if (!ParseDoubleValue(v, &s) || s < 0.0) return false;
+         o->gamma.device.host_budget_seconds = s;
+         return true;
+       }},
+      {"segment_capacity", "GPMA segment capacity (a power of two)",
+       [](const std::string& v, EngineOptions* o) {
+         size_t n;
+         if (!ParseSizeValue(v, &n) || n == 0 || (n & (n - 1)) != 0 ||
+             n > (size_t{1} << 31)) {
+           return false;
+         }
+         o->gamma.gpma_segment_capacity = static_cast<uint32_t>(n);
+         return true;
+       }},
+      {"coalesced", "coalesced candidate search on/off (paper §V-B)",
+       [](const std::string& v, EngineOptions* o) {
+         bool b;
+         if (!ParseBoolValue(v, &b)) return false;
+         o->gamma.coalesced_search = b;
+         return true;
+       }},
+      {"aggressive_coalescing",
+       "coalesce equivalent edges across encoder-constraint orbits",
+       [](const std::string& v, EngineOptions* o) {
+         bool b;
+         if (!ParseBoolValue(v, &b)) return false;
+         o->gamma.aggressive_coalescing = b;
+         return true;
+       }},
+  };
+}
+
+/// Inline option table of the CPU (CSM) baselines.
+std::vector<EngineOptionKey> CsmOptionKeys() {
+  return {
+      {"result_cap", "cap on matches per query (0 = unlimited)",
+       [](const std::string& v, EngineOptions* o) {
+         size_t n;
+         if (!ParseSizeValue(v, &n)) return false;
+         o->csm_result_cap = n;
+         return true;
+       }},
+      {"budget", "per-query host budget in seconds (0 = unlimited)",
+       [](const std::string& v, EngineOptions* o) {
+         double s;
+         if (!ParseDoubleValue(v, &s) || s < 0.0) return false;
+         o->csm_budget_seconds = s;
+         return true;
+       }},
+  };
+}
+
 }  // namespace
 
 // --------------------------------------------------------- EngineRegistry
 
 EngineRegistry::EngineRegistry() {
-  auto add = [this](const char* name, EngineFactory f) {
-    entries_.emplace(name, Entry{std::move(f), /*is_alias=*/false});
-  };
-  auto alias = [this](const char* name, const char* target) {
-    entries_.emplace(name, Entry{entries_.at(target).factory,
-                                 /*is_alias=*/true});
-  };
-
-  add("gamma", [](const LabeledGraph& g, const EngineOptions& o) {
+  EngineDef gamma_def;
+  gamma_def.option_keys = DeviceOptionKeys();
+  gamma_def.example = "gamma(result_cap=100000)";
+  gamma_def.factory = [](const EngineSpec&, const LabeledGraph& g,
+                         const EngineOptions& o) {
     return std::unique_ptr<Engine>(new GammaEngine(g, o));
-  });
-  add("multi", [](const LabeledGraph& g, const EngineOptions& o) {
+  };
+  EngineDef multi_def = gamma_def;
+  multi_def.example = "multi(budget=1.0)";
+  multi_def.factory = [](const EngineSpec&, const LabeledGraph& g,
+                         const EngineOptions& o) {
     return std::unique_ptr<Engine>(new MultiGammaEngine(g, o));
-  });
+  };
+  Register("gamma", std::move(gamma_def));
+  Register("multi", std::move(multi_def));
+
   struct Csm {
     const char* name;
     const char* alias;
@@ -401,16 +510,21 @@ EngineRegistry::EngineRegistry() {
                        Csm{"rf", "rapidflow", "RF"},
                        Csm{"cl", "calig", "CL"},
                        Csm{"gf", "graphflow", "GF"}}) {
-    add(c.name, [c](const LabeledGraph& g, const EngineOptions& o) {
+    EngineDef def;
+    def.option_keys = CsmOptionKeys();
+    def.example = std::string(c.name) + "(result_cap=100000, budget=1.0)";
+    def.factory = [c](const EngineSpec&, const LabeledGraph& g,
+                      const EngineOptions& o) {
       return std::unique_ptr<Engine>(new CsmAdapter(c.name, c.key, g, o));
-    });
-    alias(c.alias, c.name);
+    };
+    Register(c.name, std::move(def));
+    RegisterAlias(c.alias, c.name);
   }
-  alias("multigamma", "multi");
+  RegisterAlias("multigamma", "multi");
 
-  // Composite serving specs ("sharded:inner@N").  Registered through an
-  // explicit hook rather than a serve/-local static initializer, which
-  // the linker would drop from the static library whenever no serve/
+  // The serving wrapper ("sharded").  Registered through an explicit
+  // hook rather than a serve/-local static initializer, which the
+  // linker would drop from the static library whenever no serve/
   // symbol is referenced directly.
   serve::RegisterServeEngines(this);
 }
@@ -420,61 +534,231 @@ EngineRegistry& EngineRegistry::Instance() {
   return registry;
 }
 
+void EngineRegistry::Register(const std::string& name, EngineDef def) {
+  entries_[Canonical(name)] = Entry{std::move(def), /*alias_target=*/""};
+}
+
 void EngineRegistry::Register(const std::string& name,
                               EngineFactory factory) {
-  entries_[Canonical(name)] = Entry{std::move(factory), /*is_alias=*/false};
+  EngineDef def;
+  def.factory = std::move(factory);
+  def.example = Canonical(name);
+  Register(name, std::move(def));
 }
 
-void EngineRegistry::RegisterPrefix(const std::string& prefix,
-                                    SpecFactory factory,
-                                    SpecValidator validator) {
-  prefixes_[Canonical(prefix)] =
-      PrefixEntry{std::move(factory), std::move(validator)};
+void EngineRegistry::RegisterAlias(const std::string& alias,
+                                   const std::string& target) {
+  std::string canonical_target = Canonical(target);
+  GAMMA_CHECK_MSG(entries_.count(canonical_target) > 0,
+                  "alias target must be registered first");
+  Entry entry;
+  entry.alias_target = canonical_target;
+  entries_[Canonical(alias)] = std::move(entry);
 }
 
-bool EngineRegistry::Has(const std::string& name) const {
-  std::string canonical = Canonical(name);
-  if (entries_.count(canonical) > 0) return true;
-  size_t colon = canonical.find(':');
-  if (colon == std::string::npos) return false;
-  auto it = prefixes_.find(canonical.substr(0, colon));
-  return it != prefixes_.end() &&
-         it->second.validator(canonical.substr(colon + 1));
+const EngineRegistry::Entry* EngineRegistry::Resolve(
+    const std::string& name, std::string* canonical_name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return nullptr;
+  if (!it->second.alias_target.empty()) {
+    *canonical_name = it->second.alias_target;
+    it = entries_.find(it->second.alias_target);
+    GAMMA_CHECK(it != entries_.end());
+  } else {
+    *canonical_name = name;
+  }
+  return &it->second;
+}
+
+EngineSpec EngineRegistry::Canonicalize(const EngineSpec& spec) const {
+  EngineSpec out = spec;
+  out.name = Canonical(out.name);
+  std::string canonical_name;
+  if (Resolve(out.name, &canonical_name) == nullptr) {
+    throw EngineSpecError("unknown engine \"" + out.name +
+                          "\"; registered engines: " + JoinSorted(Names()));
+  }
+  out.name = canonical_name;
+  for (EngineSpec& child : out.children) child = Canonicalize(child);
+  return out;
+}
+
+void EngineRegistry::ApplyOptions(const EngineSpec& spec,
+                                  const EngineDef& def,
+                                  EngineOptions* options) const {
+  for (const auto& [key, value] : spec.options) {
+    const EngineOptionKey* found = nullptr;
+    for (const EngineOptionKey& ok : def.option_keys) {
+      if (ok.key == key) {
+        found = &ok;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      std::vector<std::string> keys;
+      for (const EngineOptionKey& ok : def.option_keys) {
+        keys.push_back(ok.key);
+      }
+      throw EngineSpecError(
+          "unknown option \"" + key + "\" for engine \"" + spec.name +
+          "\"; " +
+          (keys.empty() ? std::string("it takes no options")
+                        : "valid keys: " + JoinSorted(std::move(keys))));
+    }
+    if (!found->apply(value, options)) {
+      throw EngineSpecError("bad value \"" + value + "\" for option \"" +
+                            key + "\" of engine \"" + spec.name + "\"");
+    }
+  }
+}
+
+namespace {
+
+/// Arity error text: "no inner engine spec" / "exactly one inner
+/// engine spec" / "between 1 and 2 inner engine specs".
+std::string ArityText(size_t min_children, size_t max_children) {
+  if (max_children == 0) return "no inner engine spec";
+  if (min_children == max_children) {
+    return (min_children == 1 ? std::string("exactly one")
+                              : std::to_string(min_children)) +
+           " inner engine spec" + (min_children == 1 ? "" : "s");
+  }
+  return "between " + std::to_string(min_children) + " and " +
+         std::to_string(max_children) + " inner engine specs";
+}
+
+}  // namespace
+
+std::optional<std::string> EngineRegistry::Validate(
+    const EngineSpec& spec) const {
+  try {
+    return ValidateCanonical(Canonicalize(spec));
+  } catch (const EngineSpecError& e) {
+    return std::string(e.what());
+  }
+}
+
+std::optional<std::string> EngineRegistry::ValidateCanonical(
+    const EngineSpec& canonical) const {
+  try {
+    // Walk the canonical tree: arity and option checks at every node.
+    std::vector<const EngineSpec*> todo = {&canonical};
+    while (!todo.empty()) {
+      const EngineSpec* node = todo.back();
+      todo.pop_back();
+      std::string name;
+      const Entry* entry = Resolve(node->name, &name);
+      GAMMA_CHECK(entry != nullptr);  // Canonicalize resolved every name
+      const EngineDef& def = entry->def;
+      if (node->children.size() < def.min_children ||
+          node->children.size() > def.max_children) {
+        throw EngineSpecError(
+            "engine \"" + node->name + "\" takes " +
+            ArityText(def.min_children, def.max_children) + ", got " +
+            std::to_string(node->children.size()) + " in \"" +
+            node->ToString() + "\"" +
+            (def.example.empty() ? "" : "; example: " + def.example));
+      }
+      EngineOptions scratch;
+      ApplyOptions(*node, def, &scratch);
+      for (const EngineSpec& child : node->children) todo.push_back(&child);
+    }
+  } catch (const EngineSpecError& e) {
+    return std::string(e.what());
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> EngineRegistry::Validate(
+    const std::string& spec) const {
+  try {
+    return Validate(EngineSpec::Parse(spec));
+  } catch (const EngineSpecError& e) {
+    return std::string(e.what());
+  }
+}
+
+bool EngineRegistry::Has(const std::string& spec) const {
+  return !Validate(spec).has_value();
 }
 
 std::vector<std::string> EngineRegistry::Names() const {
   std::vector<std::string> names;
   for (const auto& [name, entry] : entries_) {
-    if (!entry.is_alias) names.push_back(name);
+    if (entry.alias_target.empty()) names.push_back(name);
   }
   std::sort(names.begin(), names.end());
   return names;
 }
 
-std::unique_ptr<Engine> EngineRegistry::Make(
-    const std::string& name, const LabeledGraph& g,
-    const EngineOptions& options) const {
-  std::string canonical = Canonical(name);
-  auto it = entries_.find(canonical);
-  if (it != entries_.end()) return it->second.factory(g, options);
-  size_t colon = canonical.find(':');
-  if (colon != std::string::npos) {
-    auto pit = prefixes_.find(canonical.substr(0, colon));
-    if (pit != prefixes_.end()) {
-      std::string rest = canonical.substr(colon + 1);
-      GAMMA_CHECK_MSG(pit->second.validator(rest),
-                      "malformed composite engine spec");
-      return pit->second.factory(rest, g, options);
+std::vector<EngineRegistry::Listing> EngineRegistry::Listings() const {
+  std::vector<Listing> listings;
+  for (const std::string& name : Names()) {
+    auto it = entries_.find(name);
+    Listing listing;
+    listing.name = name;
+    listing.example = it->second.def.example;
+    for (const EngineOptionKey& ok : it->second.def.option_keys) {
+      listing.option_keys.push_back(ok.key);
     }
+    std::sort(listing.option_keys.begin(), listing.option_keys.end());
+    listings.push_back(std::move(listing));
   }
-  GAMMA_CHECK_MSG(false, "unknown engine name");
-  return nullptr;
+  return listings;
 }
 
-std::unique_ptr<Engine> MakeEngine(const std::string& name,
+std::unique_ptr<Engine> EngineRegistry::Make(
+    const EngineSpec& spec, const LabeledGraph& g,
+    const EngineOptions& options) const {
+  EngineSpec canonical = Canonicalize(spec);
+  // Fail fast over the whole tree before any engine is built: a bad
+  // inner spec must not surface after the outer wrapper spun up
+  // threads or replicated graphs.
+  if (std::optional<std::string> err = ValidateCanonical(canonical)) {
+    throw EngineSpecError(*err);
+  }
+  std::string name;
+  const Entry* entry = Resolve(canonical.name, &name);
+  EngineOptions applied = options;
+  ApplyOptions(canonical, entry->def, &applied);
+  std::unique_ptr<Engine> engine = entry->def.factory(canonical, g, applied);
+  GAMMA_CHECK(engine != nullptr);
+  // An engine that stamped its own spec during construction (wrappers
+  // materialize defaults, e.g. the shard count) keeps it — but only
+  // when that stamp names the engine we just built.  A delegating
+  // factory (one that returns a nested Make() of another name) hands
+  // back an engine stamped as the *inner* spec, which must not leak
+  // into provenance: rebuilding from it would produce a different
+  // engine.
+  bool keep_stamp = false;
+  if (!engine->canonical_spec_.empty()) {
+    try {
+      keep_stamp =
+          EngineSpec::Parse(engine->canonical_spec_).name == canonical.name;
+    } catch (const EngineSpecError&) {
+      keep_stamp = false;
+    }
+  }
+  if (!keep_stamp) engine->canonical_spec_ = canonical.ToString();
+  return engine;
+}
+
+std::unique_ptr<Engine> EngineRegistry::Make(
+    const std::string& spec, const LabeledGraph& g,
+    const EngineOptions& options) const {
+  return Make(EngineSpec::Parse(spec), g, options);
+}
+
+std::unique_ptr<Engine> MakeEngine(const std::string& spec,
                                    const LabeledGraph& g,
                                    const EngineOptions& options) {
-  return EngineRegistry::Instance().Make(name, g, options);
+  return EngineRegistry::Instance().Make(spec, g, options);
+}
+
+std::unique_ptr<Engine> MakeEngine(const EngineSpec& spec,
+                                   const LabeledGraph& g,
+                                   const EngineOptions& options) {
+  return EngineRegistry::Instance().Make(spec, g, options);
 }
 
 std::vector<std::string> EngineNames() {

@@ -32,10 +32,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/engine_spec.hpp"
 #include "core/gamma.hpp"
 #include "core/match.hpp"
 #include "graph/labeled_graph.hpp"
@@ -146,6 +148,12 @@ struct BatchReport {
   DeviceStats match_stats;
   double preprocess_host_seconds = 0.0;
   double host_wall_seconds = 0.0;  ///< whole ProcessBatch call
+  /// This batch's critical-path seconds (sum over phases of the
+  /// slowest shard's thread-CPU time) — the wall-clock a host with
+  /// enough free cores pays.  Filled only by the sharded serving
+  /// layer; 0 for single-instance engines.  This is the clock behind
+  /// ClockDomain::kCriticalPath (see Engine::Describe()).
+  double critical_path_seconds = 0.0;
 
   QueryReport* Find(QueryId id) {
     for (QueryReport& q : queries) {
@@ -178,6 +186,40 @@ struct BatchReport {
   }
 };
 
+/// Which clock an engine's latencies must be read from.  The repo's
+/// measurement convention (docs/BENCHMARKS.md): never claim wall-clock
+/// parallelism this host cannot show.
+enum class ClockDomain {
+  kModeledDevice,  ///< BatchReport::ModeledSeconds (simulated makespan)
+  kCriticalPath,   ///< BatchReport::critical_path_seconds (sharded CPU)
+  kHostWall,       ///< BatchReport::host_wall_seconds (sequential CPU)
+};
+
+/// Stable name of a clock domain: "modeled-device" | "critical-path" |
+/// "host-wall" (the `latency_metric` vocabulary of bench JSON rows).
+const char* ClockDomainName(ClockDomain clock);
+
+/// Engine capability introspection, returned by Engine::Describe().
+/// Consumers select clocks and record provenance from this struct
+/// instead of sniffing engine names or downcasting.
+struct EngineInfo {
+  /// Alias-resolved canonical spec, e.g. "sharded(gamma, shards=8)".
+  /// Stamped by the registry at construction; embedded in bench JSON
+  /// rows as the provenance key (scripts/bench_diff.py joins on it).
+  std::string canonical_spec;
+  /// The clock its latencies are honest under.
+  ClockDomain clock = ClockDomain::kHostWall;
+  /// False for engines that reject RemoveQuery (none today; wrappers
+  /// must forward their inner engine's answer).
+  bool supports_remove_query = true;
+  /// Shard topology: 1 for single-instance engines, the shard count
+  /// for the sharded serving layer.
+  size_t num_shards = 1;
+  /// Wrapper engines: canonical spec of the inner engine ("" when the
+  /// engine wraps nothing).
+  std::string inner_spec;
+};
+
 /// The unified engine interface.  Implementations: GammaEngine (one
 /// Gamma instance per query), MultiGammaEngine (shared device graph,
 /// fused launches), CsmAdapter (each CSM baseline).  Construct through
@@ -189,9 +231,11 @@ class Engine {
   /// Registry name ("gamma", "multi", "tf", ...).
   virtual const char* Name() const = 0;
 
-  /// True when latencies should be read from ModeledSeconds (simulated
-  /// device makespan); false for CPU engines measured by host wall.
-  virtual bool ModelsDevice() const { return false; }
+  /// Capability introspection: canonical spec, clock domain, shard
+  /// topology.  This is how drivers pick the right latency clock —
+  /// ScenarioRunner, bench_common and the examples all switch on
+  /// Describe().clock instead of probing concrete engine types.
+  virtual EngineInfo Describe() const = 0;
 
   /// Registers a pattern against the *current* graph state; it takes
   /// part in every subsequent ProcessBatch.
@@ -256,6 +300,25 @@ class Engine {
   /// delivered this way are skipped by the next FlushPhase.
   static void DeliverDirect(const BatchOptions& options, QueryReport* qr,
                             const MatchRecord& m);
+
+  /// The alias-resolved canonical spec, reported by Describe()
+  /// implementations through this accessor.  Engines without a stamp
+  /// (constructed directly, not via the registry) fall back to their
+  /// registry name.
+  std::string CanonicalSpecOrName() const {
+    return canonical_spec_.empty() ? std::string(Name()) : canonical_spec_;
+  }
+  /// Wrapper engines that compose their own canonical spec with
+  /// defaults materialized (ShardedEngine's shard count) stamp it here
+  /// during construction; the registry stamps every still-unstamped
+  /// engine after its factory returns and never overwrites.
+  void StampCanonicalSpec(std::string spec) {
+    canonical_spec_ = std::move(spec);
+  }
+
+ private:
+  friend class EngineRegistry;  // stamps canonical_spec_ post-factory
+  std::string canonical_spec_;
 };
 
 /// Construction options for MakeEngine / EngineRegistry.
@@ -279,10 +342,41 @@ struct EngineOptions {
   size_t serve_queue_capacity = 8;
 };
 
+/// An engine factory receives the alias-resolved spec subtree it was
+/// selected by (children and inline options included) and an
+/// EngineOptions that already has the spec's own `key=value` overrides
+/// applied.  Wrapper factories build their inner engines by passing
+/// spec.children[i] back through EngineRegistry::Make with the same
+/// options — each child's overrides are then applied on top, so
+/// wrappers compose recursively for free.
 using EngineFactory = std::function<std::unique_ptr<Engine>(
-    const LabeledGraph&, const EngineOptions&)>;
+    const EngineSpec&, const LabeledGraph&, const EngineOptions&)>;
 
-/// String-keyed engine factory.  Built-in names (case-insensitive):
+/// One inline option an engine accepts in its spec argument list.
+struct EngineOptionKey {
+  std::string key;  ///< lower-case, e.g. "result_cap"
+  std::string doc;  ///< one-line help (docs/ENGINES.md, --list-engines)
+  /// Parses `value` and applies it onto `options`; returns false on a
+  /// malformed value (the registry composes the error message).
+  /// Structural keys consumed by the factory itself (e.g. "shards")
+  /// validate only and leave `options` untouched.
+  std::function<bool(const std::string& value, EngineOptions* options)>
+      apply;
+};
+
+/// Everything the registry knows about one engine name: how to build
+/// it, which inline options it accepts, and how many inner engine
+/// specs it takes (0..0 for leaf engines, 1..1 for wrappers).
+struct EngineDef {
+  EngineFactory factory;
+  std::vector<EngineOptionKey> option_keys;
+  /// One canonical example spec, shown by `example_cli --list-engines`.
+  std::string example;
+  size_t min_children = 0;
+  size_t max_children = 0;
+};
+
+/// Spec-tree-keyed engine factory.  Built-in names (case-insensitive):
 ///   "gamma"              one device graph + kernel pipeline per query
 ///   "multi"              shared device graph, fused multi-query launches
 ///   "tf" | "turboflux"   TurboFlux-lite   (CPU baseline)
@@ -290,57 +384,86 @@ using EngineFactory = std::function<std::unique_ptr<Engine>(
 ///   "rf" | "rapidflow"   RapidFlow-lite   (CPU baseline)
 ///   "cl" | "calig"       CaLiG-lite       (CPU baseline)
 ///   "gf" | "graphflow"   Graphflow-lite   (CPU baseline)
+///   "sharded"            serving wrapper over any inner spec
+///                        (serve/sharded_engine.hpp)
 ///
-/// Composite specs — `"<prefix>:<rest>"` — build engines parameterized by
-/// the spec string itself.  The serving layer registers the "sharded"
-/// prefix: "sharded:gamma\@8" is a ShardedEngine over 8 gamma shards
-/// (serve/sharded_engine.hpp).
+/// Specs follow the canonical grammar of core/engine_spec.hpp —
+/// `sharded(gamma, shards=8)`, `gamma(result_cap=100000)` — with the
+/// legacy `"sharded:gamma\@8"` form accepted as sugar.  Unknown names
+/// and option keys raise EngineSpecError whose message lists the
+/// registered names / the engine's valid keys (docs/ENGINES.md).
 class EngineRegistry {
  public:
   static EngineRegistry& Instance();
 
-  /// Registers a factory under `name` (overwrites an existing entry).
+  /// Registers an engine under `name` (overwrites an existing entry).
+  void Register(const std::string& name, EngineDef def);
+  /// Shorthand for a leaf engine with no inline options.
   void Register(const std::string& name, EngineFactory factory);
-  bool Has(const std::string& name) const;
-  /// Canonical (non-alias, non-prefix) registered names, sorted.
+  void RegisterAlias(const std::string& alias, const std::string& target);
+
+  /// True when `spec` parses and validates (names, arity, option keys
+  /// and values, recursively).  The no-details probe; prefer Validate
+  /// when the caller can print the reason.
+  bool Has(const std::string& spec) const;
+  /// Full fail-fast validation without building: nullopt when `spec`
+  /// is buildable, otherwise the EngineSpecError message.
+  std::optional<std::string> Validate(const std::string& spec) const;
+  std::optional<std::string> Validate(const EngineSpec& spec) const;
+
+  /// Canonical (non-alias) registered names, sorted.
   std::vector<std::string> Names() const;
 
-  /// Builds the engine over an initial graph; GAMMA_CHECKs on unknown
-  /// names (use Has() to probe).
-  std::unique_ptr<Engine> Make(const std::string& name,
+  /// One row per canonical name, sorted, for `--list-engines` and the
+  /// docs: the example spec plus the accepted option keys.
+  struct Listing {
+    std::string name;
+    std::string example;
+    std::vector<std::string> option_keys;  ///< sorted
+  };
+  std::vector<Listing> Listings() const;
+
+  /// Alias-resolves every name in the tree ("turboflux" -> "tf").
+  /// Throws EngineSpecError on an unknown name.
+  EngineSpec Canonicalize(const EngineSpec& spec) const;
+
+  /// Builds the engine over an initial graph.  Validates the whole
+  /// tree first and throws EngineSpecError (never aborts) on unknown
+  /// names, bad arity, unknown option keys or malformed values; the
+  /// built engine is stamped with its canonical spec
+  /// (Engine::Describe().canonical_spec).
+  std::unique_ptr<Engine> Make(const std::string& spec,
                                const LabeledGraph& g,
                                const EngineOptions& options = {}) const;
-
-  /// A composite-spec factory receives the part of the spec after
-  /// `"<prefix>:"`, already lower-cased.
-  using SpecFactory = std::function<std::unique_ptr<Engine>(
-      const std::string& rest, const LabeledGraph&, const EngineOptions&)>;
-  /// Validates the `"<rest>"` of a spec without building (drives Has()).
-  using SpecValidator = std::function<bool(const std::string& rest)>;
-
-  /// Registers a composite-spec prefix: Make(`"<prefix>:<rest>"`, ...)
-  /// dispatches to `factory`, Has(`"<prefix>:<rest>"`) to `validator`.
-  /// Plain names always win — the prefix path is only consulted for
-  /// specs containing ':'.
-  void RegisterPrefix(const std::string& prefix, SpecFactory factory,
-                      SpecValidator validator);
+  std::unique_ptr<Engine> Make(const EngineSpec& spec,
+                               const LabeledGraph& g,
+                               const EngineOptions& options = {}) const;
 
  private:
   EngineRegistry();
   struct Entry {
-    EngineFactory factory;
-    bool is_alias = false;
+    EngineDef def;
+    std::string alias_target;  ///< non-empty for aliases
   };
-  struct PrefixEntry {
-    SpecFactory factory;
-    SpecValidator validator;
-  };
+  /// Resolves a (possibly alias) name to its canonical entry; nullptr
+  /// when unknown.  `canonical_name` receives the resolved name.
+  const Entry* Resolve(const std::string& name,
+                       std::string* canonical_name) const;
+  /// Validate() after Canonicalize(): walks an alias-resolved tree
+  /// checking arity and option keys/values at every node.
+  std::optional<std::string> ValidateCanonical(
+      const EngineSpec& canonical) const;
+  /// Applies spec.options onto *options; throws on unknown key/value.
+  void ApplyOptions(const EngineSpec& spec, const EngineDef& def,
+                    EngineOptions* options) const;
   std::unordered_map<std::string, Entry> entries_;
-  std::unordered_map<std::string, PrefixEntry> prefixes_;
 };
 
 /// Convenience wrappers over EngineRegistry::Instance().
-std::unique_ptr<Engine> MakeEngine(const std::string& name,
+std::unique_ptr<Engine> MakeEngine(const std::string& spec,
+                                   const LabeledGraph& g,
+                                   const EngineOptions& options = {});
+std::unique_ptr<Engine> MakeEngine(const EngineSpec& spec,
                                    const LabeledGraph& g,
                                    const EngineOptions& options = {});
 std::vector<std::string> EngineNames();

@@ -9,46 +9,40 @@
 
 namespace bdsm::serve {
 
-std::optional<ShardedSpec> ParseShardedSpec(const std::string& spec) {
-  if (spec.empty()) return std::nullopt;
-  std::string inner = spec;
-  size_t num_shards = ShardedEngine::kDefaultShards;
-  size_t at = spec.rfind('@');
-  if (at != std::string::npos) {
-    inner = spec.substr(0, at);
-    std::string count = spec.substr(at + 1);
-    if (count.empty()) return std::nullopt;
-    size_t n = 0;
-    for (char c : count) {
-      if (c < '0' || c > '9') return std::nullopt;
-      n = n * 10 + static_cast<size_t>(c - '0');
-      if (n > 4096) return std::nullopt;  // sanity bound, not a target
-    }
-    if (n == 0) return std::nullopt;
-    num_shards = n;
-  }
-  // No nesting of composite specs.
-  if (inner.empty() || inner.find(':') != std::string::npos ||
-      inner.find('@') != std::string::npos) {
-    return std::nullopt;
-  }
-  return ShardedSpec{std::move(inner), num_shards};
-}
-
-ShardedEngine::ShardedEngine(const std::string& inner, size_t num_shards,
+ShardedEngine::ShardedEngine(const EngineSpec& inner, size_t num_shards,
                              const LabeledGraph& g,
                              const EngineOptions& options)
     : pool_(options.serve_threads > 0 ? options.serve_threads : num_shards),
       queue_capacity_(options.serve_queue_capacity) {
   GAMMA_CHECK_MSG(num_shards > 0, "ShardedEngine needs at least one shard");
   GAMMA_CHECK_MSG(queue_capacity_ > 0, "ingest queue needs capacity >= 1");
-  name_ = "sharded:" + inner + "@" + std::to_string(num_shards);
   shards_.reserve(num_shards);
   for (size_t s = 0; s < num_shards; ++s) {
     Shard shard;
     shard.engine = MakeEngine(inner, g, options);
     shards_.push_back(std::move(shard));
   }
+  // Compose the canonical spec from the *built* inner engine (aliases
+  // and legacy sugar resolved by the registry), not the raw argument,
+  // materializing every non-default knob of this layer — whether it
+  // arrived inline (threads=2) or via EngineOptions — so Name() and
+  // Describe().canonical_spec fully identify the configuration (they
+  // are the provenance key bench JSON rows are diffed by).
+  const EngineOptions defaults;
+  EngineSpec self;
+  self.name = "sharded";
+  self.children.push_back(
+      EngineSpec::Parse(shards_.front().engine->Describe().canonical_spec));
+  self.options.emplace_back("shards", std::to_string(num_shards));
+  if (options.serve_threads != defaults.serve_threads) {
+    self.options.emplace_back("threads",
+                              std::to_string(options.serve_threads));
+  }
+  if (options.serve_queue_capacity != defaults.serve_queue_capacity) {
+    self.options.emplace_back("queue", std::to_string(queue_capacity_));
+  }
+  name_ = self.ToString();
+  StampCanonicalSpec(name_);
   shard_busy_seconds_.assign(num_shards, 0.0);
   for (size_t s = 0; s < num_shards; ++s) {
     shards_[s].lane = std::make_unique<FanInSink::Lane>(
@@ -59,6 +53,27 @@ ShardedEngine::ShardedEngine(const std::string& inner, size_t num_shards,
         });
   }
   dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+ShardedEngine::ShardedEngine(const std::string& inner, size_t num_shards,
+                             const LabeledGraph& g,
+                             const EngineOptions& options)
+    : ShardedEngine(EngineSpec::Parse(inner), num_shards, g, options) {}
+
+EngineInfo ShardedEngine::Describe() const {
+  EngineInfo inner = shards_.front().engine->Describe();
+  EngineInfo info;
+  info.canonical_spec = CanonicalSpecOrName();
+  // Device-modeled inner engines stay on the modeled clock (the merge
+  // reproduces the unsharded launch accounting); CPU inner engines run
+  // shard-concurrently, so the honest clock is the critical path.
+  info.clock = inner.clock == ClockDomain::kModeledDevice
+                   ? ClockDomain::kModeledDevice
+                   : ClockDomain::kCriticalPath;
+  info.supports_remove_query = inner.supports_remove_query;
+  info.num_shards = shards_.size();
+  info.inner_spec = inner.canonical_spec;
+  return info;
 }
 
 ShardedEngine::~ShardedEngine() {
@@ -121,7 +136,7 @@ void ShardedEngine::BeginBatch(const BatchOptions& options) {
   }
 }
 
-void ShardedEngine::ForEachShard(
+double ShardedEngine::ForEachShard(
     const BatchOptions& options,
     const std::function<void(Shard&, const BatchOptions&)>& phase_body) {
   std::vector<double> phase_seconds(shards_.size(), 0.0);
@@ -132,6 +147,11 @@ void ShardedEngine::ForEachShard(
       // ShardBusySeconds docs).
       ThreadCpuTimer timer;
       Shard& shard = shards_[s];
+      // A nested sharded inner engine does its work on its *own* pool
+      // (this worker blocks on its barrier, accruing ~no thread-CPU),
+      // reporting the cost as scratch critical path instead — charge
+      // the delta so nesting keeps the clock honest.
+      double inner_critical_before = shard.scratch.critical_path_seconds;
       BatchOptions inner = options;
       inner.sink = options.sink != nullptr ? shard.lane.get() : nullptr;
       phase_body(shard, inner);
@@ -139,7 +159,9 @@ void ShardedEngine::ForEachShard(
       // maintain the shard-local counts, exactly as the unsharded
       // driver would between phases.
       Engine::FlushPhase(inner, &shard.scratch);
-      phase_seconds[s] = timer.ElapsedSeconds();
+      phase_seconds[s] =
+          timer.ElapsedSeconds() +
+          (shard.scratch.critical_path_seconds - inner_critical_before);
     });
   } catch (...) {
     // A shard failing mid-phase may leave the replicas diverged (some
@@ -157,6 +179,7 @@ void ShardedEngine::ForEachShard(
     slowest = std::max(slowest, phase_seconds[s]);
   }
   critical_path_seconds_ += slowest;
+  return slowest;
 }
 
 void ShardedEngine::ResetServingStats() {
@@ -225,9 +248,10 @@ void ShardedEngine::RunMatchPhase(const UpdateBatch& batch, bool positive,
   // Engine::ProcessBatch and StreamPipeline run negative -> update ->
   // positive), so it doubles as the per-batch reset point.
   if (!positive) BeginBatch(options);
-  ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
-    shard.engine->RunMatchPhase(batch, positive, inner, &shard.scratch);
-  });
+  report->critical_path_seconds +=
+      ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+        shard.engine->RunMatchPhase(batch, positive, inner, &shard.scratch);
+      });
   MergeIntoReport(options, report);
 }
 
@@ -236,9 +260,10 @@ void ShardedEngine::RunUpdatePhase(const UpdateBatch& batch,
                                    BatchReport* report) {
   // Every shard applies the batch to its own replica, keeping all
   // host graphs (and any late AddQuery) in lockstep.
-  ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
-    shard.engine->RunUpdatePhase(batch, inner, &shard.scratch);
-  });
+  report->critical_path_seconds +=
+      ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+        shard.engine->RunUpdatePhase(batch, inner, &shard.scratch);
+      });
   MergeIntoReport(options, report);
 }
 
@@ -313,20 +338,43 @@ void ShardedEngine::DispatchLoop() {
 }
 
 void RegisterServeEngines(EngineRegistry* registry) {
-  registry->RegisterPrefix(
-      "sharded",
-      [](const std::string& rest, const LabeledGraph& g,
-         const EngineOptions& options) {
-        std::optional<ShardedSpec> spec = ParseShardedSpec(rest);
-        GAMMA_CHECK_MSG(spec.has_value(), "bad sharded engine spec");
-        return std::unique_ptr<Engine>(new ShardedEngine(
-            spec->inner, spec->num_shards, g, options));
-      },
-      [](const std::string& rest) {
-        std::optional<ShardedSpec> spec = ParseShardedSpec(rest);
-        return spec.has_value() &&
-               EngineRegistry::Instance().Has(spec->inner);
-      });
+  EngineDef def;
+  def.example = "sharded(gamma, shards=8)";
+  def.min_children = 1;
+  def.max_children = 1;
+  def.option_keys = {
+      {"shards", "inner engine instances to partition queries across",
+       // Structural key: consumed by the factory below, validated here.
+       [](const std::string& v, EngineOptions*) {
+         size_t n;
+         return ParseSizeValue(v, &n) && n >= 1 &&
+                n <= 4096;  // sanity bound, not a target
+       }},
+      {"threads", "phase fan-out worker threads (0 = one per shard)",
+       [](const std::string& v, EngineOptions* o) {
+         size_t n;
+         if (!ParseSizeValue(v, &n)) return false;
+         o->serve_threads = n;
+         return true;
+       }},
+      {"queue", "SubmitBatch ingest queue capacity (back-pressure bound)",
+       [](const std::string& v, EngineOptions* o) {
+         size_t n;
+         if (!ParseSizeValue(v, &n) || n == 0) return false;
+         o->serve_queue_capacity = n;
+         return true;
+       }},
+  };
+  def.factory = [](const EngineSpec& spec, const LabeledGraph& g,
+                   const EngineOptions& options) {
+    size_t num_shards = ShardedEngine::kDefaultShards;
+    if (const std::string* v = spec.FindOption("shards")) {
+      ParseSizeValue(*v, &num_shards);  // validated by the key table
+    }
+    return std::unique_ptr<Engine>(
+        new ShardedEngine(spec.children.front(), num_shards, g, options));
+  };
+  registry->Register("sharded", std::move(def));
 }
 
 }  // namespace bdsm::serve

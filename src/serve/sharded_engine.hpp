@@ -52,12 +52,15 @@
 /// futures first (the engine itself is not a concurrency barrier for
 /// its mutating API, same as every other Engine).
 ///
-/// Construction: directly, or through the registry's composite-spec
-/// syntax — `MakeEngine("sharded:gamma\@8", g)` builds 8 gamma shards;
-/// the shard count defaults to ShardedEngine::kDefaultShards when
-/// "\@N" is omitted.  EngineOptions::serve_threads and
-/// EngineOptions::serve_queue_capacity tune the pool and the ingest
-/// bound.
+/// Construction: directly, or through the registry's structured spec
+/// grammar — `MakeEngine("sharded(gamma, shards=8)", g)` builds 8
+/// gamma shards (the legacy `"sharded:gamma\@8"` sugar still parses to
+/// the same tree); the shard count defaults to
+/// ShardedEngine::kDefaultShards when `shards=` is omitted.  The inner
+/// spec is arbitrary — option overrides and nested wrappers compose,
+/// e.g. `sharded(gamma(result_cap=100000), shards=4, threads=2)`.
+/// Inline keys `threads=` / `queue=` (or EngineOptions::serve_threads /
+/// serve_queue_capacity) tune the pool and the ingest bound.
 #pragma once
 
 #include <atomic>
@@ -76,37 +79,34 @@
 
 namespace bdsm::serve {
 
-/// A parsed "inner\@N" composite spec (the part after "sharded:").
-struct ShardedSpec {
-  std::string inner;   ///< registry name backing every shard
-  size_t num_shards;   ///< N >= 1
-};
-
-/// Parses "inner" or "inner\@N".  Returns nullopt when N is malformed
-/// or zero, or when `inner` is itself a composite spec (no nesting).
-/// Does NOT check that `inner` is registered — pair with
-/// EngineRegistry::Has.
-std::optional<ShardedSpec> ParseShardedSpec(const std::string& spec);
-
 class ShardedEngine final : public Engine {
  public:
-  /// Shard count used when a "sharded:inner" spec omits "\@N".
+  /// Shard count used when a sharded spec omits `shards=N`.
   static constexpr size_t kDefaultShards = 4;
 
-  /// Builds `num_shards` instances of registry engine `inner`, all over
-  /// the same initial graph.  `options` configures the inner engines
-  /// and, via serve_threads / serve_queue_capacity, this layer.
+  /// Builds `num_shards` instances of the inner engine spec, all over
+  /// the same initial graph.  `inner` may be any registry spec tree
+  /// (option overrides and nested wrappers included).  `options`
+  /// configures the inner engines and, via serve_threads /
+  /// serve_queue_capacity, this layer.  Throws EngineSpecError when
+  /// the inner spec does not resolve.
+  ShardedEngine(const EngineSpec& inner, size_t num_shards,
+                const LabeledGraph& g, const EngineOptions& options = {});
+  /// Convenience: parses `inner` ("gamma", "gamma(result_cap=5)", ...).
   ShardedEngine(const std::string& inner, size_t num_shards,
                 const LabeledGraph& g, const EngineOptions& options = {});
   /// Drains the ingest queue (every accepted batch is processed and its
   /// future fulfilled), then stops the dispatcher and the pool.
   ~ShardedEngine() override;
 
-  /// The full composite spec, e.g. "sharded:gamma\@4".
+  /// The canonical spec, e.g. "sharded(gamma, shards=4)".
   const char* Name() const override { return name_.c_str(); }
-  bool ModelsDevice() const override {
-    return shards_.front().engine->ModelsDevice();
-  }
+
+  /// Capabilities: the inner engine's clock (modeled device stays
+  /// modeled; CPU inner engines switch to the critical-path clock,
+  /// since phases run shard-concurrently), this layer's shard count,
+  /// and the inner engine's canonical spec.
+  EngineInfo Describe() const override;
 
   /// Assigns the query to a shard round-robin by public id — a
   /// deterministic placement, so a given add/remove sequence always
@@ -211,10 +211,11 @@ class ShardedEngine final : public Engine {
   /// sink; called when the first phase of a batch starts.
   void BeginBatch(const BatchOptions& options);
   /// Runs one phase body on every shard via the pool, streaming through
-  /// the shard's lane, then merges scratch into `report`.
-  void ForEachShard(const BatchOptions& options,
-                    const std::function<void(Shard&, const BatchOptions&)>&
-                        phase_body);
+  /// the shard's lane, then merges scratch into `report`.  Returns the
+  /// phase's critical path (the slowest shard's thread-CPU seconds).
+  double ForEachShard(const BatchOptions& options,
+                      const std::function<void(Shard&, const BatchOptions&)>&
+                          phase_body);
   /// Copies per-query state from shard scratch into the public report
   /// (slots in registration order) and rebuilds the aggregates.
   void MergeIntoReport(const BatchOptions& options, BatchReport* report);
@@ -241,11 +242,11 @@ class ShardedEngine final : public Engine {
   std::thread dispatcher_;
 };
 
-/// Hook called by the EngineRegistry constructor so composite serving
-/// specs ("sharded:inner\@N") are always available, whichever
-/// translation unit first touches the registry.  (Self-registration
-/// from a static initializer would be dead-stripped out of the static
-/// library when no serve/ symbol is referenced directly.)
+/// Hook called by the EngineRegistry constructor so the "sharded"
+/// serving wrapper is always available, whichever translation unit
+/// first touches the registry.  (Self-registration from a static
+/// initializer would be dead-stripped out of the static library when
+/// no serve/ symbol is referenced directly.)
 void RegisterServeEngines(EngineRegistry* registry);
 
 }  // namespace bdsm::serve

@@ -1,6 +1,5 @@
 #include "workload/scenario_runner.hpp"
 
-#include "serve/sharded_engine.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
@@ -76,13 +75,10 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   std::unique_ptr<Engine> engine = MakeEngine(engine_spec, graph_, options);
   for (const QueryGraph& q : queries_) engine->AddQuery(q);
 
-  auto* sharded = dynamic_cast<serve::ShardedEngine*>(engine.get());
-  const bool modeled = engine->ModelsDevice();
-  out.latency_metric = modeled ? "modeled-device"
-                       : sharded != nullptr ? "critical-path"
-                                            : "host-wall";
-  if (sharded != nullptr) sharded->ResetServingStats();
-  double critical_prev = 0.0;
+  // The engine declares its own clock — no downcasts, no name-sniffing.
+  const EngineInfo info = engine->Describe();
+  out.canonical_spec = info.canonical_spec;
+  out.latency_metric = ClockDomainName(info.clock);
 
   out.batches.reserve(stream_.size());
   for (const UpdateBatch& batch : stream_) {
@@ -94,14 +90,16 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
       m.negative_matches += qr.num_negative;
       if (qr.Truncated()) ++m.truncated_queries;
     }
-    if (modeled) {
-      m.latency_seconds = report.ModeledSeconds(options.gamma.device);
-    } else if (sharded != nullptr) {
-      double critical_now = sharded->CriticalPathSeconds();
-      m.latency_seconds = critical_now - critical_prev;
-      critical_prev = critical_now;
-    } else {
-      m.latency_seconds = report.host_wall_seconds;
+    switch (info.clock) {
+      case ClockDomain::kModeledDevice:
+        m.latency_seconds = report.ModeledSeconds(options.gamma.device);
+        break;
+      case ClockDomain::kCriticalPath:
+        m.latency_seconds = report.critical_path_seconds;
+        break;
+      case ClockDomain::kHostWall:
+        m.latency_seconds = report.host_wall_seconds;
+        break;
     }
     out.total_ops += m.ops;
     out.total_matches += m.positive_matches + m.negative_matches;

@@ -4,18 +4,19 @@
 /// The ScenarioRunner is the SLO-style driver behind `bench_scenarios`
 /// and `example_cli --scenario`: it materializes a scenario (dataset
 /// twin + extracted query set + generated or replayed update stream),
-/// runs the stream through an engine built by name — "gamma", "tf",
-/// "sharded:gamma\@4", anything the EngineRegistry resolves — and
-/// reports per-batch latency percentiles (p50/p95/p99), throughput, and
-/// truncation counts.
+/// runs the stream through an engine built from any spec — "gamma",
+/// "tf", "sharded(gamma, shards=4)", anything the EngineRegistry
+/// resolves — and reports per-batch latency percentiles (p50/p95/p99),
+/// throughput, and truncation counts.
 ///
 /// Latency metric (one core, no wall-clock parallelism claims — see
-/// docs/BENCHMARKS.md): device engines report modeled device seconds
-/// (`BatchReport::ModeledSeconds`); sharded CPU engines report the
-/// per-batch *critical path* (max-over-shards thread-CPU seconds per
-/// phase, `ShardedEngine::CriticalPathSeconds`); plain CPU engines
-/// report host wall seconds.  `ScenarioReport::latency_metric` names
-/// which clock produced the numbers.
+/// docs/BENCHMARKS.md): the runner reads the clock domain from
+/// `Engine::Describe()` — modeled device seconds
+/// (`BatchReport::ModeledSeconds`) for device engines, the per-batch
+/// *critical path* (`BatchReport::critical_path_seconds`) for sharded
+/// CPU engines, host wall seconds otherwise.
+/// `ScenarioReport::latency_metric` names which clock produced the
+/// numbers.
 #pragma once
 
 #include <string>
@@ -39,9 +40,10 @@ struct ScenarioBatchMetric {
 /// Everything one (scenario, engine) run produced.
 struct ScenarioReport {
   std::string scenario;
-  std::string engine;
+  std::string engine;          ///< the spec string the caller passed
+  std::string canonical_spec;  ///< Engine::Describe() provenance
   uint64_t seed = 0;
-  std::string latency_metric;  ///< "modeled-device"|"critical-path"|"host-wall"
+  std::string latency_metric;  ///< ClockDomainName of the engine's clock
 
   size_t num_queries = 0;
   size_t total_ops = 0;
@@ -78,7 +80,9 @@ class ScenarioRunner {
   bool RecordTrace(const std::string& path) const;
 
   /// Runs the whole stream through a freshly built engine.  `options`
-  /// tunes budgets/caps (EngineOptions defaults otherwise).
+  /// tunes budgets/caps (EngineOptions defaults otherwise; inline
+  /// spec overrides win).  Throws EngineSpecError on a bad spec —
+  /// validate upfront with EngineRegistry::Validate to fail fast.
   ScenarioReport Run(const std::string& engine_spec,
                      const EngineOptions& options = {}) const;
 

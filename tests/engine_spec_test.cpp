@@ -1,0 +1,224 @@
+/// Spec-layer tests: EngineSpec parse/print round-trips across every
+/// registered engine (nesting, aliases, case and whitespace
+/// normalization), the friendly error paths (unknown engine / unknown
+/// option key / bad value / bad nesting / trailing garbage — all
+/// EngineSpecError, never an abort), registry validation, and the
+/// legacy-sugar equivalence: "sharded:gamma@2" and
+/// "sharded(gamma, shards=2)" build engines whose BatchReports are
+/// bit-identical on a seeded scenario stream.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/engine_spec.hpp"
+#include "workload/scenario_runner.hpp"
+
+namespace bdsm {
+namespace {
+
+std::string ErrorOf(const std::string& spec) {
+  std::optional<std::string> err = EngineRegistry::Instance().Validate(spec);
+  return err.value_or("");
+}
+
+TEST(EngineSpecTest, ParseToStringRoundTripsEveryRegisteredEngine) {
+  for (const std::string& name : EngineNames()) {
+    SCOPED_TRACE(name);
+    EngineSpec spec = EngineSpec::Parse(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_TRUE(spec.children.empty());
+    EXPECT_TRUE(spec.options.empty());
+    EXPECT_EQ(spec.ToString(), name);
+    EXPECT_EQ(EngineSpec::Parse(spec.ToString()), spec);
+  }
+}
+
+TEST(EngineSpecTest, ParseToStringRoundTripsNestedSpecs) {
+  for (const char* text : {
+           "gamma(result_cap=100000)",
+           "sharded(gamma, shards=8)",
+           "sharded(gamma, shards=8, threads=4)",
+           "sharded(gamma(result_cap=100000, budget=0.5), shards=2)",
+           "sharded(sharded(rf, shards=2), shards=2, queue=16)",
+           "tf(result_cap=100, budget=1.5)",
+       }) {
+    SCOPED_TRACE(text);
+    EngineSpec spec = EngineSpec::Parse(text);
+    EXPECT_EQ(spec.ToString(), text);  // the inputs are canonical
+    EXPECT_EQ(EngineSpec::Parse(spec.ToString()), spec);
+  }
+}
+
+TEST(EngineSpecTest, CaseAndWhitespaceNormalize) {
+  EngineSpec canonical = EngineSpec::Parse("sharded(gamma, shards=8)");
+  EXPECT_EQ(EngineSpec::Parse("SHARDED(Gamma,shards=8)"), canonical);
+  EXPECT_EQ(EngineSpec::Parse("  sharded ( gamma , shards = 8 )  "),
+            canonical);
+  EXPECT_EQ(EngineSpec::Parse("sharded(GAMMA, SHARDS=8)"), canonical);
+  // Legacy sugar tolerates surrounding whitespace too (an --engine
+  // comma list splits into " sharded:gamma@8"-shaped fragments).
+  EXPECT_EQ(EngineSpec::Parse(" sharded:gamma@8 "),
+            EngineSpec::Parse("sharded:gamma@8"));
+}
+
+TEST(EngineSpecTest, OptionsKeepOrderAndLastBindingWins) {
+  EngineSpec spec = EngineSpec::Parse("gamma(result_cap=5, result_cap=9)");
+  ASSERT_EQ(spec.options.size(), 2u);  // preserved for faithful printing
+  ASSERT_NE(spec.FindOption("result_cap"), nullptr);
+  EXPECT_EQ(*spec.FindOption("result_cap"), "9");  // last one wins
+  EXPECT_EQ(spec.FindOption("no-such-key"), nullptr);
+}
+
+TEST(EngineSpecTest, LegacySugarDesugarsToCanonicalTree) {
+  EXPECT_EQ(EngineSpec::Parse("sharded:gamma@8"),
+            EngineSpec::Parse("sharded(gamma, shards=8)"));
+  EXPECT_EQ(EngineSpec::Parse("sharded:gamma"),
+            EngineSpec::Parse("sharded(gamma)"));
+  EXPECT_EQ(EngineSpec::Parse("SHARDED:TurboFlux@2"),
+            EngineSpec::Parse("sharded(turboflux, shards=2)"));
+  EXPECT_EQ(EngineSpec::Parse("sharded:gamma@8").ToString(),
+            "sharded(gamma, shards=8)");
+}
+
+TEST(EngineSpecTest, ParseErrorsNameTheBadToken) {
+  for (const char* bad : {
+           "",                    // no name at all
+           "gamma(",              // unterminated argument list
+           "gamma()",             // empty argument list
+           "gamma(result_cap=)",  // missing value
+           "gamma(=5)",           // missing key
+           "gamma)x",             // trailing garbage
+           "gamma extra",         // trailing garbage, space-separated
+           "sharded(gamma,)",     // dangling comma
+           "sharded:gamma@",      // legacy: empty shard count
+           "sharded:gamma@0",     // legacy: zero shards
+           "sharded:gamma@x",     // legacy: non-numeric shards
+           "sharded:gamma@2@3",   // legacy: double @
+           "sharded:sharded:gamma",  // legacy specs do not nest
+           "a:b(c)",              // ':' only valid in the legacy shape
+       }) {
+    SCOPED_TRACE(bad);
+    EXPECT_THROW(EngineSpec::Parse(bad), EngineSpecError);
+  }
+  try {
+    EngineSpec::Parse("gamma(result_cap=100000) trailing");
+    FAIL() << "expected EngineSpecError";
+  } catch (const EngineSpecError& e) {
+    EXPECT_NE(std::string(e.what()).find("trailing"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EngineSpecTest, UnknownEngineErrorListsRegisteredNames) {
+  std::string err = ErrorOf("no-such-engine");
+  EXPECT_NE(err.find("unknown engine \"no-such-engine\""),
+            std::string::npos)
+      << err;
+  for (const std::string& name : EngineNames()) {
+    EXPECT_NE(err.find(name), std::string::npos) << name << " in " << err;
+  }
+  // The same friendly error surfaces from Make as a throw, not an abort.
+  LabeledGraph g({0, 1});
+  EXPECT_THROW((void)MakeEngine("no-such-engine", g), EngineSpecError);
+  // Unknown names nested inside a wrapper are caught too.
+  EXPECT_NE(ErrorOf("sharded(no-such-engine, shards=2)").find(
+                "unknown engine"),
+            std::string::npos);
+}
+
+TEST(EngineSpecTest, UnknownOptionKeyErrorListsValidKeys) {
+  std::string err = ErrorOf("gamma(frobnicate=1)");
+  EXPECT_NE(err.find("unknown option \"frobnicate\""), std::string::npos)
+      << err;
+  for (const char* key : {"result_cap", "budget", "segment_capacity",
+                          "coalesced", "aggressive_coalescing"}) {
+    EXPECT_NE(err.find(key), std::string::npos) << key << " in " << err;
+  }
+  // CSM engines have their own (smaller) key table.
+  std::string csm_err = ErrorOf("tf(segment_capacity=32)");
+  EXPECT_NE(csm_err.find("unknown option"), std::string::npos) << csm_err;
+  EXPECT_NE(csm_err.find("result_cap"), std::string::npos) << csm_err;
+}
+
+TEST(EngineSpecTest, BadValuesAndBadNestingAreRejected) {
+  EXPECT_NE(ErrorOf("gamma(result_cap=many)").find("bad value"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("gamma(segment_capacity=33)").find("bad value"),
+            std::string::npos);  // not a power of two
+  EXPECT_NE(ErrorOf("sharded(gamma, shards=0)").find("bad value"),
+            std::string::npos);
+  // Leaf engines take no inner spec; wrappers need exactly one.
+  EXPECT_NE(ErrorOf("gamma(tf)").find("no inner engine spec"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("sharded(shards=2)").find("exactly one"),
+            std::string::npos);
+  EXPECT_NE(ErrorOf("sharded(gamma, tf)").find("exactly one"),
+            std::string::npos);
+  // Valid specs validate clean.
+  EXPECT_EQ(ErrorOf("sharded(gamma(result_cap=10), shards=2)"), "");
+  EXPECT_EQ(ErrorOf("multi(coalesced=false)"), "");
+}
+
+TEST(EngineSpecTest, InlineOptionsConfigureTheEngine) {
+  // A result cap of 1 via the spec must truncate exactly like the same
+  // cap passed through EngineOptions.
+  workload::ScenarioRunner runner(*workload::FindScenario("smoke"), 7);
+  EngineOptions capped;
+  capped.gamma.result_cap = 1;
+  workload::ScenarioReport via_options = runner.Run("gamma", capped);
+  workload::ScenarioReport via_spec = runner.Run("gamma(result_cap=1)");
+  EXPECT_GT(via_spec.truncated_queries, 0u);
+  EXPECT_EQ(via_spec.truncated_queries, via_options.truncated_queries);
+  EXPECT_EQ(via_spec.total_matches, via_options.total_matches);
+}
+
+void ExpectBitIdenticalReports(const BatchReport& a, const BatchReport& b) {
+  ASSERT_EQ(a.queries.size(), b.queries.size());
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    SCOPED_TRACE("query " + std::to_string(i));
+    const QueryReport& qa = a.queries[i];
+    const QueryReport& qb = b.queries[i];
+    EXPECT_EQ(qa.id, qb.id);
+    EXPECT_EQ(qa.positive_matches, qb.positive_matches);
+    EXPECT_EQ(qa.negative_matches, qb.negative_matches);
+    EXPECT_EQ(qa.num_positive, qb.num_positive);
+    EXPECT_EQ(qa.num_negative, qb.num_negative);
+    EXPECT_EQ(qa.timed_out, qb.timed_out);
+    EXPECT_EQ(qa.overflowed, qb.overflowed);
+    EXPECT_EQ(qa.update_stats.makespan_ticks, qb.update_stats.makespan_ticks);
+    EXPECT_EQ(qa.match_stats.makespan_ticks, qb.match_stats.makespan_ticks);
+    EXPECT_EQ(qa.match_stats.total_busy_ticks,
+              qb.match_stats.total_busy_ticks);
+  }
+  EXPECT_EQ(a.update_stats.makespan_ticks, b.update_stats.makespan_ticks);
+  EXPECT_EQ(a.match_stats.makespan_ticks, b.match_stats.makespan_ticks);
+  EXPECT_EQ(a.match_stats.tasks_executed, b.match_stats.tasks_executed);
+}
+
+// The legacy sugar is sugar only: "sharded:gamma@2" and
+// "sharded(gamma, shards=2)" digest the same seeded scenario stream
+// into bit-identical reports, batch by batch.
+TEST(EngineSpecTest, LegacySugarBuildsBitIdenticalEngine) {
+  workload::ScenarioRunner runner(*workload::FindScenario("smoke"), 2024);
+  auto legacy = MakeEngine("sharded:gamma@2", runner.graph());
+  auto canonical = MakeEngine("sharded(gamma, shards=2)", runner.graph());
+  EXPECT_STREQ(legacy->Name(), canonical->Name());
+  EXPECT_EQ(legacy->Describe().canonical_spec,
+            canonical->Describe().canonical_spec);
+  for (const QueryGraph& q : runner.queries()) {
+    legacy->AddQuery(q);
+    canonical->AddQuery(q);
+  }
+  ASSERT_FALSE(runner.stream().empty());
+  for (const UpdateBatch& batch : runner.stream()) {
+    BatchReport lr = legacy->ProcessBatch(batch);
+    BatchReport cr = canonical->ProcessBatch(batch);
+    ExpectBitIdenticalReports(lr, cr);
+    EXPECT_GT(lr.critical_path_seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace bdsm

@@ -88,27 +88,48 @@ TEST(EngineRegistryTest, AliasesAndCaseInsensitivity) {
   }
 }
 
-TEST(EngineRegistryTest, ModelsDeviceSplitsFamilies) {
+TEST(EngineRegistryTest, DescribeSplitsClockDomains) {
   LabeledGraph g = GenerateUniformGraph(40, 90, 2, 1, 13);
-  EXPECT_TRUE(MakeEngine("gamma", g)->ModelsDevice());
-  EXPECT_TRUE(MakeEngine("multi", g)->ModelsDevice());
-  for (const char* name : {"tf", "sym", "rf", "cl", "gf"}) {
-    EXPECT_FALSE(MakeEngine(name, g)->ModelsDevice()) << name;
+  for (const char* name : {"gamma", "multi"}) {
+    EngineInfo info = MakeEngine(name, g)->Describe();
+    EXPECT_EQ(info.clock, ClockDomain::kModeledDevice) << name;
+    EXPECT_EQ(info.canonical_spec, name);
+    EXPECT_EQ(info.num_shards, 1u);
+    EXPECT_TRUE(info.supports_remove_query);
   }
+  for (const char* name : {"tf", "sym", "rf", "cl", "gf"}) {
+    EngineInfo info = MakeEngine(name, g)->Describe();
+    EXPECT_EQ(info.clock, ClockDomain::kHostWall) << name;
+    EXPECT_EQ(info.canonical_spec, name);
+  }
+  // Aliases canonicalize in the provenance spec.
+  EXPECT_EQ(MakeEngine("TurboFlux", g)->Describe().canonical_spec, "tf");
+  EXPECT_STREQ(ClockDomainName(ClockDomain::kModeledDevice),
+               "modeled-device");
+  EXPECT_STREQ(ClockDomainName(ClockDomain::kCriticalPath),
+               "critical-path");
+  EXPECT_STREQ(ClockDomainName(ClockDomain::kHostWall), "host-wall");
 }
 
 TEST(EngineRegistryTest, CustomRegistration) {
   LabeledGraph g = GenerateUniformGraph(40, 90, 2, 1, 14);
   EngineRegistry::Instance().Register(
       "gamma-aggressive",
-      [](const LabeledGraph& graph, const EngineOptions& options) {
+      [](const EngineSpec&, const LabeledGraph& graph,
+         const EngineOptions& options) {
         EngineOptions tuned = options;
         tuned.gamma.aggressive_coalescing = true;
         return EngineRegistry::Instance().Make("gamma", graph, tuned);
       });
   auto engine = MakeEngine("gamma-aggressive", g);
   EXPECT_STREQ(engine->Name(), "gamma");
+  // Provenance names the spec that rebuilds this engine — the
+  // delegating factory's nested Make("gamma") stamp must not leak.
+  EXPECT_EQ(engine->Describe().canonical_spec, "gamma-aggressive");
   EXPECT_TRUE(EngineRegistry::Instance().Has("gamma-aggressive"));
+  // The shorthand registration accepts no inline options or children.
+  EXPECT_FALSE(EngineRegistry::Instance().Has("gamma-aggressive(x=1)"));
+  EXPECT_FALSE(EngineRegistry::Instance().Has("gamma-aggressive(gamma)"));
 }
 
 // Acceptance bar: one identical fixed-seed batch through every engine

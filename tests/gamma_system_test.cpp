@@ -15,14 +15,6 @@
 namespace bdsm {
 namespace {
 
-QueryGraph Triangle() {
-  QueryGraph q({0, 0, 1});
-  q.AddEdge(0, 1);
-  q.AddEdge(1, 2);
-  q.AddEdge(0, 2);
-  return q;
-}
-
 TEST(GammaSystemTest, AllDatasetTwinsSmoke) {
   // Every dataset twin must run end-to-end with an extracted query.
   for (const DatasetSpec& spec : AllDatasets()) {

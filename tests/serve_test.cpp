@@ -19,7 +19,6 @@
 namespace bdsm {
 namespace {
 
-using serve::ParseShardedSpec;
 using serve::ShardedEngine;
 
 const char* const kAllEngines[] = {"gamma", "multi", "tf", "sym",
@@ -439,51 +438,75 @@ TEST(ShardedEngineTest, StreamPipelineOverShardedIsBitIdentical) {
   }
 }
 
-TEST(ShardedSpecTest, ParseAndRegistry) {
-  auto spec = ParseShardedSpec("gamma@8");
-  ASSERT_TRUE(spec.has_value());
-  EXPECT_EQ(spec->inner, "gamma");
-  EXPECT_EQ(spec->num_shards, 8u);
-
-  spec = ParseShardedSpec("rf");
-  ASSERT_TRUE(spec.has_value());
-  EXPECT_EQ(spec->inner, "rf");
-  EXPECT_EQ(spec->num_shards, ShardedEngine::kDefaultShards);
-
-  EXPECT_FALSE(ParseShardedSpec("").has_value());
-  EXPECT_FALSE(ParseShardedSpec("gamma@").has_value());
-  EXPECT_FALSE(ParseShardedSpec("gamma@0").has_value());
-  EXPECT_FALSE(ParseShardedSpec("gamma@x").has_value());
-  EXPECT_FALSE(ParseShardedSpec("gamma@2@3").has_value());
-  EXPECT_FALSE(ParseShardedSpec("sharded:gamma@2").has_value());  // no nesting
-
+TEST(ShardedSpecTest, CanonicalAndLegacySpecsResolve) {
   EngineRegistry& reg = EngineRegistry::Instance();
+  // Canonical grammar and the legacy sugar both validate.
+  EXPECT_TRUE(reg.Has("sharded(gamma, shards=2)"));
+  EXPECT_TRUE(reg.Has("sharded(turboflux)"));  // inner aliases resolve
   EXPECT_TRUE(reg.Has("sharded:gamma@2"));
-  EXPECT_TRUE(reg.Has("sharded:turboflux"));  // inner aliases resolve
-  EXPECT_TRUE(reg.Has("SHARDED:Gamma@2"));    // case-insensitive
+  EXPECT_TRUE(reg.Has("sharded:turboflux"));
+  EXPECT_TRUE(reg.Has("SHARDED:Gamma@2"));  // case-insensitive
   EXPECT_FALSE(reg.Has("sharded:no-such-engine@2"));
   EXPECT_FALSE(reg.Has("sharded:gamma@0"));
+  EXPECT_FALSE(reg.Has("sharded(gamma, shards=0)"));
   EXPECT_FALSE(reg.Has("nosuchprefix:gamma@2"));
+  EXPECT_FALSE(reg.Has("sharded"));  // a wrapper needs an inner spec
+  // Wrappers nest recursively in the canonical grammar.
+  EXPECT_TRUE(reg.Has("sharded(sharded(rf, shards=2), shards=2)"));
 
-  // Prefix specs don't pollute the plain-name listing.
+  // Composite specs don't pollute the plain-name listing.
   for (const std::string& n : EngineNames()) {
-    EXPECT_EQ(n.find(':'), std::string::npos) << n;
+    EXPECT_EQ(n.find('('), std::string::npos) << n;
   }
 
   LabeledGraph g = GenerateUniformGraph(60, 150, 2, 1, 131);
   auto engine = MakeEngine("SHARDED:Gamma@2", g);
-  EXPECT_STREQ(engine->Name(), "sharded:gamma@2");
-  EXPECT_TRUE(engine->ModelsDevice());
+  EXPECT_STREQ(engine->Name(), "sharded(gamma, shards=2)");
+  EngineInfo info = engine->Describe();
+  EXPECT_EQ(info.clock, ClockDomain::kModeledDevice);
+  EXPECT_EQ(info.canonical_spec, "sharded(gamma, shards=2)");
+  EXPECT_EQ(info.num_shards, 2u);
+  EXPECT_EQ(info.inner_spec, "gamma");
   auto* sharded = dynamic_cast<ShardedEngine*>(engine.get());
   ASSERT_NE(sharded, nullptr);
   EXPECT_EQ(sharded->NumShards(), 2u);
 
   auto defaulted = MakeEngine("sharded:gf", g);
   EXPECT_STREQ(defaulted->Name(),
-               ("sharded:gf@" +
-                std::to_string(ShardedEngine::kDefaultShards))
+               ("sharded(gf, shards=" +
+                std::to_string(ShardedEngine::kDefaultShards) + ")")
                    .c_str());
-  EXPECT_FALSE(defaulted->ModelsDevice());
+  // The stamped canonical spec materializes the defaulted shard count
+  // (Name() and provenance agree).
+  EXPECT_EQ(defaulted->Describe().canonical_spec,
+            std::string(defaulted->Name()));
+  EXPECT_EQ(defaulted->Describe().clock, ClockDomain::kCriticalPath);
+}
+
+// Nested wrappers must keep the critical-path clock honest: the outer
+// layer's workers block on the inner pools (accruing ~no thread-CPU of
+// their own), so the outer critical path has to charge each shard's
+// inner critical path, not just the worker's own time.
+TEST(ShardedNestingTest, NestedCriticalPathChargesInnerLayer) {
+  LabeledGraph g = GenerateUniformGraph(300, 1400, 2, 1, 77);
+  auto flat = MakeEngine("sharded(rf, shards=4)", g);
+  auto nested = MakeEngine("sharded(sharded(rf, shards=2), shards=2)", g);
+  EXPECT_EQ(nested->Describe().clock, ClockDomain::kCriticalPath);
+  EXPECT_EQ(nested->Describe().num_shards, 2u);
+  EXPECT_EQ(nested->Describe().inner_spec, "sharded(rf, shards=2)");
+  for (Engine* e : {flat.get(), nested.get()}) {
+    for (const QueryGraph& q : FiveQueries()) e->AddQuery(q);
+  }
+  UpdateStreamGenerator gen(78);
+  UpdateBatch batch = SanitizeBatch(g, gen.MakeMixed(g, 60, 2, 1, 0));
+  BatchReport fr = flat->ProcessBatch(batch);
+  BatchReport nr = nested->ProcessBatch(batch);
+  EXPECT_EQ(fr.TotalMatches(), nr.TotalMatches());
+  EXPECT_GT(fr.critical_path_seconds, 0.0);
+  EXPECT_GT(nr.critical_path_seconds, 0.0);
+  // Both decompose the same work 4 ways; without inner-layer charging
+  // the nested clock would be orders of magnitude below the flat one.
+  EXPECT_GT(nr.critical_path_seconds, 0.1 * fr.critical_path_seconds);
 }
 
 }  // namespace

@@ -143,7 +143,7 @@ TEST(StatsTest, SamplesPercentiles) {
 TEST(TimerTest, MeasuresElapsed) {
   Timer t;
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(double(i));
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(double(i));
   double e1 = t.ElapsedSeconds();
   EXPECT_GT(e1, 0.0);
   EXPECT_GE(t.ElapsedSeconds(), e1);
