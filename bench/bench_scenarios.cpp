@@ -8,6 +8,8 @@
 ///   bench_scenarios [--scenario NAME|all] [--engine SPEC[,SPEC...]]
 ///                   [--seed N] [--json PATH] [--record PATH]
 ///                   [--replay PATH] [--budget SECONDS] [--list]
+///                   [--checkpoint-dir DIR] [--checkpoint-every N]
+///                   [--restart-at K]
 ///
 /// Defaults: --scenario smoke, --engine gamma, --seed 2024
 /// (workload::kDefaultScenarioSeed).  Engines may be any registry spec
@@ -17,6 +19,19 @@
 /// validated before the first run starts.  --record freezes the
 /// generated stream as a trace artifact; --replay substitutes a
 /// recorded trace for the generated stream.
+///
+/// Persistence (src/persist/; docs/PERSISTENCE.md):
+///   --checkpoint-dir DIR   checkpoint the run into DIR — base
+///                          snapshot + WAL tee + snapshot every
+///                          --checkpoint-every batches (default 4)
+///   --restart-at K         the `restart` scenario drill: run cold,
+///                          re-run killed after K batches
+///                          (checkpointing into --checkpoint-dir, or a
+///                          dir next to it), warm-restore, finish the
+///                          stream, verify the stitched run equals the
+///                          cold one batch for batch.  Exits 1 on
+///                          divergence — this is the CI smoke gate
+///                          `scenario_restart`.
 ///
 /// Latency metric per engine (one CPU core; never wall-clock
 /// parallelism claims): modeled device seconds for device engines,
@@ -30,6 +45,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "persist/restart.hpp"
 #include "workload/scenario_runner.hpp"
 
 using namespace bdsm;
@@ -67,9 +83,43 @@ std::vector<std::string> SplitSpecList(const std::string& s) {
   return out;
 }
 
+/// The --restart-at drill for one (scenario, engine): cold vs
+/// kill+restore+finish, verified batch for batch.  Returns false on
+/// divergence.
+bool RunRestartDrill(const ScenarioSpec& spec, uint64_t seed,
+                     const std::string& engine_spec, size_t kill_at,
+                     const std::string& dir,
+                     const EngineOptions& options) {
+  persist::RestartOutcome outcome;
+  try {
+    outcome = persist::RunRestartScenario(spec, seed, engine_spec, kill_at,
+                                          dir, options);
+  } catch (const persist::PersistError& e) {
+    fprintf(stderr, "restart drill failed: %s\n", e.what());
+    return false;
+  }
+  printf("  %-16s restart drill: %s — %s\n", engine_spec.c_str(),
+         outcome.identical ? "OK" : "DIVERGED", outcome.detail.c_str());
+
+  bench::JsonRow row;
+  row.Set("engine", engine_spec)
+      .Set("spec", outcome.cold.canonical_spec)
+      .Set("mode", "restart")
+      .Set("kill_after_batches", kill_at)
+      .Set("restored_at", static_cast<size_t>(outcome.restored_at))
+      .Set("wal_batches_replayed",
+           static_cast<size_t>(outcome.wal_batches_replayed))
+      .Set("identical", outcome.identical ? "yes" : "no");
+  bench::JsonSink::Instance().Add(std::move(row));
+  return outcome.identical;
+}
+
 void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
-            const EngineOptions& options) {
-  ScenarioReport r = runner.Run(engine_spec, options);
+            const EngineOptions& options,
+            persist::Checkpointer* checkpointer) {
+  ScenarioRunner::RunControls controls;
+  controls.checkpointer = checkpointer;
+  ScenarioReport r = runner.Run(engine_spec, options, controls);
   double p50 = r.LatencyPercentile(50), p95 = r.LatencyPercentile(95),
          p99 = r.LatencyPercentile(99);
   printf(
@@ -103,9 +153,11 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
 int main(int argc, char** argv) {
   std::string scenario_name = "smoke";
   std::string engines_arg = "gamma";
-  std::string record_path, replay_path;
+  std::string record_path, replay_path, checkpoint_dir;
   uint64_t seed = kDefaultScenarioSeed;
   double budget_s = 0.0;
+  size_t checkpoint_every = 4;
+  long restart_at = -1;
   bool list_only = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -128,6 +180,17 @@ int main(int argc, char** argv) {
       replay_path = next("--replay");
     } else if (std::strcmp(argv[i], "--budget") == 0) {
       budget_s = std::atof(next("--budget"));
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      checkpoint_dir = next("--checkpoint-dir");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      checkpoint_every = std::strtoull(next("--checkpoint-every"),
+                                       nullptr, 10);
+    } else if (std::strcmp(argv[i], "--restart-at") == 0) {
+      restart_at = std::atol(next("--restart-at"));
+      if (restart_at < 1) {
+        fprintf(stderr, "--restart-at wants a kill point >= 1\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -149,9 +212,13 @@ int main(int argc, char** argv) {
     // One trace file cannot serve several scenarios: --record would
     // silently keep only the last scenario's stream and --replay would
     // feed one scenario's stream to graphs it is invalid against.
-    if (!record_path.empty() || !replay_path.empty()) {
+    // One checkpoint directory cannot either (one manifest = one
+    // stream).
+    if (!record_path.empty() || !replay_path.empty() ||
+        !checkpoint_dir.empty() || restart_at >= 0) {
       fprintf(stderr,
-              "--record/--replay need a single --scenario, not all\n");
+              "--record/--replay/--checkpoint-dir/--restart-at need a "
+              "single --scenario, not all\n");
       return 2;
     }
     for (const ScenarioSpec& s : AllScenarios()) scenarios.push_back(&s);
@@ -181,6 +248,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // One checkpoint directory holds one checkpoint: measuring several
+  // engines through the same --checkpoint-dir would leave only the
+  // last engine's state restorable, silently.  (The restart drill is
+  // exempt — each drill restores and verifies before the next engine
+  // reuses the directory.)
+  if (!checkpoint_dir.empty() && restart_at < 0 && engines.size() > 1) {
+    fprintf(stderr,
+            "--checkpoint-dir needs a single --engine (one manifest = "
+            "one engine's checkpoint); run the engines separately with "
+            "their own directories\n");
+    return 2;
+  }
 
   EngineOptions options;
   if (budget_s > 0.0) {
@@ -192,6 +271,27 @@ int main(int argc, char** argv) {
          "docs/WORKLOADS.md)\n\n",
          static_cast<unsigned long long>(seed),
          static_cast<unsigned long long>(kDefaultScenarioSeed));
+
+  // The restart drill is its own mode: it runs the scenario several
+  // times (cold / killed / restored) per engine, so the plain
+  // measurement loop below does not apply.
+  if (restart_at >= 0) {
+    const ScenarioSpec* spec = scenarios.front();
+    if (checkpoint_dir.empty()) checkpoint_dir = "ckpt_restart";
+    printf("scenario %-10s — restart drill: kill after %ld batches, "
+           "checkpoint dir %s\n",
+           spec->name.c_str(), restart_at, checkpoint_dir.c_str());
+    bench::JsonContext("scenario", spec->name);
+    bench::JsonContext("seed", static_cast<size_t>(seed));
+    bool all_ok = true;
+    for (const std::string& e : engines) {
+      all_ok = RunRestartDrill(*spec, seed, e,
+                               static_cast<size_t>(restart_at),
+                               checkpoint_dir, options) &&
+               all_ok;
+    }
+    return all_ok ? 0 : 1;
+  }
 
   for (const ScenarioSpec* spec : scenarios) {
     ScenarioRunner runner(*spec, seed);
@@ -218,7 +318,24 @@ int main(int argc, char** argv) {
            replay_path.empty() ? "" : " (replayed)");
     bench::JsonContext("scenario", spec->name);
     bench::JsonContext("seed", static_cast<size_t>(seed));
-    for (const std::string& e : engines) RunOne(runner, e, options);
+    std::optional<persist::Checkpointer> checkpointer;
+    if (!checkpoint_dir.empty()) {
+      persist::CheckpointPolicy policy;
+      policy.every_batches = checkpoint_every;
+      checkpointer.emplace(checkpoint_dir, policy, persist::WalOptions{},
+                           options.gamma.device);
+      printf("  checkpointing into %s (snapshot every %zu batches)\n",
+             checkpoint_dir.c_str(), checkpoint_every);
+    }
+    for (const std::string& e : engines) {
+      try {
+        RunOne(runner, e, options,
+               checkpointer ? &*checkpointer : nullptr);
+      } catch (const persist::PersistError& err) {
+        fprintf(stderr, "checkpointing failed: %s\n", err.what());
+        return 1;
+      }
+    }
     printf("\n");
   }
   return 0;

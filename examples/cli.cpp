@@ -7,7 +7,10 @@
 ///                 [ins-rate%] [seed]
 ///   ./example_cli [--engine SPEC] [--shards N] --demo  # built-in demo
 ///   ./example_cli [--engine SPEC] [--shards N] --scenario NAME
-///                 [--seed N]                # named workload scenario
+///                 [--seed N] [--checkpoint-dir DIR]
+///                 [--checkpoint-every N]    # named workload scenario
+///   ./example_cli --restore DIR             # warm-start from a
+///                 # checkpoint directory and finish its scenario
 ///   ./example_cli --list-engines            # registered engines
 ///
 /// SPEC is any engine spec per the canonical grammar of
@@ -21,6 +24,13 @@
 /// (src/workload/scenario.hpp; docs/WORKLOADS.md) through the chosen
 /// engine and prints latency percentiles, throughput and truncation —
 /// the same driver bench_scenarios uses.
+///
+/// Persistence (src/persist/; docs/PERSISTENCE.md): --checkpoint-dir
+/// checkpoints a --scenario run as it goes (base snapshot, WAL tee
+/// with fsync on batch boundaries, snapshot every --checkpoint-every
+/// batches, default 4).  --restore DIR warm-starts from that
+/// directory — snapshot + WAL tail, O(tail) not O(stream) — and
+/// finishes the remaining scenario batches on the restored engine.
 ///
 /// File format (shared with the CSM literature; see graph/graph_io.hpp):
 ///   t <num_vertices> <num_edges>
@@ -37,14 +47,27 @@
 #include "graph/graph_io.hpp"
 #include "graph/query_extractor.hpp"
 #include "graph/update_stream.hpp"
+#include "persist/checkpoint.hpp"
 #include "workload/scenario_runner.hpp"
 
 using namespace bdsm;
 
 namespace {
 
+void PrintScenarioReport(const std::string& engine_name,
+                         const workload::ScenarioReport& r) {
+  printf("engine %s: latency (%s) p50 %.4g ms, p95 %.4g ms, p99 %.4g ms; "
+         "%.4g ops/s; %zu matches; truncated %zu queries / %zu batches\n",
+         engine_name.c_str(), r.latency_metric.c_str(),
+         r.LatencyPercentile(50) * 1e3, r.LatencyPercentile(95) * 1e3,
+         r.LatencyPercentile(99) * 1e3, r.ThroughputOpsPerSec(),
+         r.total_matches, r.truncated_queries, r.truncated_batches);
+}
+
 int RunScenario(const std::string& engine_name,
-                const std::string& scenario_name, uint64_t seed) {
+                const std::string& scenario_name, uint64_t seed,
+                const std::string& checkpoint_dir,
+                size_t checkpoint_every) {
   const workload::ScenarioSpec* spec =
       workload::FindScenario(scenario_name);
   if (spec == nullptr) {
@@ -63,13 +86,80 @@ int RunScenario(const std::string& engine_name,
   printf("graph |V|=%zu |E|=%zu, %zu queries, %zu batches\n",
          runner.graph().NumVertices(), runner.graph().NumEdges(),
          runner.queries().size(), runner.stream().size());
-  workload::ScenarioReport r = runner.Run(engine_name);
-  printf("engine %s: latency (%s) p50 %.4g ms, p95 %.4g ms, p99 %.4g ms; "
-         "%.4g ops/s; %zu matches; truncated %zu queries / %zu batches\n",
-         engine_name.c_str(), r.latency_metric.c_str(),
-         r.LatencyPercentile(50) * 1e3, r.LatencyPercentile(95) * 1e3,
-         r.LatencyPercentile(99) * 1e3, r.ThroughputOpsPerSec(),
-         r.total_matches, r.truncated_queries, r.truncated_batches);
+  try {
+    workload::ScenarioReport r;
+    if (checkpoint_dir.empty()) {
+      r = runner.Run(engine_name);
+    } else {
+      persist::CheckpointPolicy policy;
+      policy.every_batches = checkpoint_every;
+      persist::Checkpointer checkpointer(checkpoint_dir, policy);
+      workload::ScenarioRunner::RunControls controls;
+      controls.checkpointer = &checkpointer;
+      r = runner.Run(engine_name, EngineOptions{}, controls);
+      printf("checkpointed into %s: %zu snapshots, WAL through batch "
+             "%llu (restore with --restore %s)\n",
+             checkpoint_dir.c_str(), checkpointer.snapshots_taken(),
+             static_cast<unsigned long long>(checkpointer.next_batch()),
+             checkpoint_dir.c_str());
+    }
+    PrintScenarioReport(engine_name, r);
+  } catch (const persist::PersistError& e) {
+    fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
+
+/// --restore DIR: warm-start from a checkpoint and finish the
+/// scenario stream it was recording.
+int RunRestore(const std::string& dir) {
+  try {
+    persist::RestoredEngine restored = persist::RestoreEngine(dir);
+    printf("restored engine \"%s\" from %s: scenario %s seed %llu, "
+           "snapshot at batch %llu + %llu WAL batches%s -> resuming at "
+           "batch %llu\n",
+           restored.manifest.engine_spec.c_str(), dir.c_str(),
+           restored.manifest.scenario.c_str(),
+           static_cast<unsigned long long>(restored.manifest.seed),
+           static_cast<unsigned long long>(restored.manifest.snapshot_batch),
+           static_cast<unsigned long long>(restored.wal_batches_replayed),
+           restored.wal_tail_torn ? " (torn tail recovered)" : "",
+           static_cast<unsigned long long>(restored.next_batch));
+    printf("totals so far: %llu batches, %llu ops, +%llu/-%llu matches\n",
+           static_cast<unsigned long long>(restored.totals.batches),
+           static_cast<unsigned long long>(restored.totals.ops),
+           static_cast<unsigned long long>(restored.totals.positive_matches),
+           static_cast<unsigned long long>(
+               restored.totals.negative_matches));
+    const workload::ScenarioSpec* spec =
+        workload::FindScenario(restored.manifest.scenario);
+    if (spec == nullptr) {
+      printf("scenario \"%s\" is not in this build's catalog; engine is "
+             "restored but there is no stream to finish\n",
+             restored.manifest.scenario.c_str());
+      return 0;
+    }
+    workload::ScenarioRunner runner(*spec, restored.manifest.seed);
+    if (restored.next_batch >= runner.stream().size()) {
+      printf("checkpoint already covers the whole %zu-batch stream; "
+             "nothing to finish\n", runner.stream().size());
+      return 0;
+    }
+    workload::ScenarioRunner::RunControls controls;
+    controls.engine = restored.engine.get();
+    controls.first_batch = static_cast<size_t>(restored.next_batch);
+    workload::ScenarioReport r =
+        runner.Run(restored.manifest.engine_spec, EngineOptions{},
+                   controls);
+    printf("finished batches [%llu, %zu) on the restored engine:\n",
+           static_cast<unsigned long long>(restored.next_batch),
+           runner.stream().size());
+    PrintScenarioReport(restored.manifest.engine_spec, r);
+  } catch (const persist::PersistError& e) {
+    fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
   return 0;
 }
 
@@ -134,9 +224,12 @@ int ListEngines() {
 int main(int argc, char** argv) {
   std::string engine_name = "gamma";
   std::string scenario_name;
+  std::string checkpoint_dir, restore_dir;
   uint64_t scenario_seed = workload::kDefaultScenarioSeed;
+  size_t checkpoint_every = 4;
   long shards = 0;
   // Peel off --engine SPEC / --shards N / --scenario NAME / --seed N /
+  // --checkpoint-dir DIR / --checkpoint-every N / --restore DIR /
   // --list-engines wherever they appear.
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
@@ -146,6 +239,14 @@ int main(int argc, char** argv) {
       scenario_name = argv[++i];
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       scenario_seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 &&
+               i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--restore") == 0 && i + 1 < argc) {
+      restore_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--list-engines") == 0) {
       return ListEngines();
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
@@ -178,8 +279,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!restore_dir.empty()) {
+    return RunRestore(restore_dir);
+  }
   if (!scenario_name.empty()) {
-    return RunScenario(engine_name, scenario_name, scenario_seed);
+    return RunScenario(engine_name, scenario_name, scenario_seed,
+                       checkpoint_dir, checkpoint_every);
   }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
     return RunDemo(engine_name);
@@ -190,8 +295,10 @@ int main(int argc, char** argv) {
             "[ins-rate%%] [seed]\n"
             "       %s [--engine SPEC] --demo\n"
             "       %s [--engine SPEC] --scenario NAME [--seed N]\n"
+            "           [--checkpoint-dir DIR [--checkpoint-every N]]\n"
+            "       %s --restore DIR\n"
             "       %s --list-engines\n",
-            argv[0], argv[0], argv[0], argv[0]);
+            argv[0], argv[0], argv[0], argv[0], argv[0]);
     return 2;
   }
   LabeledGraph g = LoadGraph(args[0]);

@@ -11,15 +11,22 @@ as relative change (new vs old).
 Usage:
   python3 scripts/bench_diff.py OLD.json NEW.json
       [--metric FIELD]      only diff this numeric field (repeatable)
-      [--max-regress PCT]   exit 1 when a gated metric GROWS by more
-                            than PCT percent; requires --metric, and
-                            only makes sense for lower-is-better
-                            metrics (latencies, critical path)
+      [--max-regress PCT]   exit 1 when a gated metric regresses by
+                            more than PCT percent; requires --metric.
+                            By default a regression is GROWTH
+                            (lower-is-better metrics: latencies,
+                            critical path); with --higher-is-better it
+                            is SHRINKAGE (throughput, batches/s)
+      [--higher-is-better]  gated --metric fields are
+                            higher-is-better: the gate fires on drops
       [--all]               print unchanged rows too
 
 Intended for perf-trajectory checks: run a bench at two commits with
 --json, then `bench_diff.py old.json new.json --metric avg_latency_s
---max-regress 20` fails the gate on a >20% latency regression.
+--max-regress 20` fails the gate on a >20% latency regression, and
+`bench_diff.py baseline.json new.json --metric throughput_ops_per_s
+--higher-is-better --max-regress 25` fails on a >25% throughput drop
+(the scenarios-smoke CI gate against bench/baselines/).
 
 Exit codes: 0 ok, 1 regression over threshold, 2 usage/input error.
 """
@@ -77,17 +84,21 @@ def main():
     ap.add_argument("--metric", action="append", default=[],
                     help="numeric field(s) to diff (default: all)")
     ap.add_argument("--max-regress", type=float, default=None, metavar="PCT",
-                    help="fail when a --metric grows by more than PCT%% "
-                         "(lower-is-better metrics only)")
+                    help="fail when a --metric regresses by more than PCT%% "
+                         "(growth by default; a drop with "
+                         "--higher-is-better)")
+    ap.add_argument("--higher-is-better", action="store_true",
+                    help="gated metrics are higher-is-better: regression "
+                         "is a drop, not growth")
     ap.add_argument("--all", action="store_true",
                     help="print rows with no change too")
     args = ap.parse_args()
     if args.max_regress is not None and not args.metric:
-        # Growth is only a regression for lower-is-better metrics, so
-        # the gate must name which fields it judges.
-        print("bench_diff: --max-regress requires --metric (growth in a "
-              "higher-is-better metric like batches_per_s is not a "
-              "regression)", file=sys.stderr)
+        # A change is only a regression relative to the metric's
+        # direction, so the gate must name which fields it judges.
+        print("bench_diff: --max-regress requires --metric (and "
+              "--higher-is-better when the metric is throughput-like)",
+              file=sys.stderr)
         sys.exit(2)
 
     old_bench, old_rows = load_rows(args.old)
@@ -122,7 +133,10 @@ def main():
             else:
                 rel = 100.0 * (new_v - old_v) / abs(old_v)
             mark = ""
-            if args.max_regress is not None and rel > args.max_regress:
+            # Direction-aware: latency-style metrics regress upward,
+            # throughput-style metrics regress downward.
+            regress_pct = -rel if args.higher_is_better else rel
+            if args.max_regress is not None and regress_pct > args.max_regress:
                 mark = "  <-- REGRESSION"
                 regressions += 1
             lines.append(f"    {field}: {old_v:.6g} -> {new_v:.6g} "

@@ -48,6 +48,7 @@ class CsmEngine {
   /// condition of Table III).
   bool Truncated() const { return timed_out_ || overflowed_; }
   const LabeledGraph& graph() const { return g_; }
+  const QueryGraph& query() const { return q_; }
 
   /// Cap on accumulated incremental matches (0 = unlimited); exceeding
   /// it aborts the batch and reports timed_out (the memory analogue of

@@ -116,6 +116,7 @@ class GammaEngineBase : public Engine {
     EngineInfo info;
     info.canonical_spec = CanonicalSpecOrName();
     info.clock = ClockDomain::kModeledDevice;
+    info.supports_snapshot = true;
     return info;
   }
 
@@ -125,6 +126,21 @@ class GammaEngineBase : public Engine {
     slot.gamma = std::make_unique<Gamma>(graph_, q, options_);
     slots_.push_back(std::move(slot));
     return slots_.back().id;
+  }
+
+  std::vector<RegisteredQuery> RegisteredQueries() const override {
+    std::vector<RegisteredQuery> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      out.push_back(RegisteredQuery{s.id, s.gamma->query_context().q});
+    }
+    return out;
+  }
+
+  bool RestoreQuery(const QueryGraph& q, QueryId id) override {
+    if (id < next_id_) return false;
+    next_id_ = id;
+    return AddQuery(q) == id;
   }
 
   bool RemoveQuery(QueryId id) override {
@@ -223,6 +239,7 @@ class MultiGammaEngine final : public Engine {
     EngineInfo info;
     info.canonical_spec = CanonicalSpecOrName();
     info.clock = ClockDomain::kModeledDevice;
+    info.supports_snapshot = true;
     return info;
   }
 
@@ -230,6 +247,22 @@ class MultiGammaEngine final : public Engine {
     return static_cast<QueryId>(multi_.AddQuery(q));
   }
   bool RemoveQuery(QueryId id) override { return multi_.RemoveQuery(id); }
+
+  std::vector<RegisteredQuery> RegisteredQueries() const override {
+    std::vector<RegisteredQuery> out;
+    out.reserve(multi_.queries_.size());
+    for (const auto& pq : multi_.queries_) {
+      out.push_back(
+          RegisteredQuery{static_cast<QueryId>(pq.id), pq.qctx.q});
+    }
+    return out;
+  }
+
+  bool RestoreQuery(const QueryGraph& q, QueryId id) override {
+    if (id < multi_.next_query_id_) return false;
+    multi_.next_query_id_ = id;
+    return AddQuery(q) == id;
+  }
 
   std::vector<QueryId> QueryIds() const override {
     std::vector<QueryId> ids;
@@ -318,6 +351,7 @@ class CsmAdapter final : public Engine {
     EngineInfo info;
     info.canonical_spec = CanonicalSpecOrName();
     info.clock = ClockDomain::kHostWall;
+    info.supports_snapshot = true;
     return info;
   }
 
@@ -328,6 +362,21 @@ class CsmAdapter final : public Engine {
     slot.engine->set_result_cap(result_cap_);
     slots_.push_back(std::move(slot));
     return slots_.back().id;
+  }
+
+  std::vector<RegisteredQuery> RegisteredQueries() const override {
+    std::vector<RegisteredQuery> out;
+    out.reserve(slots_.size());
+    for (const Slot& s : slots_) {
+      out.push_back(RegisteredQuery{s.id, s.engine->query()});
+    }
+    return out;
+  }
+
+  bool RestoreQuery(const QueryGraph& q, QueryId id) override {
+    if (id < next_id_) return false;
+    next_id_ = id;
+    return AddQuery(q) == id;
   }
 
   bool RemoveQuery(QueryId id) override {

@@ -55,6 +55,13 @@ class ShardedEngine;
 using QueryId = uint32_t;
 inline constexpr QueryId kInvalidQueryId = static_cast<QueryId>(-1);
 
+/// One registered query together with its public id — the unit the
+/// persistence layer (persist/snapshot.hpp) captures and restores.
+struct RegisteredQuery {
+  QueryId id = kInvalidQueryId;
+  QueryGraph query;
+};
+
 /// Streaming delivery target.  OnMatch is invoked once per incremental
 /// match, after each processing phase, on the caller's thread.
 class ResultSink {
@@ -218,6 +225,12 @@ struct EngineInfo {
   /// Wrapper engines: canonical spec of the inner engine ("" when the
   /// engine wraps nothing).
   std::string inner_spec;
+  /// Snapshot/restore capability (persist/snapshot.hpp): true when the
+  /// engine exposes its registered query set (RegisteredQueries) and
+  /// can re-register a query under its original public id
+  /// (RestoreQuery), so CaptureSnapshot + warm-start restore reproduce
+  /// it exactly.  Wrappers forward their inner engine's answer.
+  bool supports_snapshot = false;
 };
 
 /// The unified engine interface.  Implementations: GammaEngine (one
@@ -245,6 +258,27 @@ class Engine {
   /// Live query ids, in registration order.
   virtual std::vector<QueryId> QueryIds() const = 0;
   size_t NumQueries() const { return QueryIds().size(); }
+
+  /// Snapshot capture (persist/snapshot.hpp): the live query set with
+  /// its public ids, in registration order.  Engines that cannot
+  /// reproduce their registration state return empty and report
+  /// Describe().supports_snapshot == false.
+  virtual std::vector<RegisteredQuery> RegisteredQueries() const {
+    return {};
+  }
+
+  /// Snapshot restore: re-registers `q` under the exact public id it
+  /// held when the snapshot was taken.  `id` must be ahead of every id
+  /// assigned so far (snapshots list queries in registration order, so
+  /// replaying them in order satisfies this); the id counter advances
+  /// past `id`, so later AddQuery calls never collide with restored
+  /// ids.  Returns false when the engine does not support snapshots or
+  /// `id` is not ahead of the counter.
+  virtual bool RestoreQuery(const QueryGraph& q, QueryId id) {
+    (void)q;
+    (void)id;
+    return false;
+  }
 
   /// The engine's evolving host-side graph (updated by ProcessBatch).
   virtual const LabeledGraph& host_graph() const = 0;

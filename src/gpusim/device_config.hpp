@@ -87,6 +87,10 @@ struct DeviceStats {
   size_t peak_device_bytes = 0;     ///< device allocator high-water mark
   bool timed_out = false;           ///< host budget expired mid-launch
 
+  /// Field-wise equality; the persistence tests assert warm-restored
+  /// engines reproduce even the modeled device stats bit for bit.
+  friend bool operator==(const DeviceStats&, const DeviceStats&) = default;
+
   /// Fraction of warp lifetime spent doing useful work (Fig. 13 metric).
   double Utilization() const {
     return total_warp_ticks == 0

@@ -86,6 +86,13 @@ class LabeledGraph {
   /// All edges, canonicalized (u < v).  O(|E|); used by tests & oracles.
   std::vector<Edge> CollectEdges() const;
 
+  /// Structural equality: same vertex labels and identical (sorted)
+  /// adjacency, edge labels included.  Two graphs that evolved through
+  /// different but equivalent update orders compare equal — the
+  /// invariant the persistence layer's replica serialization round-trip
+  /// (persist/snapshot.hpp) is verified against.
+  friend bool operator==(const LabeledGraph&, const LabeledGraph&) = default;
+
  private:
   // Finds the position of v in adj_[u]; adj_[u].size() if absent.
   size_t FindSlot(VertexId u, VertexId v) const;

@@ -80,6 +80,10 @@ class QueryGraph {
 
   std::string ToString() const;
 
+  /// Structural equality (labels, edges in insertion order, adjacency);
+  /// used by the persistence layer's query-set round-trip checks.
+  friend bool operator==(const QueryGraph&, const QueryGraph&) = default;
+
  private:
   std::vector<Label> vlabels_;
   std::vector<QueryEdge> edges_;

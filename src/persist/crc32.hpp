@@ -1,0 +1,27 @@
+/// \file crc32.hpp
+/// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320): the section
+/// checksum of the persistence formats (snapshot sections, manifest
+/// seal).  Table-driven, byte-at-a-time — snapshot payloads are small
+/// (a graph replica tops out in the tens of MB), so simplicity beats a
+/// sliced implementation here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bdsm::persist {
+
+/// CRC-32 of `n` raw bytes, continuing from `crc` (pass the previous
+/// return value to checksum data in pieces; 0 starts a fresh sum).
+/// Named distinctly from the string_view overload: a (pointer,
+/// integer) call must never silently bind an intended `crc` argument
+/// as a byte count.
+uint32_t Crc32Bytes(const void* data, size_t n, uint32_t crc = 0);
+
+/// Crc32("123456789") == 0xCBF43926, the standard check value.
+inline uint32_t Crc32(std::string_view s, uint32_t crc = 0) {
+  return Crc32Bytes(s.data(), s.size(), crc);
+}
+
+}  // namespace bdsm::persist

@@ -1,0 +1,195 @@
+#include "persist/manifest.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "persist/crc32.hpp"
+#include "persist/snapshot.hpp"  // PersistError
+
+namespace bdsm::persist {
+
+namespace {
+
+constexpr char kTmpSuffix[] = ".tmp";
+
+/// fsyncs the directory itself: on POSIX, file creation and rename(2)
+/// are directory metadata, durable only once the directory's own fd
+/// is synced.  Without this, a power loss can roll back the manifest
+/// switch (or the existence of a snapshot/segment file) after the
+/// checkpoint already pruned the artifacts the old manifest needs —
+/// the "either the old or the new checkpoint" promise of the crash
+/// matrix hinges on this barrier.
+bool SyncDir(const std::string& dir) {
+  int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  bool ok = fsync(fd) == 0;
+  close(fd);
+  return ok;
+}
+
+std::string Render(const Manifest& m) {
+  std::ostringstream out;
+  out << "BDSMMANIFEST " << kManifestVersion << "\n";
+  out << "generation " << m.generation << "\n";
+  out << "engine_spec " << m.engine_spec << "\n";
+  out << "scenario " << m.scenario << "\n";
+  out << "seed " << m.seed << "\n";
+  out << "snapshot " << m.snapshot_file << " " << m.snapshot_batch << "\n";
+  for (const WalSegment& seg : m.wal) {
+    out << "wal " << seg.file << " " << seg.first_batch << "\n";
+  }
+  std::string body = out.str();
+  char seal[16];
+  snprintf(seal, sizeof(seal), "crc %08x\n", Crc32(body));
+  return body + seal;
+}
+
+/// Splits "key rest-of-line"; returns false on a key-only line.
+bool SplitKey(const std::string& line, std::string* key,
+              std::string* value) {
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos) return false;
+  *key = line.substr(0, sp);
+  *value = line.substr(sp + 1);
+  return true;
+}
+
+uint64_t ParseU64(const std::string& text, const char* what) {
+  char* end = nullptr;
+  uint64_t v = strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    throw PersistError(std::string("manifest has a malformed ") + what +
+                       " \"" + text + "\"");
+  }
+  return v;
+}
+
+}  // namespace
+
+void WriteManifest(const std::string& dir, const Manifest& manifest) {
+  const std::string path = dir + "/" + kManifestFileName;
+  const std::string tmp = path + kTmpSuffix;
+  const std::string text = Render(manifest);
+  FILE* f = fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw PersistError("cannot write manifest " + path + ": open failed");
+  }
+  bool ok = fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = ok && fflush(f) == 0 && fsync(fileno(f)) == 0;
+  ok = (fclose(f) == 0) && ok;
+  // rename(2) replaces atomically: a reader (or a crash) sees the old
+  // manifest or the new one, never a torn mix.  The directory fsync
+  // then makes the switch — and the dir entries of every artifact the
+  // new manifest references — durable before the caller may prune
+  // what the old manifest needed.
+  ok = ok && rename(tmp.c_str(), path.c_str()) == 0 && SyncDir(dir);
+  if (!ok) {
+    remove(tmp.c_str());
+    throw PersistError("cannot write manifest " + path +
+                       ": I/O error (tmp write, rename or dir sync "
+                       "failed)");
+  }
+}
+
+Manifest ReadManifest(const std::string& dir) {
+  const std::string path = dir + "/" + kManifestFileName;
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw PersistError("no checkpoint in " + dir + ": cannot read " +
+                       path);
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  bool short_read = ferror(f) != 0;
+  fclose(f);
+  if (short_read) {
+    throw PersistError("cannot read manifest " + path + ": I/O error");
+  }
+
+  // Peel + verify the seal first: a flipped bit anywhere in the body
+  // must be reported as corruption, not as whatever key it garbled.
+  size_t crc_pos = text.rfind("crc ");
+  if (crc_pos == std::string::npos ||
+      (crc_pos != 0 && text[crc_pos - 1] != '\n')) {
+    throw PersistError("manifest " + path +
+                       " is missing its crc seal line (truncated file?)");
+  }
+  std::string body = text.substr(0, crc_pos);
+  unsigned long sealed = 0;
+  if (sscanf(text.c_str() + crc_pos, "crc %8lx", &sealed) != 1 ||
+      static_cast<uint32_t>(sealed) != Crc32(body)) {
+    throw PersistError("manifest " + path +
+                       " fails its CRC seal (corrupt or hand-edited)");
+  }
+
+  Manifest m;
+  bool have_header = false, have_spec = false, have_seed = false,
+       have_snapshot = false, have_scenario = false;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::string key, value;
+    if (!SplitKey(line, &key, &value)) {
+      throw PersistError("manifest " + path + " has a malformed line \"" +
+                         line + "\"");
+    }
+    if (!have_header) {
+      if (key != "BDSMMANIFEST") {
+        throw PersistError("manifest " + path +
+                           " does not start with BDSMMANIFEST");
+      }
+      if (ParseU64(value, "version") != kManifestVersion) {
+        throw PersistError("manifest " + path + " has version " + value +
+                           "; this build reads version " +
+                           std::to_string(kManifestVersion));
+      }
+      have_header = true;
+    } else if (key == "generation") {
+      m.generation = ParseU64(value, "generation");
+    } else if (key == "engine_spec") {
+      m.engine_spec = value;
+      have_spec = true;
+    } else if (key == "scenario") {
+      m.scenario = value;
+      have_scenario = true;
+    } else if (key == "seed") {
+      m.seed = ParseU64(value, "seed");
+      have_seed = true;
+    } else if (key == "snapshot") {
+      std::string file, batch;
+      if (!SplitKey(value, &file, &batch)) {
+        throw PersistError("manifest " + path +
+                           " has a malformed snapshot line");
+      }
+      m.snapshot_file = file;
+      m.snapshot_batch = ParseU64(batch, "snapshot batch");
+      have_snapshot = true;
+    } else if (key == "wal") {
+      std::string file, first;
+      if (!SplitKey(value, &file, &first)) {
+        throw PersistError("manifest " + path +
+                           " has a malformed wal line");
+      }
+      m.wal.push_back(WalSegment{file, ParseU64(first, "wal offset")});
+    } else {
+      throw PersistError("manifest " + path + " has an unknown key \"" +
+                         key + "\" (newer format?)");
+    }
+  }
+  if (!have_header || !have_spec || !have_seed || !have_snapshot ||
+      !have_scenario) {
+    throw PersistError("manifest " + path +
+                       " is missing required keys (truncated file?)");
+  }
+  return m;
+}
+
+}  // namespace bdsm::persist

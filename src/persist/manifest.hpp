@@ -1,0 +1,76 @@
+/// \file manifest.hpp
+/// The checkpoint directory's root of trust: one small, CRC-sealed,
+/// atomically-replaced text file naming the current snapshot and the
+/// WAL segments that follow it.
+///
+/// Every state a restart can observe is covered by the update
+/// protocol (the crash matrix of docs/PERSISTENCE.md):
+///
+///   1. new snapshot file written + fsynced under its own name —
+///      names embed the checkpoint *generation* (bumped by every
+///      Checkpointer::Begin), so a new checkpoint's artifacts never
+///      collide with the previous one's;
+///   2. MANIFEST written to MANIFEST.tmp, fsynced, rename(2)d over
+///      MANIFEST, directory fsynced (rename is atomic on POSIX; the
+///      dir sync makes it and every referenced file's dir entry
+///      durable) — recovery sees either the old or the new
+///      checkpoint, never a half checkpoint;
+///   3. only then are superseded snapshots/segments unlinked
+///      (crashing between 2 and 3 leaves unreferenced garbage, which
+///      the next Begin sweeps).
+///
+/// Format (text, one `key value...` pair per line, value = rest of
+/// line so specs may contain spaces):
+///
+///   BDSMMANIFEST 1
+///   generation 2
+///   engine_spec sharded(gamma, shards=4)
+///   scenario smoke
+///   seed 2024
+///   snapshot snapshot-g002-0000000004.snap 4
+///   wal wal-g002-0000000004.trc 4
+///   crc 1a2b3c4d
+///
+/// The trailing `crc` line seals every preceding byte (CRC-32); a
+/// manifest that fails its seal, names an unknown key, or omits a
+/// required key is rejected with a PersistError naming the problem.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "persist/wal.hpp"
+
+namespace bdsm::persist {
+
+inline constexpr char kManifestFileName[] = "MANIFEST";
+inline constexpr uint32_t kManifestVersion = 1;
+
+struct Manifest {
+  /// Checkpoint generation: bumped by every Checkpointer::Begin on
+  /// the directory and embedded in artifact file names, so writing a
+  /// new checkpoint never touches the files the live manifest
+  /// references (the old checkpoint stays restorable until the
+  /// atomic manifest switch).
+  uint64_t generation = 1;
+  std::string engine_spec;    ///< canonical spec of the engine
+  std::string scenario;       ///< stream provenance ("" ad hoc)
+  uint64_t seed = 0;
+  std::string snapshot_file;  ///< relative to the checkpoint dir
+  uint64_t snapshot_batch = 0;  ///< batches the snapshot covers
+  /// WAL segments holding batches >= snapshot_batch, replay order.
+  std::vector<WalSegment> wal;
+
+  friend bool operator==(const Manifest&, const Manifest&) = default;
+};
+
+/// Atomically replaces `dir`/MANIFEST (tmp + fsync + rename).  Throws
+/// PersistError on I/O failure.
+void WriteManifest(const std::string& dir, const Manifest& manifest);
+
+/// Reads and seal-checks `dir`/MANIFEST.  Throws PersistError naming
+/// the failure (missing file, unsupported version, broken CRC seal,
+/// malformed or missing keys).
+Manifest ReadManifest(const std::string& dir);
+
+}  // namespace bdsm::persist

@@ -1,0 +1,66 @@
+/// \file restart.hpp
+/// The `restart` scenario: kill a serving run mid-stream, warm-restore
+/// it from its checkpoint, finish the stream, and verify the stitched
+/// run against an uninterrupted cold run.
+///
+/// This is the persistence subsystem's end-to-end acceptance drill —
+/// what `bench_scenarios --restart-at K` and the `scenario_restart`
+/// CI smoke entry execute:
+///
+///   1. cold:    run the full scenario stream on a fresh engine (the
+///               reference nobody interrupted);
+///   2. prefix:  run the first K batches on a second fresh engine,
+///               checkpointing into `checkpoint_dir` (snapshot policy
+///               + WAL tee), then stop — the simulated kill point;
+///   3. restore: RestoreEngine(checkpoint_dir) — snapshot + WAL tail,
+///               O(tail), not O(stream);
+///   4. tail:    finish batches [K, end) on the restored engine;
+///   5. compare: per-batch ops/match/truncation counts of
+///               prefix + tail must equal cold exactly.
+///
+/// The count comparison here is the driver-level verdict; the
+/// bit-level verification (per-query match vectors, order included)
+/// lives in tests/persist_test.cpp per the recovery invariants of
+/// docs/PERSISTENCE.md.
+#pragma once
+
+#include <string>
+
+#include "persist/checkpoint.hpp"
+#include "workload/scenario_runner.hpp"
+
+namespace bdsm::persist {
+
+struct RestartOutcome {
+  workload::ScenarioReport cold;    ///< uninterrupted reference run
+  workload::ScenarioReport prefix;  ///< batches [0, kill) + checkpoint
+  workload::ScenarioReport tail;    ///< restored engine, [restored, end)
+  /// Stream index the restore resumed at (== the kill point when the
+  /// WAL tail was intact).
+  uint64_t restored_at = 0;
+  uint64_t wal_batches_replayed = 0;
+  bool wal_tail_torn = false;
+  /// Totals the restored engine resumed with (snapshot + tail replay).
+  SnapshotTotals restored_totals;
+  /// Per-batch ops/positive/negative/truncation counts of prefix+tail
+  /// equal cold's, batch for batch.
+  bool identical = false;
+  std::string detail;  ///< human-readable verdict / first divergence
+};
+
+/// Runs the restart drill described above.  `kill_after_batches` is
+/// clamped to the stream length; `policy` defaults to a snapshot every
+/// 2 batches so the drill exercises snapshot supersession + WAL-tail
+/// replay, not just the base snapshot.  Throws PersistError /
+/// EngineSpecError on setup failures; a *divergent* recovery is
+/// reported through `identical`/`detail`, not thrown — drivers print
+/// it and exit nonzero.
+RestartOutcome RunRestartScenario(
+    const workload::ScenarioSpec& spec, uint64_t seed,
+    const std::string& engine_spec, size_t kill_after_batches,
+    const std::string& checkpoint_dir, const EngineOptions& options = {},
+    const CheckpointPolicy& policy = {.every_batches = 2,
+                                      .every_updates = 0,
+                                      .prune = true});
+
+}  // namespace bdsm::persist

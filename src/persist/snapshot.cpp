@@ -1,0 +1,471 @@
+#include "persist/snapshot.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "persist/crc32.hpp"
+
+namespace bdsm::persist {
+
+namespace {
+
+// ------------------------------------------------- buffer (de)serial
+// Sections are built in memory so their CRC covers exactly the payload
+// bytes that hit the disk; everything is explicit little-endian, same
+// convention as the trace format (workload/trace.cpp).
+
+void PutU32(std::string* out, uint32_t x) {
+  const char b[4] = {static_cast<char>(x), static_cast<char>(x >> 8),
+                     static_cast<char>(x >> 16),
+                     static_cast<char>(x >> 24)};
+  out->append(b, 4);
+}
+
+void PutU64(std::string* out, uint64_t x) {
+  PutU32(out, static_cast<uint32_t>(x));
+  PutU32(out, static_cast<uint32_t>(x >> 32));
+}
+
+void PutDouble(std::string* out, double x) {
+  PutU64(out, std::bit_cast<uint64_t>(x));
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked cursor over one section payload; any overrun throws
+/// with the section name, so a wrong-sized field reads as a friendly
+/// corruption report instead of UB.
+class Cursor {
+ public:
+  Cursor(const std::string& data, const char* section)
+      : data_(data), section_(section) {}
+
+  uint32_t U32() {
+    Need(4);
+    const unsigned char* p =
+        reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+    pos_ += 4;
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+  }
+
+  uint64_t U64() {
+    uint64_t lo = U32();
+    return lo | (static_cast<uint64_t>(U32()) << 32);
+  }
+
+  double Double() { return std::bit_cast<double>(U64()); }
+
+  std::string String() {
+    uint32_t n = U32();
+    Need(n);
+    std::string s = data_.substr(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Guards count-prefixed loops: a hostile count must fail before the
+  /// reserve(), not after the allocator OOMs.
+  void NeedAtLeast(uint64_t items, uint64_t bytes_each) {
+    if (items > (data_.size() - pos_) / bytes_each) {
+      throw PersistError(std::string("snapshot section \"") + section_ +
+                         "\" declares more entries than its payload holds "
+                         "(corrupt or truncated section)");
+    }
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  void Need(uint64_t n) {
+    if (n > data_.size() - pos_) {
+      throw PersistError(std::string("snapshot section \"") + section_ +
+                         "\" ends mid-field (corrupt or truncated section)");
+    }
+  }
+
+  const std::string& data_;
+  const char* section_;
+  size_t pos_ = 0;
+};
+
+// ------------------------------------------------------------ sections
+
+enum SectionId : uint32_t {
+  kSectionMeta = 1,
+  kSectionGraph = 2,
+  kSectionQueries = 3,
+  kSectionTotals = 4,
+};
+
+constexpr uint32_t kNumSections = 4;
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionMeta:
+      return "meta";
+    case kSectionGraph:
+      return "graph";
+    case kSectionQueries:
+      return "queries";
+    case kSectionTotals:
+      return "totals";
+  }
+  return "?";
+}
+
+std::string EncodeMeta(const Snapshot& s) {
+  std::string out;
+  PutString(&out, s.engine_spec);
+  PutU64(&out, s.seed);
+  PutString(&out, s.scenario);
+  PutU64(&out, s.stream_offset);
+  return out;
+}
+
+void DecodeMeta(const std::string& payload, Snapshot* s) {
+  Cursor c(payload, "meta");
+  s->engine_spec = c.String();
+  s->seed = c.U64();
+  s->scenario = c.String();
+  s->stream_offset = c.U64();
+}
+
+std::string EncodeGraph(const LabeledGraph& g) {
+  std::string out;
+  PutU64(&out, g.NumVertices());
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    PutU32(&out, g.VertexLabel(v));
+  }
+  PutU64(&out, g.NumEdges());
+  // Canonical edge order (endpoint-sorted, u < v): the byte stream is a
+  // pure function of the logical graph, never of update history.
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (const Neighbor& nb : g.Neighbors(v)) {
+      if (v < nb.v) {
+        PutU32(&out, v);
+        PutU32(&out, nb.v);
+        PutU32(&out, nb.elabel);
+      }
+    }
+  }
+  return out;
+}
+
+LabeledGraph DecodeGraph(const std::string& payload) {
+  Cursor c(payload, "graph");
+  uint64_t nv = c.U64();
+  c.NeedAtLeast(nv, 4);
+  std::vector<Label> labels;
+  labels.reserve(nv);
+  for (uint64_t v = 0; v < nv; ++v) labels.push_back(c.U32());
+  LabeledGraph g(std::move(labels));
+  uint64_t ne = c.U64();
+  c.NeedAtLeast(ne, 12);
+  for (uint64_t i = 0; i < ne; ++i) {
+    VertexId u = c.U32();
+    VertexId v = c.U32();
+    Label el = c.U32();
+    if (u >= g.NumVertices() || v >= g.NumVertices() ||
+        !g.InsertEdge(u, v, el)) {
+      throw PersistError(
+          "snapshot section \"graph\" holds an invalid edge (endpoint out "
+          "of range or duplicate) — corrupt section");
+    }
+  }
+  return g;
+}
+
+std::string EncodeQueries(const std::vector<RegisteredQuery>& queries) {
+  std::string out;
+  PutU64(&out, queries.size());
+  for (const RegisteredQuery& rq : queries) {
+    PutU32(&out, rq.id);
+    PutU32(&out, static_cast<uint32_t>(rq.query.NumVertices()));
+    for (VertexId u = 0; u < rq.query.NumVertices(); ++u) {
+      PutU32(&out, rq.query.VertexLabel(u));
+    }
+    PutU32(&out, static_cast<uint32_t>(rq.query.NumEdges()));
+    // Query edges keep insertion order: QueryGraph equality (and the
+    // matching-order construction) see the edge list, so round-trip
+    // must preserve it exactly.
+    for (const QueryEdge& e : rq.query.edges()) {
+      PutU32(&out, e.u1);
+      PutU32(&out, e.u2);
+      PutU32(&out, e.elabel);
+    }
+  }
+  return out;
+}
+
+std::vector<RegisteredQuery> DecodeQueries(const std::string& payload) {
+  Cursor c(payload, "queries");
+  uint64_t n = c.U64();
+  c.NeedAtLeast(n, 12);
+  std::vector<RegisteredQuery> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    RegisteredQuery rq;
+    rq.id = c.U32();
+    uint32_t nv = c.U32();
+    c.NeedAtLeast(nv, 4);
+    std::vector<Label> labels;
+    labels.reserve(nv);
+    for (uint32_t u = 0; u < nv; ++u) labels.push_back(c.U32());
+    rq.query = QueryGraph(std::move(labels));
+    uint32_t ne = c.U32();
+    c.NeedAtLeast(ne, 12);
+    for (uint32_t e = 0; e < ne; ++e) {
+      VertexId u1 = c.U32();
+      VertexId u2 = c.U32();
+      Label el = c.U32();
+      if (u1 >= rq.query.NumVertices() || u2 >= rq.query.NumVertices() ||
+          !rq.query.AddEdge(u1, u2, el)) {
+        throw PersistError(
+            "snapshot section \"queries\" holds an invalid query edge — "
+            "corrupt section");
+      }
+    }
+    out.push_back(std::move(rq));
+  }
+  return out;
+}
+
+std::string EncodeTotals(const SnapshotTotals& t) {
+  std::string out;
+  PutU64(&out, t.batches);
+  PutU64(&out, t.ops);
+  PutU64(&out, t.positive_matches);
+  PutU64(&out, t.negative_matches);
+  PutU64(&out, t.truncated_queries);
+  PutU64(&out, t.truncated_batches);
+  PutU64(&out, t.update_makespan_ticks);
+  PutU64(&out, t.match_makespan_ticks);
+  PutDouble(&out, t.latency_seconds);
+  return out;
+}
+
+SnapshotTotals DecodeTotals(const std::string& payload) {
+  Cursor c(payload, "totals");
+  SnapshotTotals t;
+  t.batches = c.U64();
+  t.ops = c.U64();
+  t.positive_matches = c.U64();
+  t.negative_matches = c.U64();
+  t.truncated_queries = c.U64();
+  t.truncated_batches = c.U64();
+  t.update_makespan_ticks = c.U64();
+  t.match_makespan_ticks = c.U64();
+  t.latency_seconds = c.Double();
+  return t;
+}
+
+// --------------------------------------------------------------- file IO
+
+void WriteSection(FILE* f, uint32_t id, const std::string& payload,
+                  const std::string& path) {
+  std::string header;
+  PutU32(&header, id);
+  PutU64(&header, payload.size());
+  std::string trailer;
+  PutU32(&trailer, Crc32(payload));
+  if (fwrite(header.data(), 1, header.size(), f) != header.size() ||
+      (!payload.empty() &&
+       fwrite(payload.data(), 1, payload.size(), f) != payload.size()) ||
+      fwrite(trailer.data(), 1, trailer.size(), f) != trailer.size()) {
+    throw PersistError("cannot write snapshot " + path +
+                       ": I/O error mid-section \"" +
+                       SectionName(id) + "\"");
+  }
+}
+
+uint32_t ReadU32(FILE* f, const std::string& path, const char* what) {
+  unsigned char b[4];
+  if (fread(b, 1, 4, f) != 4) {
+    throw PersistError("snapshot " + path + " is truncated (short " +
+                       what + ")");
+  }
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t ReadU64(FILE* f, const std::string& path, const char* what) {
+  uint64_t lo = ReadU32(f, path, what);
+  return lo | (static_cast<uint64_t>(ReadU32(f, path, what)) << 32);
+}
+
+}  // namespace
+
+Snapshot CaptureSnapshot(const Engine& engine, uint64_t seed,
+                         const std::string& scenario,
+                         uint64_t stream_offset,
+                         const SnapshotTotals& totals) {
+  const EngineInfo info = engine.Describe();
+  if (!info.supports_snapshot) {
+    throw PersistError("engine \"" + info.canonical_spec +
+                       "\" does not support snapshots "
+                       "(Describe().supports_snapshot is false)");
+  }
+  Snapshot s;
+  s.engine_spec = info.canonical_spec;
+  s.seed = seed;
+  s.scenario = scenario;
+  s.stream_offset = stream_offset;
+  s.graph = engine.host_graph();
+  s.queries = engine.RegisteredQueries();
+  s.totals = totals;
+  return s;
+}
+
+void WriteSnapshot(const std::string& path, const Snapshot& snapshot) {
+  FILE* f = fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw PersistError("cannot write snapshot " + path +
+                       ": open failed");
+  }
+  try {
+    std::string header(kSnapshotMagic, sizeof(kSnapshotMagic));
+    PutU32(&header, kSnapshotVersion);
+    PutU32(&header, kNumSections);
+    if (fwrite(header.data(), 1, header.size(), f) != header.size()) {
+      throw PersistError("cannot write snapshot " + path +
+                         ": I/O error in header");
+    }
+    WriteSection(f, kSectionMeta, EncodeMeta(snapshot), path);
+    WriteSection(f, kSectionGraph, EncodeGraph(snapshot.graph), path);
+    WriteSection(f, kSectionQueries, EncodeQueries(snapshot.queries), path);
+    WriteSection(f, kSectionTotals, EncodeTotals(snapshot.totals), path);
+  } catch (...) {
+    fclose(f);
+    throw;
+  }
+  // A snapshot referenced by a manifest must actually be on stable
+  // storage; fsync is part of the write, not a caller nicety.
+  bool ok = fflush(f) == 0 && fsync(fileno(f)) == 0;
+  ok = (fclose(f) == 0) && ok;
+  if (!ok) {
+    throw PersistError("cannot write snapshot " + path +
+                       ": flush/close failed");
+  }
+}
+
+Snapshot ReadSnapshot(const std::string& path) {
+  FILE* f = fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw PersistError("cannot read snapshot " + path +
+                       ": no such file");
+  }
+  Snapshot s;
+  try {
+    char magic[sizeof(kSnapshotMagic)];
+    if (fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+        std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+      throw PersistError("snapshot " + path +
+                         " has a bad magic (not a BDSM snapshot file)");
+    }
+    uint32_t version = ReadU32(f, path, "version");
+    if (version != kSnapshotVersion) {
+      throw PersistError("snapshot " + path + " has format version " +
+                         std::to_string(version) +
+                         "; this build reads version " +
+                         std::to_string(kSnapshotVersion));
+    }
+    uint32_t num_sections = ReadU32(f, path, "section count");
+    if (num_sections != kNumSections) {
+      throw PersistError("snapshot " + path + " declares " +
+                         std::to_string(num_sections) +
+                         " sections; version 1 has exactly " +
+                         std::to_string(kNumSections));
+    }
+    // File size bounds every declared payload (hostile/corrupt sizes
+    // must not reach reserve()).
+    long header_end = ftell(f);
+    if (header_end < 0 || fseek(f, 0, SEEK_END) != 0) {
+      throw PersistError("snapshot " + path + ": seek failed");
+    }
+    long file_size = ftell(f);
+    if (file_size < 0 || fseek(f, header_end, SEEK_SET) != 0) {
+      throw PersistError("snapshot " + path + ": seek failed");
+    }
+    const uint32_t kExpectedOrder[kNumSections] = {
+        kSectionMeta, kSectionGraph, kSectionQueries, kSectionTotals};
+    for (uint32_t expected : kExpectedOrder) {
+      uint32_t id = ReadU32(f, path, "section id");
+      if (id != expected) {
+        throw PersistError(
+            "snapshot " + path + ": expected section \"" +
+            SectionName(expected) + "\", found id " + std::to_string(id) +
+            " (corrupt or reordered sections)");
+      }
+      uint64_t size = ReadU64(f, path, "section size");
+      long pos = ftell(f);
+      if (pos < 0 ||
+          size > static_cast<uint64_t>(file_size) -
+                     static_cast<uint64_t>(pos)) {
+        throw PersistError("snapshot " + path + ": section \"" +
+                           SectionName(id) +
+                           "\" declares more bytes than the file holds "
+                           "(truncated file?)");
+      }
+      std::string payload(size, '\0');
+      if (size > 0 && fread(payload.data(), 1, size, f) != size) {
+        throw PersistError("snapshot " + path + ": section \"" +
+                           SectionName(id) + "\" is truncated");
+      }
+      uint32_t crc = ReadU32(f, path, "section CRC");
+      if (crc != Crc32(payload)) {
+        throw PersistError("snapshot " + path + ": section \"" +
+                           SectionName(id) +
+                           "\" fails its CRC check (corrupt section)");
+      }
+      switch (id) {
+        case kSectionMeta:
+          DecodeMeta(payload, &s);
+          break;
+        case kSectionGraph:
+          s.graph = DecodeGraph(payload);
+          break;
+        case kSectionQueries:
+          s.queries = DecodeQueries(payload);
+          break;
+        case kSectionTotals:
+          s.totals = DecodeTotals(payload);
+          break;
+      }
+    }
+  } catch (...) {
+    fclose(f);
+    throw;
+  }
+  fclose(f);
+  return s;
+}
+
+std::unique_ptr<Engine> BuildEngineFromSnapshot(
+    const Snapshot& snapshot, const EngineOptions& options) {
+  std::unique_ptr<Engine> engine =
+      MakeEngine(snapshot.engine_spec, snapshot.graph, options);
+  if (!engine->Describe().supports_snapshot) {
+    throw PersistError("engine \"" + snapshot.engine_spec +
+                       "\" does not support snapshot restore");
+  }
+  for (const RegisteredQuery& rq : snapshot.queries) {
+    if (!engine->RestoreQuery(rq.query, rq.id)) {
+      throw PersistError(
+          "cannot restore query id " + std::to_string(rq.id) +
+          " into engine \"" + snapshot.engine_spec +
+          "\" (ids out of registration order — corrupt queries section?)");
+    }
+  }
+  return engine;
+}
+
+}  // namespace bdsm::persist

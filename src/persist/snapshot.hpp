@@ -1,0 +1,128 @@
+/// \file snapshot.hpp
+/// Versioned engine snapshots: the durable half of the persistence
+/// subsystem (the other half is the WAL, persist/wal.hpp).
+///
+/// A snapshot freezes everything an engine needs for a warm start —
+/// the evolving graph replica, the registered query set with its
+/// public ids, the canonical EngineSpec the engine was built from,
+/// stream provenance (master seed + scenario + batch offset), and the
+/// cumulative BatchReport aggregates accrued so far — so recovery
+/// after a restart costs `O(tail)` (snapshot load + WAL tail replay)
+/// instead of `O(stream)` (full re-ingest).  The engine state that is
+/// *not* serialized (GPMA segment layout, candidate tables, CSM
+/// indexes) is a pure function of (graph, query, options) and is
+/// rebuilt by construction; docs/PERSISTENCE.md states the exact
+/// recovery invariants this buys.
+///
+/// Layout (version 1; all integers little-endian, doubles as IEEE-754
+/// bit patterns in a u64):
+///
+///   offset  size  field
+///        0     8  magic "BDSMSNP1"
+///        8     4  version            (u32, = 1)
+///       12     4  section count      (u32, = 4)
+///   then per section, in fixed id order (meta, graph, queries,
+///   totals):
+///              4  section id         (u32)
+///              8  payload size       (u64)
+///              N  payload
+///              4  CRC-32 of payload  (u32)
+///
+/// The format is exact and canonical (sorted edge order, no
+/// timestamps, no map iteration), so writing the same logical state
+/// twice produces byte-identical files — "snapshot round-trip
+/// byte-stability" is testable.  Readers reject unknown versions,
+/// unknown/missing/reordered sections, and CRC mismatches with
+/// PersistError messages that name the offending part (the
+/// EngineSpecError philosophy: these files travel between hosts and
+/// deployments, so a helpful message beats an abort).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "graph/labeled_graph.hpp"
+#include "graph/query_graph.hpp"
+
+namespace bdsm::persist {
+
+/// A corrupt, mismatched or unusable persistence artifact (user-facing
+/// error, not an internal invariant — compare EngineSpecError).  The
+/// message is meant to be printed verbatim by CLIs and drivers.
+class PersistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kSnapshotMagic[8] = {'B', 'D', 'S', 'M',
+                                           'S', 'N', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Cumulative BatchReport aggregates across every batch applied before
+/// the snapshot — the counters a restored serving process resumes its
+/// SLO reporting from instead of recounting the whole stream.
+struct SnapshotTotals {
+  uint64_t batches = 0;            ///< batches applied
+  uint64_t ops = 0;                ///< update ops submitted
+  uint64_t positive_matches = 0;   ///< summed over queries and batches
+  uint64_t negative_matches = 0;
+  uint64_t truncated_queries = 0;  ///< query-batch pairs with partial results
+  uint64_t truncated_batches = 0;  ///< batches with >= 1 truncated query
+  uint64_t update_makespan_ticks = 0;  ///< summed aggregate device stats
+  uint64_t match_makespan_ticks = 0;
+  double latency_seconds = 0.0;    ///< summed, under the engine's clock
+
+  friend bool operator==(const SnapshotTotals&,
+                         const SnapshotTotals&) = default;
+};
+
+/// The logical state a snapshot file carries.
+struct Snapshot {
+  std::string engine_spec;  ///< canonical spec (Engine::Describe())
+  uint64_t seed = 0;        ///< stream master seed (provenance)
+  std::string scenario;     ///< scenario / generator name ("" ad hoc)
+  /// Stream position: number of batches applied to the engine before
+  /// this snapshot was taken.  Restore resumes at this batch index;
+  /// the WAL tail holds batches [stream_offset, ...).
+  uint64_t stream_offset = 0;
+  LabeledGraph graph;       ///< evolving replica at stream_offset
+  /// Registered queries with their public ids, in registration order.
+  std::vector<RegisteredQuery> queries;
+  SnapshotTotals totals;
+};
+
+/// Captures the engine's current state between batches.  Throws
+/// PersistError when the engine does not support snapshots
+/// (Describe().supports_snapshot == false).
+Snapshot CaptureSnapshot(const Engine& engine, uint64_t seed,
+                         const std::string& scenario,
+                         uint64_t stream_offset,
+                         const SnapshotTotals& totals = {});
+
+/// Serializes `snapshot` to `path` (byte-stable: the same logical
+/// state always produces identical bytes).  Throws PersistError on I/O
+/// failure.
+void WriteSnapshot(const std::string& path, const Snapshot& snapshot);
+
+/// Parses and CRC-verifies a snapshot file.  Throws PersistError
+/// naming the failure: missing file, bad magic, unknown version,
+/// missing/unknown section, section CRC mismatch, or a payload the
+/// declared sizes cannot hold.
+Snapshot ReadSnapshot(const std::string& path);
+
+/// Warm-starts an engine from a snapshot: builds the canonical spec
+/// through the registry over the snapshot graph and re-registers every
+/// query under its original public id.  The result is the engine a
+/// cold replay of the first `stream_offset` batches would have
+/// produced — bit-identical on matches and replica state; physical
+/// device-graph layout (and therefore modeled tick stats of later
+/// batches) legitimately reflects the bulk build, see
+/// docs/PERSISTENCE.md.  Throws PersistError (unknown spec, id
+/// restore refused) or EngineSpecError (spec no longer registered).
+std::unique_ptr<Engine> BuildEngineFromSnapshot(
+    const Snapshot& snapshot, const EngineOptions& options = {});
+
+}  // namespace bdsm::persist

@@ -1,0 +1,144 @@
+#include "persist/wal.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "persist/snapshot.hpp"  // PersistError
+
+namespace bdsm::persist {
+
+std::string WalWriter::SegmentFileName(uint64_t generation,
+                                       uint64_t first_batch) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "wal-g%03" PRIu64 "-%010" PRIu64 ".trc",
+           generation, first_batch);
+  return buf;
+}
+
+WalWriter::WalWriter(std::string dir, workload::TraceMeta meta,
+                     WalOptions options, uint64_t next_batch,
+                     uint64_t generation)
+    : dir_(std::move(dir)),
+      meta_(std::move(meta)),
+      options_(options),
+      next_batch_(next_batch),
+      generation_(generation),
+      segment_first_batch_(next_batch) {
+  if (options_.batches_per_segment == 0) options_.batches_per_segment = 1;
+  OpenSegment();
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::OpenSegment() {
+  segment_first_batch_ = next_batch_;
+  std::string file = SegmentFileName(generation_, segment_first_batch_);
+  writer_ = std::make_unique<workload::TraceWriter>(dir_ + "/" + file,
+                                                    meta_);
+  if (!writer_->ok()) {
+    ok_ = false;
+    writer_.reset();
+    return;
+  }
+  segments_.push_back(WalSegment{std::move(file), segment_first_batch_});
+}
+
+uint64_t WalWriter::Append(const UpdateBatch& batch) {
+  if (!ok_) return next_batch_;
+  if (writer_->num_batches() >= options_.batches_per_segment) Rotate();
+  if (!ok_) return next_batch_;
+  writer_->Append(batch);
+  // The durability contract: when Append returns with ok(), this batch
+  // is on stable storage (or at least handed to the OS when syncing is
+  // off) — the recovery invariant of docs/PERSISTENCE.md.
+  if (!writer_->Flush(options_.sync_every_batch)) ok_ = false;
+  return next_batch_++;
+}
+
+void WalWriter::Rotate() {
+  if (!ok_ || writer_ == nullptr) return;
+  if (writer_->num_batches() == 0) return;  // already at a boundary
+  // The patched header count must be as durable as the batches it
+  // describes: a power loss after rotation must not roll a closed
+  // segment's header back to the placeholder.
+  writer_->Close(options_.sync_every_batch);
+  if (!writer_->ok()) {
+    ok_ = false;
+    return;
+  }
+  OpenSegment();
+}
+
+void WalWriter::Close() {
+  if (writer_ == nullptr) return;
+  writer_->Close(options_.sync_every_batch);
+  if (!writer_->ok()) ok_ = false;
+  writer_.reset();
+}
+
+std::vector<UpdateBatch> ReadWalTail(const std::string& dir,
+                                     const std::vector<WalSegment>& segments,
+                                     uint64_t from_batch, bool* torn) {
+  if (torn != nullptr) *torn = false;
+  std::vector<UpdateBatch> out;
+  uint64_t next_expected = from_batch;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const WalSegment& seg = segments[i];
+    const bool final_segment = i + 1 == segments.size();
+    // Segments fully before the restore point were superseded by the
+    // snapshot; manifests normally prune them, but a tail that still
+    // lists them replays fine by skipping.
+    uint64_t seg_index = seg.first_batch;
+    workload::TraceReader::Options ropt;
+    // Every segment is read by its bytes, not its header count: a
+    // non-final segment's header patch may have been rotated past
+    // without reaching stable storage (sync_every_batch off), in
+    // which case the count reads as the placeholder 0 while every
+    // batch's data is durable and perfectly replayable.  Only the
+    // newest segment may legitimately end *short* (the writer died
+    // mid-append); a short non-final segment is corruption and is
+    // rejected below.
+    ropt.recover_truncated = true;
+    workload::TraceReader reader(dir + "/" + seg.file, ropt);
+    if (!reader.ok()) {
+      // A final segment whose header never made it to disk whole is
+      // the crash-while-rotating case: the segment holds no durable
+      // batches, so the tail simply ends here.  Anywhere earlier the
+      // header was durable before the next segment existed, so damage
+      // is corruption.
+      if (final_segment) {
+        if (torn != nullptr) *torn = true;
+        break;
+      }
+      throw PersistError("WAL segment " + seg.file +
+                         " is missing or has a corrupt header");
+    }
+    while (auto batch = reader.Next()) {
+      if (seg_index >= from_batch) {
+        if (seg_index != next_expected) {
+          throw PersistError(
+              "WAL segments do not chain: expected batch " +
+              std::to_string(next_expected) + ", segment " + seg.file +
+              " supplies batch " + std::to_string(seg_index));
+        }
+        out.push_back(std::move(*batch));
+        ++next_expected;
+      }
+      ++seg_index;
+    }
+    if (reader.truncated()) {
+      if (!final_segment) {
+        // This segment's successor exists, so its data was complete
+        // before the crash — ending short means acknowledged batches
+        // were lost.  Refuse rather than silently dropping them.
+        throw PersistError("WAL segment " + seg.file +
+                           " is corrupt mid-stream (not a torn tail)");
+      }
+      if (torn != nullptr) *torn = true;
+      break;  // everything after the tear is unrecoverable by design
+    }
+  }
+  return out;
+}
+
+}  // namespace bdsm::persist

@@ -1,0 +1,134 @@
+/// \file wal.hpp
+/// Write-ahead log on the trace format: the durable tail of the
+/// persistence subsystem.
+///
+/// The WAL tees every applied `UpdateBatch` into append-only *segment*
+/// files that reuse the versioned binary trace format of
+/// workload/trace.hpp ("BDSMTRC1") byte for byte — a WAL segment IS a
+/// replayable trace, so the whole record/replay toolchain (golden
+/// traces, `bench_scenarios --replay`, the TraceReader recover mode)
+/// works on recovery tails for free.  Differences from a recorded
+/// trace are operational, not structural:
+///
+///  * fsync on batch boundaries (WalOptions::sync_every_batch): a
+///    batch acknowledged by Append survives a crash;
+///  * segment rotation every `batches_per_segment` batches (and at
+///    every snapshot), so a checkpoint can drop fully-covered segments
+///    and the recovery tail stays O(tail);
+///  * the header's batch count is only patched when a segment closes
+///    cleanly — a crashed segment reads back through the recover mode
+///    ("stop at last good batch"), which is exactly the torn-final-
+///    write semantics recovery wants.
+///
+/// Segment files are named `wal-g<generation>-<first_batch>.trc`:
+/// `<generation>` is the checkpoint generation (manifest.hpp) and
+/// `<first_batch>` the global stream index of the segment's first
+/// batch, both zero-padded so lexicographic order within a generation
+/// is replay order.  Replay order is authoritative from the manifest,
+/// never from directory listings.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/update_stream.hpp"
+#include "workload/trace.hpp"
+
+namespace bdsm::persist {
+
+struct WalOptions {
+  /// Rotate to a fresh segment after this many batches (snapshots also
+  /// force a rotation so segment boundaries align with checkpoints).
+  size_t batches_per_segment = 256;
+  /// fsync after every appended batch.  Turning this off trades the
+  /// crash-durability of the last few batches for throughput (the OS
+  /// still sees every byte; only the storage barrier is skipped).
+  bool sync_every_batch = true;
+};
+
+/// One WAL segment on disk: `file` (relative to the checkpoint dir)
+/// holds batches [first_batch, first_batch + num_batches); num_batches
+/// is 0 for the still-open tail segment (its count is discovered by
+/// the recover-mode reader).
+struct WalSegment {
+  std::string file;
+  uint64_t first_batch = 0;
+
+  friend bool operator==(const WalSegment&, const WalSegment&) = default;
+};
+
+/// Appends batches to rotating trace segments in a checkpoint
+/// directory.  Construction opens the first segment; Append tees one
+/// batch (fsync per options); Close() finishes the current segment
+/// cleanly (patches its header count).  A WalWriter that hit an I/O
+/// error reports !ok() and ignores further appends — the caller
+/// decides whether to fail the stream or carry on without durability.
+class WalWriter {
+ public:
+  /// `generation` is the checkpoint generation embedded in segment
+  /// file names (persist/manifest.hpp): segments of different
+  /// checkpoint generations never collide, so writing a new
+  /// checkpoint into a reused directory leaves the live one's
+  /// segments untouched until the manifest switches.
+  WalWriter(std::string dir, workload::TraceMeta meta,
+            WalOptions options = {}, uint64_t next_batch = 0,
+            uint64_t generation = 1);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  bool ok() const { return ok_; }
+
+  /// Appends the batch as global index next_batch(); rotates first
+  /// when the current segment is full.  Returns the index the batch
+  /// was logged under.
+  uint64_t Append(const UpdateBatch& batch);
+
+  /// Closes the current segment and opens a fresh one starting at
+  /// next_batch().  Called on snapshot boundaries so the manifest's
+  /// tail is segment-aligned; a no-op on an empty current segment.
+  void Rotate();
+
+  /// Cleanly closes the current segment.  Idempotent; the destructor
+  /// calls it.
+  void Close();
+
+  /// Global index the next appended batch will get.
+  uint64_t next_batch() const { return next_batch_; }
+
+  /// Every segment this writer created, in order (the open tail
+  /// segment included).
+  const std::vector<WalSegment>& segments() const { return segments_; }
+
+  static std::string SegmentFileName(uint64_t generation,
+                                     uint64_t first_batch);
+
+ private:
+  void OpenSegment();
+
+  std::string dir_;
+  workload::TraceMeta meta_;
+  WalOptions options_;
+  uint64_t next_batch_;
+  uint64_t generation_;
+  uint64_t segment_first_batch_;
+  std::unique_ptr<workload::TraceWriter> writer_;
+  std::vector<WalSegment> segments_;
+  bool ok_ = true;
+};
+
+/// Replays the WAL tail: batches with global indexes >= `from_batch`
+/// out of `segments` (manifest order, ascending first_batch).  The
+/// final segment is read in recover mode — a torn final write there is
+/// expected crash wreckage and stops the tail at the last good batch,
+/// reported through `*torn` when non-null.  A torn or corrupt batch in
+/// a non-final segment, a missing segment file, or segments whose
+/// indexes do not chain contiguously throw PersistError (that is data
+/// loss, not a crash artifact).
+std::vector<UpdateBatch> ReadWalTail(const std::string& dir,
+                                     const std::vector<WalSegment>& segments,
+                                     uint64_t from_batch,
+                                     bool* torn = nullptr);
+
+}  // namespace bdsm::persist

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "persist/checkpoint.hpp"
 #include "util/common.hpp"
 #include "util/timer.hpp"
 
@@ -73,6 +74,7 @@ EngineInfo ShardedEngine::Describe() const {
   info.supports_remove_query = inner.supports_remove_query;
   info.num_shards = shards_.size();
   info.inner_spec = inner.canonical_spec;
+  info.supports_snapshot = inner.supports_snapshot;
   return info;
 }
 
@@ -112,6 +114,38 @@ std::vector<QueryId> ShardedEngine::QueryIds() const {
   ids.reserve(slots_.size());
   for (const SlotRef& ref : slots_) ids.push_back(ref.public_id);
   return ids;
+}
+
+std::vector<RegisteredQuery> ShardedEngine::RegisteredQueries() const {
+  // One capture per shard, indexed by inner id (this sits on the
+  // snapshot path, which checkpoint policies may hit every batch).
+  std::vector<std::unordered_map<QueryId, QueryGraph>> by_inner(
+      shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (RegisteredQuery& rq : shards_[s].engine->RegisteredQueries()) {
+      by_inner[s].emplace(rq.id, std::move(rq.query));
+    }
+  }
+  std::vector<RegisteredQuery> out;
+  out.reserve(slots_.size());
+  for (const SlotRef& ref : slots_) {
+    auto it = by_inner[ref.shard].find(ref.inner_id);
+    if (it == by_inner[ref.shard].end()) {
+      return {};  // inner engine cannot capture its set
+    }
+    // The public id is what the snapshot records.
+    out.push_back(RegisteredQuery{ref.public_id, std::move(it->second)});
+  }
+  return out;
+}
+
+bool ShardedEngine::RestoreQuery(const QueryGraph& q, QueryId id) {
+  if (id < next_id_) return false;
+  // Round-robin placement is keyed on the public id, so advancing the
+  // counter to the snapshot id reproduces the original shard
+  // assignment exactly (gaps from removed queries included).
+  next_id_ = id;
+  return AddQuery(q) == id;
 }
 
 size_t ShardedEngine::ShardOf(QueryId id) const {
@@ -253,6 +287,14 @@ void ShardedEngine::RunMatchPhase(const UpdateBatch& batch, bool positive,
         shard.engine->RunMatchPhase(batch, positive, inner, &shard.scratch);
       });
   MergeIntoReport(options, report);
+  // The positive phase closes a batch: every shard replica has applied
+  // it and the merged report is final modulo wall timing — the batch
+  // barrier the coordinated snapshot design requires.  (The WAL
+  // receives the sanitized batch; re-sanitizing it on replay against
+  // the same replica state is the identity.)
+  if (positive && checkpointer_ != nullptr) {
+    checkpointer_->OnBatchApplied(*this, batch, *report);
+  }
 }
 
 void ShardedEngine::RunUpdatePhase(const UpdateBatch& batch,

@@ -77,6 +77,10 @@
 #include "serve/result_fanin.hpp"
 #include "serve/thread_pool.hpp"
 
+namespace bdsm::persist {
+class Checkpointer;
+}
+
 namespace bdsm::serve {
 
 class ShardedEngine final : public Engine {
@@ -114,6 +118,13 @@ class ShardedEngine final : public Engine {
   QueryId AddQuery(const QueryGraph& q) override;
   bool RemoveQuery(QueryId id) override;
   std::vector<QueryId> QueryIds() const override;
+
+  /// Snapshot capture/restore (persist/): the public query set is the
+  /// unit of persistence — shard placement is a pure function of the
+  /// public id (round-robin), so restoring queries under their original
+  /// ids reproduces the exact sharding.
+  std::vector<RegisteredQuery> RegisteredQueries() const override;
+  bool RestoreQuery(const QueryGraph& q, QueryId id) override;
 
   /// All shard replicas are identical; this returns shard 0's.
   const LabeledGraph& host_graph() const override {
@@ -166,6 +177,24 @@ class ShardedEngine final : public Engine {
   /// in-flight batch no longer counts).
   size_t PendingBatches() const;
   size_t QueueCapacity() const { return queue_capacity_; }
+
+  // ----------------------------------------------- persistence hook
+
+  /// Plugs a Checkpointer into the serving loop: after every fully
+  /// applied batch (all shard replicas advanced — the per-batch
+  /// barrier), the engine tees the batch into the checkpoint's WAL and
+  /// lets the checkpoint policy decide whether to snapshot.  All shard
+  /// replicas are identical at the barrier, so one coordinated snapshot
+  /// of the public state (graph + public query set) covers every shard
+  /// and lands in one manifest.  Covers every drive path (direct
+  /// ProcessBatch, StreamPipeline, SubmitBatch).  The checkpointer must
+  /// outlive the engine or be detached (nullptr) first; the caller must
+  /// have Begin()-started it against this engine.  Do not also tee the
+  /// same batches at the driver layer (ScenarioRunner's checkpointer
+  /// hook) — that would record them twice.
+  void AttachCheckpointer(persist::Checkpointer* checkpointer) {
+    checkpointer_ = checkpointer;
+  }
 
   /// True once a batch failed mid-flight on any drive path (direct
   /// ProcessBatch, StreamPipeline, or SubmitBatch).  A failure may
@@ -239,6 +268,7 @@ class ShardedEngine final : public Engine {
   size_t queue_capacity_;
   bool stopping_ = false;
   std::atomic<bool> poisoned_{false};
+  persist::Checkpointer* checkpointer_ = nullptr;
   std::thread dispatcher_;
 };
 

@@ -1,5 +1,8 @@
 #include "workload/scenario_runner.hpp"
 
+#include <algorithm>
+
+#include "persist/checkpoint.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
@@ -65,24 +68,44 @@ bool ScenarioRunner::RecordTrace(const std::string& path) const {
 }
 
 ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
-                                   const EngineOptions& options) const {
+                                   const EngineOptions& options,
+                                   const RunControls& controls) const {
   ScenarioReport out;
   out.scenario = spec_.name;
   out.engine = engine_spec;
   out.seed = seed_;
   out.num_queries = queries_.size();
 
-  std::unique_ptr<Engine> engine = MakeEngine(engine_spec, graph_, options);
-  for (const QueryGraph& q : queries_) engine->AddQuery(q);
+  // Either a fresh engine with the scenario's query set, or a caller-
+  // supplied (typically warm-restored) engine whose queries are
+  // already registered.
+  std::unique_ptr<Engine> owned;
+  Engine* engine = controls.engine;
+  if (engine == nullptr) {
+    owned = MakeEngine(engine_spec, graph_, options);
+    for (const QueryGraph& q : queries_) owned->AddQuery(q);
+    engine = owned.get();
+  }
 
   // The engine declares its own clock — no downcasts, no name-sniffing.
   const EngineInfo info = engine->Describe();
   out.canonical_spec = info.canonical_spec;
   out.latency_metric = ClockDomainName(info.clock);
 
-  out.batches.reserve(stream_.size());
-  for (const UpdateBatch& batch : stream_) {
+  const size_t first = std::min(controls.first_batch, stream_.size());
+  const size_t last =
+      first + std::min(controls.max_batches, stream_.size() - first);
+  if (controls.checkpointer != nullptr) {
+    controls.checkpointer->Begin(*engine, stream_seed_, spec_.name, first);
+  }
+
+  out.batches.reserve(last - first);
+  for (size_t b = first; b < last; ++b) {
+    const UpdateBatch& batch = stream_[b];
     BatchReport report = engine->ProcessBatch(batch);
+    if (controls.checkpointer != nullptr) {
+      controls.checkpointer->OnBatchApplied(*engine, batch, report);
+    }
     ScenarioBatchMetric m;
     m.ops = batch.size();
     for (const QueryReport& qr : report.queries) {
@@ -107,6 +130,10 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
     if (m.truncated_queries > 0) ++out.truncated_batches;
     out.batches.push_back(m);
   }
+  // Close the WAL segment cleanly (a crash between batches is the
+  // torn-tail case RestoreEngine recovers; a completed run should not
+  // look like one).
+  if (controls.checkpointer != nullptr) controls.checkpointer->Finish();
   return out;
 }
 

@@ -26,6 +26,10 @@
 #include "workload/scenario.hpp"
 #include "workload/trace.hpp"
 
+namespace bdsm::persist {
+class Checkpointer;
+}
+
 namespace bdsm::workload {
 
 /// One batch's measurement.
@@ -79,12 +83,40 @@ class ScenarioRunner {
   /// Writes the current stream as a trace artifact; false on I/O error.
   bool RecordTrace(const std::string& path) const;
 
+  /// Persistence/recovery controls for Run (persist/checkpoint.hpp).
+  /// Defaults reproduce the plain full-stream run.
+  struct RunControls {
+    /// First stream batch to process (a restored engine resumes at
+    /// RestoredEngine::next_batch).
+    size_t first_batch = 0;
+    /// Process at most this many batches — the "kill point" of the
+    /// restart scenario; the report then covers the prefix only.
+    size_t max_batches = static_cast<size_t>(-1);
+    /// Drive this pre-built engine (not owned; its registered queries
+    /// are kept — the restored-engine path) instead of building one
+    /// from the spec and registering the scenario's query set.
+    Engine* engine = nullptr;
+    /// When set, the runner Begin()s a checkpoint of the engine at
+    /// `first_batch` (base snapshot + manifest) and tees every applied
+    /// batch through OnBatchApplied.  Do not combine with an engine
+    /// that already has its own attached checkpointer.
+    persist::Checkpointer* checkpointer = nullptr;
+  };
+
   /// Runs the whole stream through a freshly built engine.  `options`
   /// tunes budgets/caps (EngineOptions defaults otherwise; inline
   /// spec overrides win).  Throws EngineSpecError on a bad spec —
   /// validate upfront with EngineRegistry::Validate to fail fast.
+  /// `controls` scopes the run to a stream window, substitutes a
+  /// pre-built (e.g. restored) engine, and/or tees batches into a
+  /// checkpoint (PersistError propagates on checkpoint I/O failure).
   ScenarioReport Run(const std::string& engine_spec,
-                     const EngineOptions& options = {}) const;
+                     const EngineOptions& options = {}) const {
+    return Run(engine_spec, options, RunControls{});
+  }
+  ScenarioReport Run(const std::string& engine_spec,
+                     const EngineOptions& options,
+                     const RunControls& controls) const;
 
   const ScenarioSpec& spec() const { return spec_; }
   uint64_t seed() const { return seed_; }

@@ -1,5 +1,7 @@
 #include "workload/trace.hpp"
 
+#include <unistd.h>
+
 #include <cstring>
 
 namespace bdsm::workload {
@@ -82,18 +84,29 @@ void TraceWriter::Append(const UpdateBatch& batch) {
   ++num_batches_;
 }
 
-void TraceWriter::Close() {
+bool TraceWriter::Flush(bool sync) {
+  if (f_ == nullptr || !ok_) return false;
+  if (fflush(f_) != 0) ok_ = false;
+  if (sync && ok_ && fsync(fileno(f_)) != 0) ok_ = false;
+  return ok_;
+}
+
+void TraceWriter::Close(bool sync) {
   if (f_ == nullptr) return;
   if (ok_ && fseek(f_, kNumBatchesOffset, SEEK_SET) == 0) {
     PutU64(f_, num_batches_, &ok_);
   } else {
     ok_ = false;
   }
+  if (sync && ok_) {
+    if (fflush(f_) != 0 || fsync(fileno(f_)) != 0) ok_ = false;
+  }
   if (fclose(f_) != 0) ok_ = false;
   f_ = nullptr;
 }
 
-TraceReader::TraceReader(const std::string& path) {
+TraceReader::TraceReader(const std::string& path, Options options)
+    : options_(options) {
   f_ = fopen(path.c_str(), "rb");
   if (f_ == nullptr) return;
   if (fseek(f_, 0, SEEK_END) != 0) return;
@@ -111,9 +124,13 @@ TraceReader::TraceReader(const std::string& path) {
   }
   // Counts come from the file; sanity-check them against the bytes
   // actually present before anyone reserve()s on them, so a corrupt or
-  // hostile header yields !ok() instead of std::bad_alloc.
+  // hostile header yields !ok() instead of std::bad_alloc.  In recover
+  // mode the batch count is advisory anyway (a crashed writer leaves
+  // the placeholder 0 or, truncated mid-file, a count the bytes cannot
+  // honor), so only the name length gates here.
   if (name_len > RemainingBytes() ||
-      num_batches_ > (RemainingBytes() - name_len) / 8) {
+      (!options_.recover_truncated &&
+       num_batches_ > (RemainingBytes() - name_len) / 8)) {
     return;
   }
   meta_.scenario.resize(name_len);
@@ -136,18 +153,36 @@ TraceReader::~TraceReader() {
 }
 
 std::optional<UpdateBatch> TraceReader::Next() {
-  if (!ok_ || read_batches_ >= num_batches_) return std::nullopt;
+  if (!ok_ || truncated_) return std::nullopt;
+  if (options_.recover_truncated) {
+    // Recover mode walks the bytes, not the header: a crashed writer
+    // never patched the count.  A clean stop is ending exactly on a
+    // batch boundary with at least as many batches as the header
+    // promised (0 = placeholder, promises nothing).
+    if (RemainingBytes() == 0) {
+      truncated_ = num_batches_ != 0 && read_batches_ < num_batches_;
+      return std::nullopt;
+    }
+  } else if (read_batches_ >= num_batches_) {
+    return std::nullopt;
+  }
+  // A short trailing record is corruption in strict mode (the header
+  // promised it whole) but expected wreckage in recover mode — stop at
+  // the last good batch and report truncated() instead.
+  auto torn = [this]() -> std::optional<UpdateBatch> {
+    if (options_.recover_truncated) {
+      truncated_ = true;
+    } else {
+      ok_ = false;
+    }
+    return std::nullopt;
+  };
   uint64_t num_ops = 0;
-  if (!GetU64(f_, &num_ops)) {
-    ok_ = false;
-    return std::nullopt;
-  }
+  if (!GetU64(f_, &num_ops)) return torn();
   // 13 bytes per op (see trace.hpp); an op count the remaining file
-  // cannot hold marks the trace corrupt before reserve() can blow up.
-  if (num_ops > RemainingBytes() / 13) {
-    ok_ = false;
-    return std::nullopt;
-  }
+  // cannot hold marks the trace corrupt (or torn) before reserve() can
+  // blow up.
+  if (num_ops > RemainingBytes() / 13) return torn();
   UpdateBatch batch;
   batch.reserve(num_ops);
   for (uint64_t i = 0; i < num_ops; ++i) {
@@ -155,8 +190,7 @@ std::optional<UpdateBatch> TraceReader::Next() {
     uint32_t u = 0, v = 0, el = 0;
     if (!GetU8(f_, &ins) || !GetU32(f_, &u) || !GetU32(f_, &v) ||
         !GetU32(f_, &el)) {
-      ok_ = false;
-      return std::nullopt;
+      return torn();
     }
     batch.push_back(UpdateOp{ins != 0, u, v, el});
   }

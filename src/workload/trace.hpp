@@ -66,7 +66,22 @@ class TraceWriter {
 
   bool ok() const { return ok_; }
   void Append(const UpdateBatch& batch);
-  void Close();
+  /// Patches the header batch count and closes the file.  With
+  /// `sync`, the patched header is fsynced before the close — a
+  /// cleanly-closed WAL segment must survive a power loss as closed,
+  /// or its header count reads as the placeholder and strict readers
+  /// see an empty segment.
+  void Close(bool sync = false);
+
+  /// Durability point: flushes buffered bytes to the OS and, with
+  /// `sync`, fsyncs them to stable storage.  Called by the persistence
+  /// layer's WAL on batch boundaries — everything appended before a
+  /// successful Flush(true) survives a crash; the header's batch count
+  /// is only patched by Close(), so a crashed trace must be read back
+  /// with TraceReader::Options::recover_truncated.
+  bool Flush(bool sync);
+
+  uint64_t num_batches() const { return num_batches_; }
 
  private:
   FILE* f_ = nullptr;
@@ -76,22 +91,47 @@ class TraceWriter {
 
 /// Reads a trace back.  Construction validates magic + version and
 /// loads the header; Next() then yields batches in order.
+///
+/// Two reading modes:
+///  * strict (default): the header's batch count is authoritative;
+///    a file that cannot deliver it is corrupt and flips ok() false.
+///  * recover (Options::recover_truncated): for WAL tails and crashed
+///    recordings — the header count is advisory (a crashed writer never
+///    patched it), Next() yields every *complete* batch the bytes hold
+///    and stops cleanly at the first torn or short trailing record,
+///    which `truncated()` reports instead of poisoning ok().
 class TraceReader {
  public:
-  explicit TraceReader(const std::string& path);
+  struct Options {
+    /// Stop-at-last-good-batch mode for torn final writes (crashed
+    /// writer / partial flush).  A torn *trailing* batch is expected
+    /// wreckage, not corruption: ok() stays true, truncated() turns
+    /// true, and everything before the tear is served.
+    bool recover_truncated = false;
+  };
+
+  explicit TraceReader(const std::string& path) : TraceReader(path, Options{}) {}
+  TraceReader(const std::string& path, Options options);
   ~TraceReader();
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
 
   /// False when the file is missing, has a bad magic, or an unknown
-  /// version; Next() on a !ok() reader always returns nullopt.
+  /// version; Next() on a !ok() reader always returns nullopt.  In
+  /// strict mode a truncated body also flips this false.
   bool ok() const { return ok_; }
   const TraceMeta& meta() const { return meta_; }
   uint64_t num_batches() const { return num_batches_; }
+  /// Complete batches delivered so far.
+  uint64_t read_batches() const { return read_batches_; }
+  /// Recover mode: true once the end of the readable data fell short of
+  /// a batch boundary (torn final write) or of the header's batch count.
+  bool truncated() const { return truncated_; }
 
   /// Next batch, or nullopt at end-of-trace / on a truncated file
-  /// (truncation flips ok() to false so callers can tell the two
-  /// apart).
+  /// (strict mode: truncation flips ok() to false so callers can tell
+  /// the two apart; recover mode: truncation sets truncated() and ends
+  /// the stream at the last good batch).
   std::optional<UpdateBatch> Next();
 
  private:
@@ -100,11 +140,13 @@ class TraceReader {
   uint64_t RemainingBytes() const;
 
   FILE* f_ = nullptr;
+  Options options_;
   TraceMeta meta_;
   uint64_t file_size_ = 0;
   uint64_t num_batches_ = 0;
   uint64_t read_batches_ = 0;
   bool ok_ = false;
+  bool truncated_ = false;
 };
 
 /// One-shot record: writes the whole stream; false on I/O failure.

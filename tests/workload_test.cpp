@@ -270,6 +270,89 @@ TEST(TraceTest, RejectsCorruptHeaders) {
   EXPECT_FALSE(ReadTrace(truncated).has_value());
 }
 
+TEST(TraceTest, RecoverModeStopsAtLastGoodBatch) {
+  // The WAL-tail contract (persist/wal.hpp): a torn final write is
+  // recoverable wreckage, not corruption — recover mode serves every
+  // complete batch and reports truncated() instead of !ok().
+  std::vector<UpdateBatch> stream = {
+      {UpdateOp{true, 1, 2, 0}},
+      {UpdateOp{true, 3, 4, 0}, UpdateOp{false, 1, 2, 0}},
+      {UpdateOp{true, 5, 6, 0}}};
+  std::string path = TempPath("recover.trace");
+  ASSERT_TRUE(WriteTrace(path, TraceMeta{9, "r"}, stream));
+  const std::string bytes = ReadFileBytes(path);
+
+  auto rewrite = [&](size_t keep) {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(bytes.data(), 1, keep, f);
+    fclose(f);
+  };
+  auto drain = [](TraceReader* r) {
+    std::vector<UpdateBatch> got;
+    while (auto b = r->Next()) got.push_back(std::move(*b));
+    return got;
+  };
+  TraceReader::Options recover;
+  recover.recover_truncated = true;
+
+  // Torn mid-op in the final batch: two good batches survive.
+  rewrite(bytes.size() - 5);
+  {
+    TraceReader strict(path);
+    ASSERT_TRUE(strict.ok());
+    drain(&strict);
+    EXPECT_FALSE(strict.ok());  // strict mode: corrupt
+
+    TraceReader r(path, recover);
+    ASSERT_TRUE(r.ok());
+    std::vector<UpdateBatch> got = drain(&r);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r.truncated());
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0], stream[0]);
+    EXPECT_EQ(got[1], stream[1]);
+    EXPECT_EQ(r.read_batches(), 2u);
+  }
+
+  // Torn exactly on a batch boundary (the final batch's ops are gone
+  // but its count survived): still two good batches.
+  rewrite(bytes.size() - 13 - 4);  // 13-byte op + part of the count
+  {
+    TraceReader r(path, recover);
+    EXPECT_EQ(drain(&r).size(), 2u);
+    EXPECT_TRUE(r.truncated());
+  }
+
+  // Untouched file: recover mode is a no-op (all batches, clean end).
+  rewrite(bytes.size());
+  {
+    TraceReader r(path, recover);
+    EXPECT_EQ(drain(&r), stream);
+    EXPECT_TRUE(r.ok());
+    EXPECT_FALSE(r.truncated());
+  }
+
+  // Crashed-writer shape: header batch count still the placeholder 0
+  // (never patched by Close).  Strict mode sees an empty trace;
+  // recover mode walks the bytes and finds all three batches.
+  std::string unpatched = bytes;
+  for (int i = 0; i < 8; ++i) unpatched[24 + i] = '\0';
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(unpatched.data(), 1, unpatched.size(), f);
+    fclose(f);
+    TraceReader strict(path);
+    EXPECT_EQ(drain(&strict).size(), 0u);
+    EXPECT_TRUE(strict.ok());
+
+    TraceReader r(path, recover);
+    EXPECT_EQ(drain(&r), stream);
+    EXPECT_FALSE(r.truncated());  // every batch was durable
+  }
+}
+
 TEST(TraceTest, IncrementalWriterMatchesOneShot) {
   LabeledGraph g = TestGraph();
   std::vector<UpdateBatch> stream =
