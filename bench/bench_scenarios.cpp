@@ -9,7 +9,19 @@
 ///                   [--seed N] [--json PATH] [--record PATH]
 ///                   [--replay PATH] [--budget SECONDS] [--list]
 ///                   [--checkpoint-dir DIR] [--checkpoint-every N]
-///                   [--restart-at K]
+///                   [--restart-at K] [--tenants N]
+///                   [--priority-mix CLASS[:W],...] [--admission on|off]
+///                   [--slo SECONDS]
+///
+/// Multi-tenant runs (docs/SERVING.md): tenant-mix scenarios
+/// (tenant-skew, noisy-neighbor, overload-storm) drive bare engine
+/// specs through an auto-composed tenant(...) front door and report
+/// per-tenant rows + the Jain fairness index.  `--tenants N` synthesizes
+/// an N-way uniform mix for any scenario that does not define its own
+/// (priorities rotate through --priority-mix; default all silver);
+/// --admission/--slo tune the composed wrap.  Specs already rooted at
+/// tenant(...) are taken verbatim — combining them with these flags is
+/// rejected so nothing is silently ignored.
 ///
 /// Defaults: --scenario smoke, --engine gamma, --seed 2024
 /// (workload::kDefaultScenarioSeed).  Engines may be any registry spec
@@ -37,6 +49,7 @@
 /// parallelism claims): modeled device seconds for device engines,
 /// critical-path seconds for sharded CPU engines, host wall otherwise —
 /// each JSON row names its clock in "latency_metric".
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -122,6 +135,14 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
   ScenarioReport r = runner.Run(engine_spec, options, controls);
   double p50 = r.LatencyPercentile(50), p95 = r.LatencyPercentile(95),
          p99 = r.LatencyPercentile(99);
+  // Ingest observability (queue wait under the engine's clock, pending
+  // depth at formation/dispatch): worst case over the run's batches.
+  double queue_wait_max = 0.0;
+  size_t queue_depth_max = 0;
+  for (const ScenarioBatchMetric& b : r.batches) {
+    queue_wait_max = std::max(queue_wait_max, b.queue_wait_seconds);
+    queue_depth_max = std::max(queue_depth_max, b.queue_depth);
+  }
   printf(
       "  %-16s %zu batches | latency (%s) p50 %.4g ms  p95 %.4g ms  "
       "p99 %.4g ms | %.4g ops/s | matches %zu | truncated %zu queries / "
@@ -144,8 +165,47 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
       .Set("latency_mean_s", r.MeanLatencySeconds())
       .Set("throughput_ops_per_s", r.ThroughputOpsPerSec())
       .Set("truncated_queries", r.truncated_queries)
-      .Set("truncated_batches", r.truncated_batches);
+      .Set("truncated_batches", r.truncated_batches)
+      .Set("queue_wait_max_s", queue_wait_max)
+      .Set("queue_depth_max", queue_depth_max);
+  if (!r.tenants.empty()) row.Set("fairness", r.fairness);
   bench::JsonSink::Instance().Add(std::move(row));
+
+  // Per-tenant accounting (multi-tenant runs only): one printed line
+  // and one JSON row per tenant — the "tenant" field keys the rows
+  // apart in bench_diff.py; no throughput field, so they inform but
+  // never gate.
+  for (const ScenarioTenantMetric& t : r.tenants) {
+    printf(
+        "    tenant %-10s [%s] offered %zu admitted %zu shed %zu "
+        "degraded %zu | sojourn p50 %.4g ms  p95 %.4g ms  p99 %.4g ms | "
+        "max wait %.4g ms | matches %zu\n",
+        t.tenant.c_str(), t.priority.c_str(), t.offered_ops,
+        t.admitted_ops, t.shed_ops, t.degraded_ops, t.sojourn_p50_s * 1e3,
+        t.sojourn_p95_s * 1e3, t.sojourn_p99_s * 1e3,
+        t.max_queue_wait_s * 1e3,
+        t.positive_matches + t.negative_matches);
+    bench::JsonRow trow;
+    trow.Set("engine", engine_spec)
+        .Set("spec", r.canonical_spec)
+        .Set("tenant", t.tenant)
+        .Set("priority", t.priority)
+        .Set("offered_ops", t.offered_ops)
+        .Set("admitted_ops", t.admitted_ops)
+        .Set("shed_ops", t.shed_ops)
+        .Set("degraded_ops", t.degraded_ops)
+        .Set("batches", t.batches)
+        .Set("matches", t.positive_matches + t.negative_matches)
+        .Set("sojourn_p50_s", t.sojourn_p50_s)
+        .Set("sojourn_p95_s", t.sojourn_p95_s)
+        .Set("sojourn_p99_s", t.sojourn_p99_s)
+        .Set("max_queue_wait_s", t.max_queue_wait_s);
+    bench::JsonSink::Instance().Add(std::move(trow));
+  }
+  if (!r.tenants.empty()) {
+    printf("    fairness (Jain, admitted/offered shares): %.4f\n",
+           r.fairness);
+  }
 }
 
 }  // namespace
@@ -159,6 +219,10 @@ int main(int argc, char** argv) {
   size_t checkpoint_every = 4;
   long restart_at = -1;
   bool list_only = false;
+  long tenants_n = 0;
+  std::string priority_mix_arg;
+  bool admission_on = true, have_admission = false;
+  double slo_s = 0.0;
 
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -189,6 +253,31 @@ int main(int argc, char** argv) {
       restart_at = std::atol(next("--restart-at"));
       if (restart_at < 1) {
         fprintf(stderr, "--restart-at wants a kill point >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--tenants") == 0) {
+      tenants_n = std::atol(next("--tenants"));
+      if (tenants_n < 1) {
+        fprintf(stderr, "--tenants wants a tenant count >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--priority-mix") == 0) {
+      priority_mix_arg = next("--priority-mix");
+    } else if (std::strcmp(argv[i], "--admission") == 0) {
+      const char* v = next("--admission");
+      if (std::strcmp(v, "on") == 0) {
+        admission_on = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        admission_on = false;
+      } else {
+        fprintf(stderr, "--admission wants on|off, got \"%s\"\n", v);
+        return 2;
+      }
+      have_admission = true;
+    } else if (std::strcmp(argv[i], "--slo") == 0) {
+      slo_s = std::atof(next("--slo"));
+      if (slo_s <= 0.0) {
+        fprintf(stderr, "--slo wants a latency target in seconds > 0\n");
         return 2;
       }
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -261,6 +350,81 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // ---- multi-tenant flag surface (docs/SERVING.md) ----
+  // Every unknown or conflicting combination is rejected up front with
+  // a message naming what is valid, mirroring EngineSpecError style.
+  std::vector<PriorityClass> mix_cycle;
+  if (!priority_mix_arg.empty()) {
+    if (tenants_n == 0) {
+      fprintf(stderr,
+              "--priority-mix needs --tenants N (it rotates priorities "
+              "across the synthesized tenants)\n");
+      return 2;
+    }
+    std::string err;
+    if (!ParsePriorityMix(priority_mix_arg, &mix_cycle, &err)) {
+      fprintf(stderr, "bad --priority-mix \"%s\": %s\n",
+              priority_mix_arg.c_str(), err.c_str());
+      return 2;
+    }
+  }
+  if (tenants_n > 0) {
+    if (scenario_name == "all") {
+      fprintf(stderr,
+              "--tenants needs a single --scenario (the synthesized mix "
+              "would collide with the tenant-mix scenarios in the "
+              "catalog)\n");
+      return 2;
+    }
+    const ScenarioSpec* s = scenarios.front();
+    if (s->tenants.Enabled()) {
+      std::string roles;
+      for (const TenantRole& r : s->tenants.roles) {
+        if (!roles.empty()) roles += ", ";
+        roles += r.name;
+      }
+      fprintf(stderr,
+              "scenario \"%s\" defines its own tenant mix (roles: %s); "
+              "--tenants only applies to scenarios without one\n",
+              s->name.c_str(), roles.c_str());
+      return 2;
+    }
+  }
+  bool any_mix = tenants_n > 0;
+  for (const ScenarioSpec* s : scenarios) {
+    any_mix = any_mix || s->tenants.Enabled();
+  }
+  if ((have_admission || slo_s > 0.0) && !any_mix) {
+    fprintf(stderr,
+            "--admission/--slo only apply to multi-tenant runs — pick a "
+            "tenant-mix scenario (tenant-skew, noisy-neighbor, "
+            "overload-storm) or pass --tenants N\n");
+    return 2;
+  }
+  // Explicit tenant(...) specs are taken verbatim; wrap flags on top of
+  // one would be silently ignored, so the combination is an error.
+  if (tenants_n > 0 || have_admission || slo_s > 0.0) {
+    for (const std::string& e : engines) {
+      if (EngineSpec::Parse(e).name == "tenant") {
+        fprintf(stderr,
+                "--tenants/--priority-mix/--admission/--slo conflict "
+                "with the explicit tenant(...) spec \"%s\"; set "
+                "tenants=/admission=/slo= keys inside the spec instead\n",
+                e.c_str());
+        return 2;
+      }
+    }
+  }
+  if (any_mix && (!checkpoint_dir.empty() || restart_at >= 0)) {
+    fprintf(stderr,
+            "multi-tenant runs cannot be checkpointed or restart-drilled "
+            "(batch formation re-draws the batch boundaries a WAL would "
+            "have to record; docs/SERVING.md); drop "
+            "--checkpoint-dir/--restart-at or use a single-tenant "
+            "scenario\n");
+    return 2;
+  }
+
   EngineOptions options;
   if (budget_s > 0.0) {
     options.gamma.device.host_budget_seconds = budget_s;
@@ -294,7 +458,12 @@ int main(int argc, char** argv) {
   }
 
   for (const ScenarioSpec* spec : scenarios) {
-    ScenarioRunner runner(*spec, seed);
+    ScenarioSpec eff = *spec;
+    if (tenants_n > 0) {
+      eff.tenants =
+          MakeUniformTenantMix(static_cast<size_t>(tenants_n), mix_cycle);
+    }
+    ScenarioRunner runner(eff, seed);
     if (!replay_path.empty()) {
       if (!runner.ReplayTrace(replay_path)) {
         fprintf(stderr, "cannot replay trace %s\n", replay_path.c_str());
@@ -327,7 +496,32 @@ int main(int argc, char** argv) {
       printf("  checkpointing into %s (snapshot every %zu batches)\n",
              checkpoint_dir.c_str(), checkpoint_every);
     }
-    for (const std::string& e : engines) {
+    // Tenant-mix runs drive bare specs through a composed tenant(...)
+    // wrap (explicit tenant specs pass through verbatim); the composed
+    // spec is printed so the JSON "spec" provenance is no surprise.
+    std::vector<std::string> run_engines = engines;
+    if (eff.tenants.Enabled()) {
+      for (std::string& e : run_engines) {
+        EngineSpec parsed = EngineSpec::Parse(e);
+        if (parsed.name == "tenant") continue;
+        EngineSpec wrapped;
+        wrapped.name = "tenant";
+        wrapped.children.push_back(std::move(parsed));
+        if (have_admission && !admission_on) {
+          wrapped.options.emplace_back("admission", "off");
+        }
+        if (slo_s > 0.0) {
+          char buf[32];
+          snprintf(buf, sizeof buf, "%g", slo_s);
+          wrapped.options.emplace_back("slo", buf);
+        }
+        std::string w = wrapped.ToString();
+        printf("  note: driving \"%s\" as %s (tenant mix)\n", e.c_str(),
+               w.c_str());
+        e = std::move(w);
+      }
+    }
+    for (const std::string& e : run_engines) {
       try {
         RunOne(runner, e, options,
                checkpointer ? &*checkpointer : nullptr);

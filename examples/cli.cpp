@@ -8,7 +8,9 @@
 ///   ./example_cli [--engine SPEC] [--shards N] --demo  # built-in demo
 ///   ./example_cli [--engine SPEC] [--shards N] --scenario NAME
 ///                 [--seed N] [--checkpoint-dir DIR]
-///                 [--checkpoint-every N]    # named workload scenario
+///                 [--checkpoint-every N]
+///                 [--tenants N [--priority-mix CLASS[:W],...]]
+///                 # named workload scenario
 ///   ./example_cli --restore DIR             # warm-start from a
 ///                 # checkpoint directory and finish its scenario
 ///   ./example_cli --list-engines            # registered engines
@@ -24,6 +26,15 @@
 /// (src/workload/scenario.hpp; docs/WORKLOADS.md) through the chosen
 /// engine and prints latency percentiles, throughput and truncation —
 /// the same driver bench_scenarios uses.
+///
+/// Multi-tenant serving (src/serve/tenant_front_door.hpp;
+/// docs/SERVING.md): tenant-mix scenarios (tenant-skew,
+/// noisy-neighbor, overload-storm) automatically drive the chosen
+/// engine through a composed tenant(...) front door and print
+/// per-tenant accounting + the Jain fairness index.  `--tenants N`
+/// synthesizes an N-way uniform mix for any other scenario, with
+/// priorities rotating through `--priority-mix`
+/// (e.g. "gold:1,silver:2,best_effort:1"; default all silver).
 ///
 /// Persistence (src/persist/; docs/PERSISTENCE.md): --checkpoint-dir
 /// checkpoints a --scenario run as it goes (base snapshot, WAL tee
@@ -41,6 +52,7 @@
 #include <cstring>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/stream_pipeline.hpp"
 #include "graph/datasets.hpp"
@@ -62,12 +74,25 @@ void PrintScenarioReport(const std::string& engine_name,
          r.LatencyPercentile(50) * 1e3, r.LatencyPercentile(95) * 1e3,
          r.LatencyPercentile(99) * 1e3, r.ThroughputOpsPerSec(),
          r.total_matches, r.truncated_queries, r.truncated_batches);
+  for (const workload::ScenarioTenantMetric& t : r.tenants) {
+    printf("  tenant %-10s [%s] offered %zu admitted %zu shed %zu "
+           "degraded %zu; sojourn p50 %.4g ms, p95 %.4g ms, p99 %.4g ms\n",
+           t.tenant.c_str(), t.priority.c_str(), t.offered_ops,
+           t.admitted_ops, t.shed_ops, t.degraded_ops,
+           t.sojourn_p50_s * 1e3, t.sojourn_p95_s * 1e3,
+           t.sojourn_p99_s * 1e3);
+  }
+  if (!r.tenants.empty()) {
+    printf("  fairness (Jain, admitted/offered shares): %.4f\n",
+           r.fairness);
+  }
 }
 
 int RunScenario(const std::string& engine_name,
                 const std::string& scenario_name, uint64_t seed,
-                const std::string& checkpoint_dir,
-                size_t checkpoint_every) {
+                const std::string& checkpoint_dir, size_t checkpoint_every,
+                size_t tenants_n,
+                const std::vector<PriorityClass>& mix_cycle) {
   const workload::ScenarioSpec* spec =
       workload::FindScenario(scenario_name);
   if (spec == nullptr) {
@@ -79,31 +104,63 @@ int RunScenario(const std::string& engine_name,
     fprintf(stderr, "\n");
     return 2;
   }
-  printf("scenario %s — %s (seed %llu)\n", spec->name.c_str(),
-         spec->description.c_str(),
+  workload::ScenarioSpec eff = *spec;
+  if (tenants_n > 0) {
+    if (eff.tenants.Enabled()) {
+      fprintf(stderr,
+              "scenario \"%s\" defines its own tenant mix; --tenants "
+              "only applies to scenarios without one\n",
+              eff.name.c_str());
+      return 2;
+    }
+    eff.tenants = workload::MakeUniformTenantMix(tenants_n, mix_cycle);
+  }
+  std::string engine = engine_name;
+  if (eff.tenants.Enabled()) {
+    if (!checkpoint_dir.empty()) {
+      fprintf(stderr,
+              "multi-tenant runs cannot be checkpointed (batch formation "
+              "re-draws batch boundaries; docs/SERVING.md); drop "
+              "--checkpoint-dir\n");
+      return 2;
+    }
+    // Bare specs go through a composed tenant(...) front door, same as
+    // bench_scenarios; an explicit tenant(...) spec is taken verbatim.
+    EngineSpec parsed = EngineSpec::Parse(engine);
+    if (parsed.name != "tenant") {
+      EngineSpec wrapped;
+      wrapped.name = "tenant";
+      wrapped.children.push_back(std::move(parsed));
+      engine = wrapped.ToString();
+      printf("driving \"%s\" as %s (tenant mix)\n", engine_name.c_str(),
+             engine.c_str());
+    }
+  }
+  printf("scenario %s — %s (seed %llu)\n", eff.name.c_str(),
+         eff.description.c_str(),
          static_cast<unsigned long long>(seed));
-  workload::ScenarioRunner runner(*spec, seed);
+  workload::ScenarioRunner runner(eff, seed);
   printf("graph |V|=%zu |E|=%zu, %zu queries, %zu batches\n",
          runner.graph().NumVertices(), runner.graph().NumEdges(),
          runner.queries().size(), runner.stream().size());
   try {
     workload::ScenarioReport r;
     if (checkpoint_dir.empty()) {
-      r = runner.Run(engine_name);
+      r = runner.Run(engine);
     } else {
       persist::CheckpointPolicy policy;
       policy.every_batches = checkpoint_every;
       persist::Checkpointer checkpointer(checkpoint_dir, policy);
       workload::ScenarioRunner::RunControls controls;
       controls.checkpointer = &checkpointer;
-      r = runner.Run(engine_name, EngineOptions{}, controls);
+      r = runner.Run(engine, EngineOptions{}, controls);
       printf("checkpointed into %s: %zu snapshots, WAL through batch "
              "%llu (restore with --restore %s)\n",
              checkpoint_dir.c_str(), checkpointer.snapshots_taken(),
              static_cast<unsigned long long>(checkpointer.next_batch()),
              checkpoint_dir.c_str());
     }
-    PrintScenarioReport(engine_name, r);
+    PrintScenarioReport(engine, r);
   } catch (const persist::PersistError& e) {
     fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -228,9 +285,12 @@ int main(int argc, char** argv) {
   uint64_t scenario_seed = workload::kDefaultScenarioSeed;
   size_t checkpoint_every = 4;
   long shards = 0;
+  long tenants = 0;
+  std::string priority_mix;
   // Peel off --engine SPEC / --shards N / --scenario NAME / --seed N /
   // --checkpoint-dir DIR / --checkpoint-every N / --restore DIR /
-  // --list-engines wherever they appear.
+  // --tenants N / --priority-mix MIX / --list-engines wherever they
+  // appear.
   std::vector<char*> args;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--engine") == 0 && i + 1 < argc) {
@@ -255,6 +315,15 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--shards wants a positive count\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--tenants") == 0 && i + 1 < argc) {
+      tenants = std::atol(argv[++i]);
+      if (tenants < 1) {
+        fprintf(stderr, "--tenants wants a positive count\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--priority-mix") == 0 &&
+               i + 1 < argc) {
+      priority_mix = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -278,13 +347,34 @@ int main(int argc, char** argv) {
             "engine with an example spec)\n", err->c_str());
     return 2;
   }
+  if ((tenants > 0 || !priority_mix.empty()) && scenario_name.empty()) {
+    fprintf(stderr,
+            "--tenants/--priority-mix apply to --scenario runs only\n");
+    return 2;
+  }
+  std::vector<PriorityClass> mix_cycle;
+  if (!priority_mix.empty()) {
+    if (tenants == 0) {
+      fprintf(stderr,
+              "--priority-mix needs --tenants N (it rotates priorities "
+              "across the synthesized tenants)\n");
+      return 2;
+    }
+    std::string err;
+    if (!workload::ParsePriorityMix(priority_mix, &mix_cycle, &err)) {
+      fprintf(stderr, "bad --priority-mix \"%s\": %s\n",
+              priority_mix.c_str(), err.c_str());
+      return 2;
+    }
+  }
 
   if (!restore_dir.empty()) {
     return RunRestore(restore_dir);
   }
   if (!scenario_name.empty()) {
     return RunScenario(engine_name, scenario_name, scenario_seed,
-                       checkpoint_dir, checkpoint_every);
+                       checkpoint_dir, checkpoint_every,
+                       static_cast<size_t>(tenants), mix_cycle);
   }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
     return RunDemo(engine_name);

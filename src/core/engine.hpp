@@ -40,6 +40,7 @@
 #include "core/engine_spec.hpp"
 #include "core/gamma.hpp"
 #include "core/match.hpp"
+#include "core/tenant.hpp"
 #include "graph/labeled_graph.hpp"
 #include "graph/query_graph.hpp"
 #include "graph/update_stream.hpp"
@@ -48,6 +49,7 @@ namespace bdsm {
 
 namespace serve {
 class ShardedEngine;
+class TenantFrontDoor;
 }
 
 /// Stable handle of a registered query.  Ids are engine-scoped,
@@ -161,6 +163,13 @@ struct BatchReport {
   /// layer; 0 for single-instance engines.  This is the clock behind
   /// ClockDomain::kCriticalPath (see Engine::Describe()).
   double critical_path_seconds = 0.0;
+  /// Ingest-path observability (serve layer): how long this batch sat
+  /// in the ingest queue before processing started, and how many
+  /// batches (ShardedEngine::SubmitBatch) or ops (TenantFrontDoor)
+  /// were queued ahead of it at submit time.  0 on the direct
+  /// ProcessBatch path — there is no queue to wait in.
+  double queue_wait_seconds = 0.0;
+  size_t queue_depth = 0;
 
   QueryReport* Find(QueryId id) {
     for (QueryReport& q : queries) {
@@ -231,6 +240,11 @@ struct EngineInfo {
   /// (RestoreQuery), so CaptureSnapshot + warm-start restore reproduce
   /// it exactly.  Wrappers forward their inner engine's answer.
   bool supports_snapshot = false;
+  /// Multi-tenant capability (core/tenant.hpp): true when
+  /// Engine::tenant_control() returns a usable TenantControl — tenant
+  /// namespaces, admission control, SLO-aware batch formation.  Only
+  /// the tenant front door (serve/tenant_front_door.hpp) sets this.
+  bool supports_tenancy = false;
 };
 
 /// The unified engine interface.  Implementations: GammaEngine (one
@@ -283,6 +297,16 @@ class Engine {
   /// The engine's evolving host-side graph (updated by ProcessBatch).
   virtual const LabeledGraph& host_graph() const = 0;
 
+  /// Tenancy capability (core/tenant.hpp): non-null exactly when
+  /// Describe().supports_tenancy — drivers reach tenant registration,
+  /// ingest and accounting through this interface instead of
+  /// downcasting to serve/ types.  Wrappers that merely contain a
+  /// tenant layer (none today) would forward it.
+  virtual TenantControl* tenant_control() { return nullptr; }
+  const TenantControl* tenant_control() const {
+    return const_cast<Engine*>(this)->tenant_control();
+  }
+
   /// Digests one update batch for every live query: sanitizes it,
   /// enumerates negative matches on the pre-update state, applies the
   /// update, enumerates positive matches on the post-update state.
@@ -294,8 +318,9 @@ class Engine {
  protected:
   friend class StreamPipeline;
   // The serving layer drives the same phases across inner engines it
-  // owns (see serve/sharded_engine.hpp).
+  // owns (see serve/sharded_engine.hpp, serve/tenant_front_door.hpp).
   friend class serve::ShardedEngine;
+  friend class serve::TenantFrontDoor;
 
   /// Template-method phases over a batch already sanitized against
   /// host_graph().  StreamPipeline drives them directly so it can
@@ -374,6 +399,11 @@ struct EngineOptions {
   /// Capacity of the SubmitBatch ingest queue: SubmitBatch blocks (and
   /// TrySubmitBatch refuses) once this many batches are waiting.
   size_t serve_queue_capacity = 8;
+
+  /// --- tenant front door (serve/tenant_front_door.hpp) ---
+  /// Admission, SLO batch-formation and quota defaults for engines
+  /// built from a `tenant(...)` spec; inline spec keys override these.
+  FrontDoorOptions front_door;
 };
 
 /// An engine factory receives the alias-resolved spec subtree it was
@@ -420,6 +450,8 @@ struct EngineDef {
 ///   "gf" | "graphflow"   Graphflow-lite   (CPU baseline)
 ///   "sharded"            serving wrapper over any inner spec
 ///                        (serve/sharded_engine.hpp)
+///   "tenant"             multi-tenant front door over any inner spec
+///                        (serve/tenant_front_door.hpp)
 ///
 /// Specs follow the canonical grammar of core/engine_spec.hpp —
 /// `sharded(gamma, shards=8)`, `gamma(result_cap=100000)` — with the

@@ -1,0 +1,52 @@
+#include "core/tenant.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace bdsm {
+
+const char* PriorityClassName(PriorityClass c) {
+  switch (c) {
+    case PriorityClass::kGold:
+      return "gold";
+    case PriorityClass::kSilver:
+      return "silver";
+    case PriorityClass::kBestEffort:
+      return "best_effort";
+  }
+  return "silver";
+}
+
+bool PriorityClassFromName(const std::string& name, PriorityClass* out) {
+  std::string lower = name;
+  std::transform(lower.begin(), lower.end(), lower.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  if (lower == "gold") {
+    *out = PriorityClass::kGold;
+  } else if (lower == "silver") {
+    *out = PriorityClass::kSilver;
+  } else if (lower == "best_effort" || lower == "besteffort" ||
+             lower == "be") {
+    *out = PriorityClass::kBestEffort;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::string ValidPriorityClassNames() { return "best_effort, gold, silver"; }
+
+double JainIndex(const std::vector<double>& shares) {
+  double sum = 0.0, sumsq = 0.0;
+  size_t n = 0;
+  for (double x : shares) {
+    sum += x;
+    sumsq += x * x;
+    ++n;
+  }
+  if (n == 0 || sumsq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(n) * sumsq);
+}
+
+}  // namespace bdsm

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "persist/checkpoint.hpp"
+#include "serve/tenant_front_door.hpp"
 #include "util/common.hpp"
 #include "util/timer.hpp"
 
@@ -319,6 +320,8 @@ std::future<BatchReport> ShardedEngine::SubmitBatch(UpdateBatch batch,
   PendingBatch pending;
   pending.batch = std::move(batch);
   pending.options = options;
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.depth_at_submit = queue_.size();
   std::future<BatchReport> result = pending.promise.get_future();
   queue_.push_back(std::move(pending));
   lock.unlock();
@@ -333,6 +336,8 @@ std::optional<std::future<BatchReport>> ShardedEngine::TrySubmitBatch(
   PendingBatch pending;
   pending.batch = std::move(batch);
   pending.options = options;
+  pending.enqueued = std::chrono::steady_clock::now();
+  pending.depth_at_submit = queue_.size();
   std::future<BatchReport> result = pending.promise.get_future();
   queue_.push_back(std::move(pending));
   lock.unlock();
@@ -370,8 +375,16 @@ void ShardedEngine::DispatchLoop() {
             "ShardedEngine poisoned: an earlier batch failed mid-flight "
             "and shard replicas may have diverged");
       }
-      pending.promise.set_value(
-          ProcessBatch(pending.batch, pending.options));
+      // Queue wait ends when the dispatcher picks the batch up, before
+      // processing starts — the pure ingest-queue component.
+      const double waited =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        pending.enqueued)
+              .count();
+      BatchReport report = ProcessBatch(pending.batch, pending.options);
+      report.queue_wait_seconds = waited;
+      report.queue_depth = pending.depth_at_submit;
+      pending.promise.set_value(std::move(report));
     } catch (...) {
       poisoned_.store(true, std::memory_order_relaxed);
       pending.promise.set_exception(std::current_exception());
@@ -417,6 +430,7 @@ void RegisterServeEngines(EngineRegistry* registry) {
         new ShardedEngine(spec.children.front(), num_shards, g, options));
   };
   registry->Register("sharded", std::move(def));
+  RegisterTenantEngine(registry);
 }
 
 }  // namespace bdsm::serve

@@ -64,6 +64,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <future>
 #include <memory>
@@ -234,6 +235,13 @@ class ShardedEngine final : public Engine {
     UpdateBatch batch;
     BatchOptions options;
     std::promise<BatchReport> promise;
+    /// Ingest observability (BatchReport::queue_wait_seconds /
+    /// queue_depth): when the batch entered the queue, and how many
+    /// accepted batches sat ahead of it.  Host wall time is honest
+    /// here — the queue wait is real dispatcher lag, not a modeled
+    /// parallelism claim.
+    std::chrono::steady_clock::time_point enqueued;
+    size_t depth_at_submit = 0;
   };
 
   /// Resets per-shard scratch and points the fan-in at this batch's

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/tenant.hpp"
 #include "graph/datasets.hpp"
 #include "graph/query_graph.hpp"
 #include "workload/stream_gen.hpp"
@@ -32,6 +33,47 @@ inline constexpr uint64_t kDefaultScenarioSeed = 2024;
 /// Stable sub-seed stream ids (DeriveSeed's second argument).
 inline constexpr uint64_t kSeedStreamGen = 1;    ///< update stream
 inline constexpr uint64_t kSeedQueryExtract = 2; ///< query extraction
+inline constexpr uint64_t kSeedTenantAssign = 3; ///< op -> tenant split
+
+/// One tenant's part in a multi-tenant scenario: its serving contract
+/// (core/tenant.hpp) plus its relative share of the stream's ops.
+struct TenantRole {
+  std::string name;
+  TenantPolicy policy;
+  /// Relative traffic weight: each stream op is attributed to a role
+  /// with probability share/sum(shares), seeded by kSeedTenantAssign —
+  /// so the same (scenario, seed) always produces the same split.
+  double traffic_share = 1.0;
+};
+
+/// A scenario's tenant population.  Empty = classic single-tenant
+/// scenario (the stream is driven through ProcessBatch unsplit).
+struct TenantMixSpec {
+  std::vector<TenantRole> roles;
+  bool Enabled() const { return !roles.empty(); }
+};
+
+/// Attributes `num_ops` consecutive stream ops to roles by
+/// traffic_share; out[i] is the role index of op i.  Pure function of
+/// (mix, rng state) — the runner feeds one rng across all batches.
+std::vector<size_t> AssignTenants(const TenantMixSpec& mix, size_t num_ops,
+                                  Rng* rng);
+
+/// Parses a `--priority-mix` value — "gold:1,silver:2,best_effort:1"
+/// (weights optional, default 1) — into an expanded rotation cycle,
+/// e.g. [gold, silver, silver, best_effort].  On a malformed entry,
+/// returns false and fills `error` with an EngineSpecError-style
+/// message listing the valid class names.
+bool ParsePriorityMix(const std::string& text,
+                      std::vector<PriorityClass>* cycle,
+                      std::string* error);
+
+/// Synthesizes an N-tenant mix ("t0".."tN-1", equal traffic shares,
+/// permissive policies) with priorities rotating through `cycle`
+/// (empty = all silver) — the `--tenants N --priority-mix ...` surface
+/// for scenarios that do not define their own mix.
+TenantMixSpec MakeUniformTenantMix(size_t n,
+                                   const std::vector<PriorityClass>& cycle);
 
 struct ScenarioSpec {
   std::string name;         ///< registry key ("smoke", "churn", ...)
@@ -49,6 +91,12 @@ struct ScenarioSpec {
   bool mixed_classes = true;
   QueryGraph::StructureClass query_class =
       QueryGraph::StructureClass::kSparse;
+
+  /// Multi-tenant scenarios (tenant-skew, noisy-neighbor,
+  /// overload-storm) populate this; the runner then drives a
+  /// tenancy-capable engine through Ingest/PumpFormedBatch instead of
+  /// flat ProcessBatch, and reports per-tenant rows + fairness.
+  TenantMixSpec tenants;
 };
 
 /// The built-in catalog, stable order.  Guaranteed >= 6 entries with

@@ -81,10 +81,17 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   // already registered.
   std::unique_ptr<Engine> owned;
   Engine* engine = controls.engine;
-  if (engine == nullptr) {
+  const bool fresh = engine == nullptr;
+  if (fresh) {
     owned = MakeEngine(engine_spec, graph_, options);
-    for (const QueryGraph& q : queries_) owned->AddQuery(q);
     engine = owned.get();
+  }
+  // Tenant drive applies when the scenario has a mix AND the engine
+  // can serve it; otherwise the classic flat drive below.
+  TenantControl* tc =
+      spec_.tenants.Enabled() ? engine->tenant_control() : nullptr;
+  if (fresh && tc == nullptr) {
+    for (const QueryGraph& q : queries_) engine->AddQuery(q);
   }
 
   // The engine declares its own clock — no downcasts, no name-sniffing.
@@ -95,6 +102,10 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   const size_t first = std::min(controls.first_batch, stream_.size());
   const size_t last =
       first + std::min(controls.max_batches, stream_.size() - first);
+  if (tc != nullptr) {
+    return RunTenantDrive(tc, engine, fresh, first, last, controls,
+                          std::move(out));
+  }
   if (controls.checkpointer != nullptr) {
     controls.checkpointer->Begin(*engine, stream_seed_, spec_.name, first);
   }
@@ -124,6 +135,8 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
         m.latency_seconds = report.host_wall_seconds;
         break;
     }
+    m.queue_wait_seconds = report.queue_wait_seconds;
+    m.queue_depth = report.queue_depth;
     out.total_ops += m.ops;
     out.total_matches += m.positive_matches + m.negative_matches;
     out.truncated_queries += m.truncated_queries;
@@ -134,6 +147,114 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   // torn-tail case RestoreEngine recovers; a completed run should not
   // look like one).
   if (controls.checkpointer != nullptr) controls.checkpointer->Finish();
+  return out;
+}
+
+ScenarioReport ScenarioRunner::RunTenantDrive(TenantControl* tc,
+                                              Engine* engine, bool fresh,
+                                              size_t first, size_t last,
+                                              const RunControls& controls,
+                                              ScenarioReport out) const {
+  (void)engine;
+  // Batch formation re-draws batch boundaries, so a WAL teed here
+  // would record a stream that never existed from the driver's view;
+  // checkpoint the flat drive instead (bench_scenarios refuses the
+  // flag combination up front with the friendly message).
+  GAMMA_CHECK_MSG(controls.checkpointer == nullptr,
+                  "tenant drive cannot be checkpointed (batch formation "
+                  "re-draws batch boundaries); checkpoint a flat run");
+  const std::vector<TenantRole>& roles = spec_.tenants.roles;
+  // Role ids: registered here on a fresh front door (only the default
+  // tenant exists), or already present when the caller re-drives an
+  // engine this runner set up before.
+  GAMMA_CHECK_MSG(
+      tc->NumTenants() == 1 || tc->NumTenants() == 1 + roles.size(),
+      "engine already has tenants that are not this scenario's roles "
+      "(e.g. a tenants=N spec key); drive the mix on a clean front door");
+  std::vector<TenantId> ids;
+  if (tc->NumTenants() == 1) {
+    for (const TenantRole& r : roles) {
+      ids.push_back(tc->RegisterTenant(r.name, r.policy));
+    }
+  } else {
+    for (size_t r = 0; r < roles.size(); ++r) {
+      ids.push_back(static_cast<TenantId>(1 + r));
+    }
+  }
+  if (fresh) {
+    // Queries round-robin across the roles, so every tenant owns a
+    // slice of the standing set and per-tenant result accounting has
+    // something to attribute.
+    for (size_t i = 0; i < queries_.size(); ++i) {
+      tc->AddTenantQuery(ids[i % ids.size()], queries_[i]);
+    }
+  }
+
+  auto record = [&out](const FormedBatchStats& fb) {
+    if (fb.admitted_ops == 0) return;  // token-starved tick, no batch
+    ScenarioBatchMetric m;
+    m.ops = fb.admitted_ops;
+    m.positive_matches = fb.positive_matches;
+    m.negative_matches = fb.negative_matches;
+    m.truncated_queries = fb.truncated_queries;
+    m.latency_seconds = fb.service_seconds;
+    m.queue_wait_seconds = fb.queue_wait_seconds;
+    m.queue_depth = fb.queue_depth_before;
+    out.total_ops += m.ops;
+    out.total_matches += m.positive_matches + m.negative_matches;
+    out.truncated_queries += m.truncated_queries;
+    if (m.truncated_queries > 0) ++out.truncated_batches;
+    out.batches.push_back(m);
+  };
+
+  // Steady-state drive: each stream batch arrives (split across the
+  // roles by traffic share), the pump forms one batch; the backlog the
+  // pump could not clear drains after the stream ends.  Deferred or
+  // shed ops can leave later ops invalid against the evolved graph —
+  // SanitizeBatch drops those deterministically, which is the honest
+  // semantics of an overloaded front door (docs/SERVING.md).
+  Rng assign_rng(DeriveSeed(seed_, kSeedTenantAssign));
+  for (size_t b = first; b < last; ++b) {
+    const UpdateBatch& batch = stream_[b];
+    std::vector<size_t> assignment =
+        AssignTenants(spec_.tenants, batch.size(), &assign_rng);
+    std::vector<UpdateBatch> per_role(ids.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      per_role[assignment[i]].push_back(batch[i]);
+    }
+    for (size_t r = 0; r < ids.size(); ++r) {
+      if (!per_role[r].empty()) tc->Ingest(ids[r], per_role[r]);
+    }
+    FormedBatchStats fb;
+    if (tc->PumpFormedBatch(&fb)) record(fb);
+  }
+  FormedBatchStats fb;
+  while (tc->PumpFormedBatch(&fb)) record(fb);
+
+  for (size_t r = 0; r < ids.size(); ++r) {
+    const TenantSnapshot snap = tc->Snapshot(ids[r]);
+    ScenarioTenantMetric tm;
+    tm.tenant = snap.name;
+    tm.priority = PriorityClassName(snap.policy.priority);
+    tm.offered_ops = snap.counters.offered_ops;
+    tm.admitted_ops = snap.counters.admitted_ops;
+    tm.shed_ops = snap.counters.shed_ops;
+    tm.degraded_ops = snap.counters.degraded_ops;
+    tm.batches = snap.counters.batches;
+    tm.positive_matches = snap.counters.positive_matches;
+    tm.negative_matches = snap.counters.negative_matches;
+    Samples sojourn;
+    for (size_t i = 0; i < snap.service_seconds.size(); ++i) {
+      sojourn.Add(snap.service_seconds[i] + snap.queue_wait_seconds[i]);
+      tm.max_queue_wait_s =
+          std::max(tm.max_queue_wait_s, snap.queue_wait_seconds[i]);
+    }
+    tm.sojourn_p50_s = sojourn.Percentile(50);
+    tm.sojourn_p95_s = sojourn.Percentile(95);
+    tm.sojourn_p99_s = sojourn.Percentile(99);
+    out.tenants.push_back(std::move(tm));
+  }
+  out.fairness = tc->JainFairnessIndex();
   return out;
 }
 

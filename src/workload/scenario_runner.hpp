@@ -39,6 +39,33 @@ struct ScenarioBatchMetric {
   size_t negative_matches = 0;
   size_t truncated_queries = 0;  ///< queries with partial results
   double latency_seconds = 0.0;  ///< per the runner's latency metric
+  /// Ingest observability (BatchReport::queue_wait_seconds /
+  /// queue_depth): 0 on the direct ProcessBatch path; on the tenant
+  /// drive path, the worst virtual-clock wait among the formed batch's
+  /// ops and the pending-op depth when it was formed.
+  double queue_wait_seconds = 0.0;
+  size_t queue_depth = 0;
+};
+
+/// One tenant's share of a multi-tenant run (tenant-mix scenarios
+/// driven through a tenancy-capable engine; see docs/SERVING.md).
+struct ScenarioTenantMetric {
+  std::string tenant;
+  std::string priority;        ///< "gold" | "silver" | "best_effort"
+  size_t offered_ops = 0;
+  size_t admitted_ops = 0;
+  size_t shed_ops = 0;
+  size_t degraded_ops = 0;
+  size_t batches = 0;          ///< formed batches carrying its ops
+  size_t positive_matches = 0;
+  size_t negative_matches = 0;
+  /// Sojourn latency (queue wait + service, both under the engine's
+  /// clock / the pump's virtual clock) percentiles over the tenant's
+  /// formed batches.
+  double sojourn_p50_s = 0.0;
+  double sojourn_p95_s = 0.0;
+  double sojourn_p99_s = 0.0;
+  double max_queue_wait_s = 0.0;
 };
 
 /// Everything one (scenario, engine) run produced.
@@ -55,6 +82,13 @@ struct ScenarioReport {
   size_t truncated_queries = 0;  ///< summed over batches
   size_t truncated_batches = 0;  ///< batches with >= 1 truncated query
   std::vector<ScenarioBatchMetric> batches;
+
+  /// Multi-tenant runs only (scenario has a tenant mix AND the engine
+  /// supports tenancy): one row per tenant role, in role order, plus
+  /// the Jain fairness index over admitted/offered shares.  Empty /
+  /// 1.0 on single-tenant runs.
+  std::vector<ScenarioTenantMetric> tenants;
+  double fairness = 1.0;
 
   double TotalLatencySeconds() const;
   double MeanLatencySeconds() const;
@@ -110,6 +144,18 @@ class ScenarioRunner {
   /// `controls` scopes the run to a stream window, substitutes a
   /// pre-built (e.g. restored) engine, and/or tees batches into a
   /// checkpoint (PersistError propagates on checkpoint I/O failure).
+  ///
+  /// Tenant drive: when the scenario has a tenant mix AND the engine
+  /// supports tenancy (Describe().supports_tenancy), the runner
+  /// registers the roles, splits each stream batch across them
+  /// (AssignTenants, DeriveSeed(seed, kSeedTenantAssign)), ingests,
+  /// and pumps SLO-formed batches instead of calling ProcessBatch —
+  /// filling ScenarioReport::tenants/fairness.  Formation re-draws
+  /// batch boundaries, so this mode cannot be combined with
+  /// `controls.checkpointer` (the WAL must record the batches the
+  /// engine actually processed as the driver saw them) — refused.
+  /// A tenant-mix scenario on a tenancy-less engine falls back to the
+  /// flat drive (no per-tenant rows).
   ScenarioReport Run(const std::string& engine_spec,
                      const EngineOptions& options = {}) const {
     return Run(engine_spec, options, RunControls{});
@@ -125,6 +171,15 @@ class ScenarioRunner {
   const std::vector<UpdateBatch>& stream() const { return stream_; }
 
  private:
+  /// The tenant drive loop (see Run's docs): registers roles and
+  /// queries on a fresh engine, splits + ingests the stream window
+  /// [first, last), pumps formed batches, drains, and fills the
+  /// per-tenant rows + fairness of `out`.
+  ScenarioReport RunTenantDrive(TenantControl* tc, Engine* engine,
+                                bool fresh, size_t first, size_t last,
+                                const RunControls& controls,
+                                ScenarioReport out) const;
+
   ScenarioSpec spec_;
   uint64_t seed_;
   /// The seed the *stream* was generated from: == seed_ unless a trace
