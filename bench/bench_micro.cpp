@@ -11,6 +11,7 @@
 /// the command line, so all `--benchmark_*` flags keep working.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
 
@@ -176,6 +177,136 @@ void BM_EngineStreamingSink(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineStreamingSink);
 
+// ----------------------------------------------- update-path profile
+//
+// Deterministic plan-counter profile of the GPMA update path: three
+// seeded workloads (insert-heavy growth, deletion-heavy churn, a
+// delete/re-insert locate+rebalance ping-pong) whose every metric
+// derives from UpdatePlan counters and final structure state — no
+// clocks — so two runs on any host produce identical rows.  These rows
+// are the CI cost gate for the update path (scripts/bench_diff.py
+// against bench/baselines/BENCH_micro.json; docs/BENCHMARKS.md):
+// `resized_entries_per_update` and `moved_entries_per_update` are the
+// gated fields.  `--profile-only` runs just this section.
+
+struct PlanTotals {
+  size_t batches = 0;
+  size_t applied_updates = 0;   ///< sanitized ops submitted
+  uint64_t locate_searches = 0;
+  uint64_t resizes = 0;
+  uint64_t resized_entries = 0;  ///< entries moved by grow/shrink
+  uint64_t window_entries = 0;   ///< entries moved by window rebalances
+  uint64_t segment_ops = 0;
+
+  void Absorb(const UpdatePlan& plan, size_t batch_ops) {
+    ++batches;
+    applied_updates += batch_ops;
+    locate_searches += plan.locate_searches;
+    resizes += plan.resizes;
+    resized_entries += plan.resized_entries;
+    segment_ops += plan.ops.size();
+    for (const SegmentOp& op : plan.ops) {
+      if (op.window_segments > 1) window_entries += op.window_entries;
+    }
+  }
+};
+
+void EmitProfileRow(const char* workload, const Gpma& gpma,
+                    const PlanTotals& t) {
+  double per = t.applied_updates ? static_cast<double>(t.applied_updates)
+                                 : 1.0;
+  double resized_per = static_cast<double>(t.resized_entries) / per;
+  double moved_per =
+      static_cast<double>(t.resized_entries + t.window_entries) / per;
+  double locates_per = static_cast<double>(t.locate_searches) / per;
+  printf("%-16s %7zu %9zu | %8.3f %8.3f %8.3f | %5llu %8zu %6.3f\n",
+         workload, t.batches, t.applied_updates, locates_per, resized_per,
+         moved_per, static_cast<unsigned long long>(t.resizes),
+         gpma.NumSegments(), gpma.Occupancy());
+  bench::JsonRow row;
+  row.Set("workload", workload)
+      .Set("container", "gpma")
+      .Set("batches", t.batches)
+      .Set("applied_updates", t.applied_updates)
+      .Set("locates_per_update", locates_per)
+      .Set("resized_entries_per_update", resized_per)
+      .Set("moved_entries_per_update", moved_per)
+      .Set("resizes", static_cast<size_t>(t.resizes))
+      .Set("segment_ops", static_cast<size_t>(t.segment_ops))
+      .Set("final_segments", gpma.NumSegments())
+      .Set("final_occupancy", gpma.Occupancy());
+  bench::JsonSink::Instance().Add(std::move(row));
+}
+
+LabeledGraph ProfileGraph() {
+  return GenerateUniformGraph(1200, 6000, 4, 2, 97);
+}
+
+void RunUpdatePathProfile() {
+  printf("Update-path profile (deterministic UpdatePlan counters; the "
+         "delete-churn\nrow's *_per_update fields are the CI gate vs "
+         "bench/baselines/BENCH_micro.json)\n\n");
+  printf("%-16s %7s %9s | %8s %8s %8s | %5s %8s %6s\n", "workload",
+         "batches", "updates", "loc/upd", "rsz/upd", "mov/upd", "rsz",
+         "segs", "occ");
+
+  {  // Pure growth from the bulk-loaded state.
+    LabeledGraph g = ProfileGraph();
+    Gpma gpma(32);
+    gpma.BuildFrom(g);
+    UpdateStreamGenerator gen(101);
+    PlanTotals t;
+    for (int round = 0; round < 40; ++round) {
+      UpdateBatch batch = gen.MakeInsertions(g, 256, 2);
+      t.Absorb(gpma.ApplyBatch(batch), batch.size());
+      ApplyBatch(&g, batch);
+    }
+    EmitProfileRow("insert-heavy", gpma, t);
+  }
+
+  {  // Deletion-heavy turnover (65% deletes, the churn scenario's mix):
+     // the structure must keep shedding capacity without sweeping.
+    LabeledGraph g = ProfileGraph();
+    Gpma gpma(32);
+    gpma.BuildFrom(g);
+    UpdateStreamGenerator gen(103);
+    PlanTotals t;
+    for (int round = 0; round < 64; ++round) {
+      UpdateBatch batch =
+          SanitizeBatch(g, gen.MakeMixed(g, 256, 7, 13, 2));
+      t.Absorb(gpma.ApplyBatch(batch), batch.size());
+      ApplyBatch(&g, batch);
+    }
+    EmitProfileRow("delete-churn", gpma, t);
+  }
+
+  {  // Steady-state locate + rebalance: delete a block of edges, then
+     // re-insert exactly those edges next batch.
+    LabeledGraph g = ProfileGraph();
+    Gpma gpma(32);
+    gpma.BuildFrom(g);
+    UpdateStreamGenerator gen(107);
+    PlanTotals t;
+    UpdateBatch deleted;
+    for (int round = 0; round < 48; ++round) {
+      UpdateBatch batch;
+      if (round % 2 == 0) {
+        batch = gen.MakeDeletions(g, 128);
+        deleted = batch;
+      } else {
+        for (const UpdateOp& op : deleted) {
+          batch.push_back(UpdateOp{true, op.u, op.v, op.elabel});
+        }
+      }
+      batch = SanitizeBatch(g, batch);
+      t.Absorb(gpma.ApplyBatch(batch), batch.size());
+      ApplyBatch(&g, batch);
+    }
+    EmitProfileRow("locate-rebalance", gpma, t);
+  }
+  printf("\n");
+}
+
 // Mirrors every measured run into the shared JsonSink so bench_micro
 // feeds the same perf-trajectory files as the figure benches.  Wraps
 // the flag-selected display reporter (instead of subclassing
@@ -213,8 +344,10 @@ class TrajectoryReporter : public benchmark::BenchmarkReporter {
 
 int main(int argc, char** argv) {
   // InitBench consumes --json <path>; google-benchmark must not see it
-  // (it rejects unknown flags), so strip the pair from its argv copy.
+  // (it rejects unknown flags), so strip the pair from its argv copy —
+  // same for our own --profile-only flag.
   bdsm::bench::InitBench("bench_micro", argc, argv);
+  bool profile_only = false;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -222,7 +355,19 @@ int main(int argc, char** argv) {
       ++i;  // skip the path too
       continue;
     }
+    if (std::strcmp(argv[i], "--profile-only") == 0) {
+      profile_only = true;
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  // The deterministic update-path profile always runs (it is the gated
+  // part of this bench's JSON rows); the timing benchmarks follow
+  // unless --profile-only asked for the counters alone.
+  bdsm::RunUpdatePathProfile();
+  if (profile_only) {
+    bdsm::bench::JsonSink::Instance().Flush();
+    return 0;
   }
   int bench_argc = static_cast<int>(args.size());
   benchmark::Initialize(&bench_argc, args.data());

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over a --coverage (gcov) instrumented build.
+
+Walks a build directory for .gcda counter files, runs `gcov
+--json-format` on each, merges the per-line execution counts (a header
+or template line hit from any translation unit counts as covered), and
+enforces a minimum line-coverage percentage over the files whose
+repo-relative path starts with a given prefix.
+
+Usage:
+  python3 scripts/coverage_gate.py --build-dir build-cov \
+      --prefix src/gpma/ --min-percent 85
+
+Requires gcov >= 9 (JSON intermediate format).  No gcovr/lcov needed.
+
+Exit codes: 0 gate met, 1 coverage below threshold, 2 usage/input error.
+"""
+import argparse
+import gzip
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+
+def run_gcov(gcda_paths, scratch):
+    """Runs gcov in JSON mode over the counter files; yields parsed docs."""
+    # gcov drops its *.gcov.json.gz next to the cwd — use a scratch dir.
+    cmd = ["gcov", "--json-format", "--branch-probabilities"]
+    cmd += [str(p.resolve()) for p in gcda_paths]
+    proc = subprocess.run(cmd, cwd=scratch, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"coverage_gate: gcov failed:\n{proc.stderr}", file=sys.stderr)
+        sys.exit(2)
+    for out in pathlib.Path(scratch).glob("*.gcov.json.gz"):
+        try:
+            with gzip.open(out, "rt", encoding="utf-8") as f:
+                yield json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"coverage_gate: cannot parse {out}: {e}", file=sys.stderr)
+            sys.exit(2)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", required=True,
+                    help="instrumented build tree to scan for .gcda files")
+    ap.add_argument("--prefix", action="append", required=True,
+                    help="repo-relative source prefix to gate (repeatable)")
+    ap.add_argument("--min-percent", type=float, default=85.0,
+                    help="minimum line coverage over the gated files")
+    ap.add_argument("--repo-root", default=".",
+                    help="repository root the prefixes are relative to")
+    args = ap.parse_args()
+
+    build = pathlib.Path(args.build_dir)
+    if not build.is_dir():
+        print(f"coverage_gate: no such build dir {build}", file=sys.stderr)
+        sys.exit(2)
+    gcda = sorted(build.rglob("*.gcda"))
+    if not gcda:
+        print(f"coverage_gate: no .gcda under {build} — did the "
+              "instrumented tests run?", file=sys.stderr)
+        sys.exit(2)
+
+    root = pathlib.Path(args.repo_root).resolve()
+    # (file -> line -> max count) merged across translation units.
+    lines = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        for doc in run_gcov(gcda, scratch):
+            for f in doc.get("files", []):
+                path = pathlib.Path(f["file"])
+                if not path.is_absolute():
+                    path = (root / path).resolve()
+                try:
+                    rel = path.resolve().relative_to(root).as_posix()
+                except ValueError:
+                    continue  # system header
+                if not any(rel.startswith(p) for p in args.prefix):
+                    continue
+                per_file = lines.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    n = ln["line_number"]
+                    per_file[n] = max(per_file.get(n, 0), ln["count"])
+
+    if not lines:
+        print("coverage_gate: no gated files appear in the coverage data "
+              f"(prefixes: {', '.join(args.prefix)})", file=sys.stderr)
+        sys.exit(2)
+
+    total = hit = 0
+    print(f"{'file':<44} {'lines':>7} {'hit':>7} {'cov%':>7}")
+    for rel in sorted(lines):
+        per_file = lines[rel]
+        file_total = len(per_file)
+        file_hit = sum(1 for c in per_file.values() if c > 0)
+        total += file_total
+        hit += file_hit
+        pct = 100.0 * file_hit / file_total if file_total else 100.0
+        print(f"{rel:<44} {file_total:>7} {file_hit:>7} {pct:>6.1f}%")
+    pct = 100.0 * hit / total if total else 100.0
+    print(f"{'TOTAL':<44} {total:>7} {hit:>7} {pct:>6.1f}%")
+    if pct < args.min_percent:
+        print(f"coverage_gate: {pct:.1f}% < required {args.min_percent}%",
+              file=sys.stderr)
+        return 1
+    print(f"coverage_gate: {pct:.1f}% >= {args.min_percent}% — gate met")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -770,6 +770,18 @@ std::unique_ptr<Engine> EngineRegistry::Make(
   const Entry* entry = Resolve(canonical.name, &name);
   EngineOptions applied = options;
   ApplyOptions(canonical, entry->def, &applied);
+  // Programmatic EngineOptions bypass the spec-string option parsers, so
+  // the same structural constraints are re-checked here: a bad value must
+  // surface as an EngineSpecError before any engine is constructed, not
+  // as an internal-check abort inside the Gpma constructor.
+  if (uint32_t cap = applied.gamma.gpma_segment_capacity;
+      cap == 0 || (cap & (cap - 1)) != 0) {
+    throw EngineSpecError(
+        "gpma_segment_capacity must be a nonzero power of two, got " +
+        std::to_string(cap) +
+        " (set via EngineOptions.gamma.gpma_segment_capacity or the "
+        "segment_capacity= spec option)");
+  }
   std::unique_ptr<Engine> engine = entry->def.factory(canonical, g, applied);
   GAMMA_CHECK(engine != nullptr);
   // An engine that stamped its own spec during construction (wrappers

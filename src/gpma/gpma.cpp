@@ -7,7 +7,6 @@
 namespace bdsm {
 
 namespace {
-constexpr uint64_t kEmptyKey = ~0ull;
 
 // Leaf segments may fill almost completely; windows closer to the root
 // must stay sparser so local rebalances keep absorbing future inserts
@@ -16,19 +15,42 @@ constexpr double kLeafUpper = 0.92;
 constexpr double kRootUpper = 0.70;
 constexpr double kLeafLower = 0.08;
 constexpr double kRootLower = 0.30;
+
+// Whole-array resizes target a mid-band occupancy directly (instead of
+// stepwise doubling/halving) so one resize settles the structure.
+constexpr double kGrowTargetOccupancy = 0.45;
+constexpr double kShrinkTargetOccupancy = 0.35;
+
+// Global shrink trigger.  Deliberately far below the root lower bound:
+// with size-classed segments the memory of sparse leaves is already
+// reclaimed per segment, so shrinking the segment array only buys back
+// locate height — worth a full-array move only when the array is
+// drastically oversized.  The wide grow/shrink hysteresis band also
+// prevents resize thrash under delete-heavy churn.
+constexpr double kShrinkOccupancy = kRootLower / 8;
+
+SegmentStrategy StrategyForWindow(size_t window_slots) {
+  if (window_slots <= 32) return SegmentStrategy::kWarp;
+  // 12 bytes/entry (key + value + dst) against 48 KB shared memory.
+  if (window_slots * 12 <= 48 * 1024) return SegmentStrategy::kBlock;
+  return SegmentStrategy::kDevice;
+}
+
 }  // namespace
 
 Gpma::Gpma(uint32_t segment_capacity) : seg_cap_(segment_capacity) {
   GAMMA_CHECK_MSG(std::has_single_bit(segment_capacity),
                   "segment capacity must be a power of two");
-  seg_keys_.assign(seg_cap_, kEmptyKey);
-  seg_vals_.assign(seg_cap_, kNoLabel);
-  seg_counts_.assign(1, 0);
-  seg_mins_.assign(1, kEmptyKey);
+  words_per_seg_ = (seg_cap_ + 63) / 64;
+  num_segments_ = 1;
+  segs_ = std::vector<Segment>(1);
+  occ_bits_.assign(words_per_seg_, 0);
+  tree_mins_.assign(2, kEmptyKey);
+  tree_live_.assign(2, 0);
 }
 
 uint32_t Gpma::TreeHeight() const {
-  return static_cast<uint32_t>(std::bit_width(NumSegments()));
+  return static_cast<uint32_t>(std::bit_width(num_segments_));
 }
 
 double Gpma::UpperDensity(uint32_t level) const {
@@ -43,50 +65,88 @@ double Gpma::LowerDensity(uint32_t level) const {
   return kLeafLower + (kRootLower - kLeafLower) * frac;
 }
 
-void Gpma::RefreshSegMins() {
-  // Empty segments inherit the min of the next non-empty segment so the
-  // mins array stays monotone non-decreasing and binary-searchable
-  // (sparse windows can leave empty segments mid-array).
-  size_t n = NumSegments();
-  seg_mins_.resize(n);
-  uint64_t fill = kEmptyKey;
-  for (size_t s = n; s-- > 0;) {
-    if (seg_counts_[s]) fill = KeyAt(s, 0);
-    seg_mins_[s] = fill;
+uint32_t Gpma::SizeClassFor(uint32_t needed, uint32_t cap) {
+  uint32_t c;
+  if (needed <= 4) {
+    c = 4;
+  } else if (needed < 16) {
+    c = (needed + 3u) & ~3u;
+  } else {
+    uint32_t step = std::bit_floor(needed) / 4;  // quarter-step classes
+    c = (needed + step - 1) / step * step;
+  }
+  return std::min(c, cap);
+}
+
+size_t Gpma::AllocatedSlots() const {
+  size_t total = 0;
+  for (const Segment& s : segs_) total += s.alloc;
+  return total;
+}
+
+void Gpma::RefreshOccBits(size_t seg) {
+  uint64_t* w = &occ_bits_[seg * words_per_seg_];
+  uint32_t cnt = segs_[seg].count;
+  for (uint32_t i = 0; i < words_per_seg_; ++i) {
+    uint32_t lo = i * 64;
+    w[i] = cnt <= lo ? 0
+           : cnt - lo >= 64 ? ~0ull
+                            : (1ull << (cnt - lo)) - 1;
   }
 }
 
-void Gpma::FixMinsAround(size_t seg) {
-  size_t n = NumSegments();
-  uint64_t m = seg_counts_[seg]
-                   ? KeyAt(seg, 0)
-                   : (seg + 1 < n ? seg_mins_[seg + 1] : kEmptyKey);
-  seg_mins_[seg] = m;
-  // Back-propagate across any run of empty segments to our left.
-  while (seg > 0 && seg_counts_[seg - 1] == 0) {
-    --seg;
-    seg_mins_[seg] = m;
+void Gpma::PullLeaf(size_t seg) {
+  size_t node = leaf(seg);
+  tree_mins_[node] = segs_[seg].count ? segs_[seg].keys[0] : kEmptyKey;
+  tree_live_[node] = segs_[seg].count;
+  for (node >>= 1; node >= 1; node >>= 1) {
+    tree_mins_[node] =
+        std::min(tree_mins_[2 * node], tree_mins_[2 * node + 1]);
+    tree_live_[node] = tree_live_[2 * node] + tree_live_[2 * node + 1];
   }
+}
+
+void Gpma::PullRange(size_t first, size_t count) {
+  for (size_t s = first; s < first + count; ++s) {
+    size_t node = leaf(s);
+    tree_mins_[node] = segs_[s].count ? segs_[s].keys[0] : kEmptyKey;
+    tree_live_[node] = segs_[s].count;
+  }
+  size_t lo = leaf(first), hi = leaf(first + count - 1) + 1;
+  while (lo > 1) {
+    lo >>= 1;
+    hi = (hi + 1) >> 1;
+    for (size_t i = lo; i < hi; ++i) {
+      tree_mins_[i] = std::min(tree_mins_[2 * i], tree_mins_[2 * i + 1]);
+      tree_live_[i] = tree_live_[2 * i] + tree_live_[2 * i + 1];
+    }
+  }
+}
+
+size_t Gpma::LocateSegmentIndexed(uint64_t key) const {
+  // Descend toward the last leaf whose min <= key: take the right child
+  // whenever its subtree holds a key small enough.  Empty subtrees
+  // report kEmptyKey (+inf) and are never descended into, so the search
+  // lands on a non-empty leaf whenever one qualifies, segment 0
+  // otherwise — exactly the flat search over inheritance-filled mins.
+  size_t node = 1;
+  while (node < num_segments_) {
+    size_t right = 2 * node + 1;
+    node = tree_mins_[right] <= key ? right : 2 * node;
+  }
+  return node - num_segments_;
+}
+
+size_t Gpma::LocateSegmentLinear(uint64_t key) const {
+  for (size_t s = num_segments_; s-- > 0;) {
+    if (segs_[s].count && segs_[s].keys[0] <= key) return s;
+  }
+  return 0;
 }
 
 Gpma::Locator Gpma::Locate(uint64_t key) const {
-  // Segment index: last segment whose min <= key.  The mins array is
-  // monotone (empty segments inherit their successor's min, kEmptyKey =
-  // +inf at the tail), so this is a plain binary search; ties resolve to
-  // the later — non-empty — segment.
-  size_t n = NumSegments();
-  size_t lo = 0, hi = n;  // first segment with min > key
-  while (lo < hi) {
-    size_t mid = (lo + hi) / 2;
-    if (seg_mins_[mid] == kEmptyKey || seg_mins_[mid] > key) {
-      hi = mid;
-    } else {
-      lo = mid + 1;
-    }
-  }
-  size_t seg = lo == 0 ? 0 : lo - 1;
-  // Position within the segment.
-  size_t cnt = seg_counts_[seg];
+  size_t seg = LocateSegmentIndexed(key);
+  size_t cnt = segs_[seg].count;
   size_t a = 0, b = cnt;
   while (a < b) {
     size_t mid = (a + b) / 2;
@@ -100,66 +160,106 @@ Gpma::Locator Gpma::Locate(uint64_t key) const {
   return Locator{seg, a, found};
 }
 
-void Gpma::InsertAt(const Locator& loc, uint64_t key, Label val) {
-  size_t cnt = seg_counts_[loc.segment];
-  GAMMA_CHECK(cnt < seg_cap_);
-  for (size_t i = cnt; i > loc.offset; --i) {
-    KeyAt(loc.segment, i) = KeyAt(loc.segment, i - 1);
-    ValAt(loc.segment, i) = ValAt(loc.segment, i - 1);
+void Gpma::ReclassSegment(size_t seg, uint32_t needed, UpdatePlan* plan) {
+  Segment& s = segs_[seg];
+  uint32_t target = SizeClassFor(std::max(needed, s.count), seg_cap_);
+  uint64_t roomy = std::min<uint64_t>(uint64_t{needed} * 2, seg_cap_);
+  bool grow = s.alloc < target;
+  // KNTRIE-style hysteresis: only release storage once the class for
+  // twice the live count is still smaller than what we hold.
+  bool shrink =
+      s.alloc > SizeClassFor(static_cast<uint32_t>(roomy), seg_cap_);
+  if (!grow && !shrink) return;
+  auto keys = std::make_unique<uint64_t[]>(target);
+  auto vals = std::make_unique<Label[]>(target);
+  if (s.count) {
+    std::copy_n(s.keys.get(), s.count, keys.get());
+    std::copy_n(s.vals.get(), s.count, vals.get());
   }
-  KeyAt(loc.segment, loc.offset) = key;
-  ValAt(loc.segment, loc.offset) = val;
-  ++seg_counts_[loc.segment];
-  ++num_entries_;
-  if (loc.offset == 0) FixMinsAround(loc.segment);
+  s.keys = std::move(keys);
+  s.vals = std::move(vals);
+  s.alloc = target;
+  if (plan) {
+    ++plan->class_reallocs;
+    plan->class_realloc_entries += s.count;
+  }
 }
 
-void Gpma::RemoveAt(const Locator& loc) {
-  size_t cnt = seg_counts_[loc.segment];
-  GAMMA_CHECK(loc.found && loc.offset < cnt);
-  for (size_t i = loc.offset; i + 1 < cnt; ++i) {
-    KeyAt(loc.segment, i) = KeyAt(loc.segment, i + 1);
-    ValAt(loc.segment, i) = ValAt(loc.segment, i + 1);
+void Gpma::InsertAt(const Locator& loc, uint64_t key, Label val,
+                    UpdatePlan* plan) {
+  Segment& s = segs_[loc.segment];
+  GAMMA_CHECK(s.count < seg_cap_);
+  // A grow here is covered by the SegmentOp the caller records for this
+  // leaf (the op's window_entries already price materializing the whole
+  // segment, into whatever allocation backs it) — so it is deliberately
+  // not counted as a standalone class realloc.
+  if (s.count + 1 > s.alloc) {
+    ReclassSegment(loc.segment, s.count + 1, nullptr);
   }
-  KeyAt(loc.segment, cnt - 1) = kEmptyKey;
-  ValAt(loc.segment, cnt - 1) = kNoLabel;
-  --seg_counts_[loc.segment];
+  (void)plan;
+  for (size_t i = s.count; i > loc.offset; --i) {
+    s.keys[i] = s.keys[i - 1];
+    s.vals[i] = s.vals[i - 1];
+  }
+  s.keys[loc.offset] = key;
+  s.vals[loc.offset] = val;
+  ++s.count;
+  ++num_entries_;
+  occ_bits_[loc.segment * words_per_seg_ + (s.count - 1) / 64] |=
+      1ull << ((s.count - 1) % 64);
+  PullLeaf(loc.segment);
+}
+
+void Gpma::RemoveAt(const Locator& loc, UpdatePlan* plan) {
+  Segment& s = segs_[loc.segment];
+  GAMMA_CHECK(loc.found && loc.offset < s.count);
+  for (size_t i = loc.offset; i + 1 < s.count; ++i) {
+    s.keys[i] = s.keys[i + 1];
+    s.vals[i] = s.vals[i + 1];
+  }
+  --s.count;
   --num_entries_;
-  FixMinsAround(loc.segment);
+  occ_bits_[loc.segment * words_per_seg_ + s.count / 64] &=
+      ~(1ull << (s.count % 64));
+  ReclassSegment(loc.segment, s.count, plan);
+  PullLeaf(loc.segment);
 }
 
 void Gpma::RedistributeWindow(size_t first, size_t count) {
   // Gather live entries of the window in order.
   std::vector<uint64_t> keys;
   std::vector<Label> vals;
-  keys.reserve(count * seg_cap_);
-  vals.reserve(count * seg_cap_);
   for (size_t s = first; s < first + count; ++s) {
-    for (size_t i = 0; i < seg_counts_[s]; ++i) {
-      keys.push_back(KeyAt(s, i));
-      vals.push_back(ValAt(s, i));
-    }
+    keys.insert(keys.end(), segs_[s].keys.get(),
+                segs_[s].keys.get() + segs_[s].count);
+    vals.insert(vals.end(), segs_[s].vals.get(),
+                segs_[s].vals.get() + segs_[s].count);
   }
-  // Spread evenly.
+  // Spread evenly; normalize each segment's size class to its share.
   size_t total = keys.size();
   size_t base = total / count, extra = total % count;
   size_t idx = 0;
   for (size_t s = first; s < first + count; ++s) {
     size_t take = base + ((s - first) < extra ? 1 : 0);
     GAMMA_CHECK(take <= seg_cap_);
-    seg_counts_[s] = static_cast<uint32_t>(take);
-    for (size_t i = 0; i < seg_cap_; ++i) {
-      if (i < take) {
-        KeyAt(s, i) = keys[idx];
-        ValAt(s, i) = vals[idx];
-        ++idx;
-      } else {
-        KeyAt(s, i) = kEmptyKey;
-        ValAt(s, i) = kNoLabel;
-      }
+    Segment& sg = segs_[s];
+    uint32_t cls = SizeClassFor(static_cast<uint32_t>(take), seg_cap_);
+    if (sg.alloc < take || sg.alloc > SizeClassFor(
+            static_cast<uint32_t>(std::min<uint64_t>(take * 2, seg_cap_)),
+            seg_cap_)) {
+      sg.keys = std::make_unique<uint64_t[]>(cls);
+      sg.vals = std::make_unique<Label[]>(cls);
+      sg.alloc = cls;
     }
+    sg.count = static_cast<uint32_t>(take);
+    std::copy_n(keys.data() + idx, take, sg.keys.get());
+    std::copy_n(vals.data() + idx, take, sg.vals.get());
+    idx += take;
+    RefreshOccBits(s);
   }
-  RefreshSegMins();
+  // One bottom-up pass over the window's ancestors — no full-array
+  // sweep (the old implementation re-derived every segment min here).
+  PullRange(first, count);
 }
 
 void Gpma::Resize(size_t new_num_segments) {
@@ -169,64 +269,63 @@ void Gpma::Resize(size_t new_num_segments) {
   std::vector<Label> vals;
   keys.reserve(num_entries_);
   vals.reserve(num_entries_);
-  size_t n = NumSegments();
-  for (size_t s = 0; s < n; ++s) {
-    for (size_t i = 0; i < seg_counts_[s]; ++i) {
-      keys.push_back(KeyAt(s, i));
-      vals.push_back(ValAt(s, i));
-    }
+  for (size_t s = 0; s < num_segments_; ++s) {
+    keys.insert(keys.end(), segs_[s].keys.get(),
+                segs_[s].keys.get() + segs_[s].count);
+    vals.insert(vals.end(), segs_[s].vals.get(),
+                segs_[s].vals.get() + segs_[s].count);
   }
   GAMMA_CHECK(keys.size() <= new_num_segments * seg_cap_);
-  seg_keys_.assign(new_num_segments * seg_cap_, kEmptyKey);
-  seg_vals_.assign(new_num_segments * seg_cap_, kNoLabel);
-  seg_counts_.assign(new_num_segments, 0);
-  seg_mins_.assign(new_num_segments, kEmptyKey);
-  // Temporarily place everything in order, then spread evenly.
+  num_segments_ = new_num_segments;
+  segs_ = std::vector<Segment>(new_num_segments);
+  occ_bits_.assign(new_num_segments * words_per_seg_, 0);
+  tree_mins_.assign(2 * new_num_segments, kEmptyKey);
+  tree_live_.assign(2 * new_num_segments, 0);
+  size_t total = keys.size();
+  size_t base = total / new_num_segments, extra = total % new_num_segments;
   size_t idx = 0;
-  for (size_t s = 0; s < new_num_segments && idx < keys.size(); ++s) {
-    size_t take = std::min<size_t>(seg_cap_, keys.size() - idx);
-    seg_counts_[s] = static_cast<uint32_t>(take);
-    for (size_t i = 0; i < take; ++i) {
-      KeyAt(s, i) = keys[idx];
-      ValAt(s, i) = vals[idx];
-      ++idx;
-    }
+  for (size_t s = 0; s < new_num_segments; ++s) {
+    size_t take = base + (s < extra ? 1 : 0);
+    Segment& sg = segs_[s];
+    sg.alloc = SizeClassFor(static_cast<uint32_t>(take), seg_cap_);
+    sg.count = static_cast<uint32_t>(take);
+    sg.keys = std::make_unique<uint64_t[]>(sg.alloc);
+    sg.vals = std::make_unique<Label[]>(sg.alloc);
+    std::copy_n(keys.data() + idx, take, sg.keys.get());
+    std::copy_n(vals.data() + idx, take, sg.vals.get());
+    idx += take;
+    RefreshOccBits(s);
   }
-  RedistributeWindow(0, new_num_segments);
+  PullRange(0, new_num_segments);
 }
 
 void Gpma::RebalanceForInsert(size_t seg, size_t incoming,
                               UpdatePlan* plan) {
   // Find the smallest window (seg's ancestors) whose density after the
   // incoming entries respects the level threshold; redistribute it.
-  size_t n = NumSegments();
+  // Window live counts come straight from the segment tree.
+  size_t n = num_segments_;
   uint32_t level = 0;
   size_t win = 1;
   while (true) {
     size_t first = (seg / win) * win;
-    size_t count = std::min(win, n - first);
-    size_t live = 0;
-    for (size_t s = first; s < first + count; ++s) live += seg_counts_[s];
+    size_t live = tree_live_[(n + first) >> level];
     double density = static_cast<double>(live + incoming) /
-                     static_cast<double>(count * seg_cap_);
-    bool leaf_fits =
-        live + incoming <= count * seg_cap_;  // physical capacity
-    // Even redistribution leaves ceil(live/count) entries per leaf; the
+                     static_cast<double>(win * seg_cap_);
+    bool fits = live + incoming <= win * seg_cap_;  // physical capacity
+    // Even redistribution leaves ceil(live/win) entries per leaf; the
     // target leaf must still absorb at least one incoming entry (with
     // tiny segments the density threshold alone can round up to "full").
-    size_t per_leaf = (live + count - 1) / count;
+    size_t per_leaf = (live + win - 1) / win;
     bool leaf_room = per_leaf + 1 <= seg_cap_;
-    if (leaf_fits && leaf_room && density <= UpperDensity(level)) {
-      if (count > 1) {
-        RedistributeWindow(first, count);
+    if (fits && leaf_room && density <= UpperDensity(level)) {
+      if (win > 1) {
+        RedistributeWindow(first, win);
         if (plan) {
-          plan->AddOp(SegmentOp{
-              live, static_cast<uint32_t>(count),
-              static_cast<uint32_t>(incoming), 0,
-              count * seg_cap_ <= 32 ? SegmentStrategy::kWarp
-              : count * seg_cap_ * 12 <= 48 * 1024
-                  ? SegmentStrategy::kBlock
-                  : SegmentStrategy::kDevice});
+          ++plan->window_rebalances;
+          plan->AddOp(SegmentOp{live, static_cast<uint32_t>(win),
+                                static_cast<uint32_t>(incoming), 0,
+                                StrategyForWindow(win * seg_cap_)});
         }
       }
       return;
@@ -235,10 +334,33 @@ void Gpma::RebalanceForInsert(size_t seg, size_t incoming,
     win *= 2;
     ++level;
   }
-  // Even the root window is too dense: grow the array and retry.
-  size_t new_segments = std::max<size_t>(2, NumSegments() * 2);
+  // Even the root window is too dense: grow the array, sized directly
+  // for the post-insert entry count at the target occupancy.
+  size_t needed = num_entries_ + incoming;
+  size_t by_occ = static_cast<size_t>(
+                      static_cast<double>(needed) /
+                      (kGrowTargetOccupancy * seg_cap_)) +
+                  1;
+  size_t target = std::max(n * 2, std::bit_ceil(by_occ));
   size_t moved = num_entries_;
-  Resize(new_segments);
+  Resize(target);
+  if (plan) {
+    ++plan->resizes;
+    plan->resized_entries += moved;
+  }
+}
+
+void Gpma::MaybeShrink(UpdatePlan* plan) {
+  if (num_segments_ == 1 || Occupancy() >= kShrinkOccupancy) return;
+  size_t by_occ = static_cast<size_t>(
+                      static_cast<double>(num_entries_) /
+                      (kShrinkTargetOccupancy * seg_cap_)) +
+                  1;
+  size_t target =
+      std::min(std::max<size_t>(1, std::bit_ceil(by_occ)),
+               num_segments_ / 2);
+  size_t moved = num_entries_;
+  Resize(target);
   if (plan) {
     ++plan->resizes;
     plan->resized_entries += moved;
@@ -246,45 +368,36 @@ void Gpma::RebalanceForInsert(size_t seg, size_t incoming,
 }
 
 void Gpma::RebalanceForDelete(size_t seg, UpdatePlan* plan) {
-  size_t n = NumSegments();
+  size_t n = num_segments_;
   if (n == 1) return;
-  double leaf_density = static_cast<double>(seg_counts_[seg]) /
+  double leaf_density = static_cast<double>(segs_[seg].count) /
                         static_cast<double>(seg_cap_);
-  if (leaf_density >= LowerDensity(0)) return;
+  // Lower-bound maintenance is lazy, with a hysteresis band mirroring
+  // the grow/shrink one: only a near-empty leaf (half the lower bound)
+  // is worth a window merge.  Sparse-but-live leaves cost nothing extra
+  // to scan (empty slots are never touched under the packed layout) and
+  // their storage is already reclaimed by the size classes.
+  if (leaf_density >= 0.5 * LowerDensity(0)) return;
   uint32_t level = 0;
   size_t win = 1;
   while (win < n) {
     win *= 2;
     ++level;
     size_t first = (seg / win) * win;
-    size_t count = std::min(win, n - first);
-    size_t live = 0;
-    for (size_t s = first; s < first + count; ++s) live += seg_counts_[s];
+    size_t live = tree_live_[(n + first) >> level];
     double density = static_cast<double>(live) /
-                     static_cast<double>(count * seg_cap_);
+                     static_cast<double>(win * seg_cap_);
     if (density >= LowerDensity(level)) {
-      RedistributeWindow(first, count);
+      RedistributeWindow(first, win);
       if (plan) {
-        plan->AddOp(SegmentOp{live, static_cast<uint32_t>(count), 0, 1,
-                              count * seg_cap_ <= 32
-                                  ? SegmentStrategy::kWarp
-                              : count * seg_cap_ * 12 <= 48 * 1024
-                                  ? SegmentStrategy::kBlock
-                                  : SegmentStrategy::kDevice});
+        ++plan->window_rebalances;
+        plan->AddOp(SegmentOp{live, static_cast<uint32_t>(win), 0, 1,
+                              StrategyForWindow(win * seg_cap_)});
       }
       return;
     }
   }
-  // Whole structure sparse: shrink (keep at least one segment).
-  double total_density = Occupancy();
-  if (NumSegments() > 1 && total_density < kRootLower / 2) {
-    size_t moved = num_entries_;
-    Resize(std::max<size_t>(1, NumSegments() / 2));
-    if (plan) {
-      ++plan->resizes;
-      plan->resized_entries += moved;
-    }
-  }
+  MaybeShrink(plan);
 }
 
 bool Gpma::InsertEdge(VertexId u, VertexId v, Label elabel) {
@@ -292,14 +405,14 @@ bool Gpma::InsertEdge(VertexId u, VertexId v, Label elabel) {
   if (Locate(k1).found) return false;
   for (uint64_t key : {k1, k2}) {
     Locator loc = Locate(key);
-    if (seg_counts_[loc.segment] >= seg_cap_ ||
-        static_cast<double>(seg_counts_[loc.segment] + 1) /
+    if (segs_[loc.segment].count >= seg_cap_ ||
+        static_cast<double>(segs_[loc.segment].count + 1) /
                 static_cast<double>(seg_cap_) >
             kLeafUpper) {
       RebalanceForInsert(loc.segment, 1, nullptr);
       loc = Locate(key);
     }
-    InsertAt(loc, key, elabel);
+    InsertAt(loc, key, elabel, nullptr);
   }
   return true;
 }
@@ -308,17 +421,23 @@ bool Gpma::RemoveEdge(VertexId u, VertexId v) {
   uint64_t k1 = PackEdge(u, v), k2 = PackEdge(v, u);
   Locator l1 = Locate(k1);
   if (!l1.found) return false;
-  RemoveAt(l1);
+  RemoveAt(l1, nullptr);
   Locator l2 = Locate(k2);
   GAMMA_CHECK(l2.found);
-  RemoveAt(l2);
+  RemoveAt(l2, nullptr);
   RebalanceForDelete(l2.segment, nullptr);
   return true;
 }
 
 void Gpma::BuildFrom(const LabeledGraph& g) {
-  // Bulk load: gather all directed entries sorted, size the array for
-  // ~70% occupancy, spread evenly.
+  // Bulk load: gather all directed entries sorted, size the array to
+  // the insert-phase grow target and spread evenly.  Loading at the
+  // root *threshold* (the old 70% sizing) meant the very first insert
+  // batch paid a full-array resize; loading at the grow target leaves
+  // the same headroom a post-growth array has, so realistic (2-10%)
+  // update rates stay on the in-place/windowed path.  Size classes keep
+  // the extra segments cheap: allocation tracks live entries, not the
+  // logical capacity.
   std::vector<uint64_t> keys;
   std::vector<Label> vals;
   keys.reserve(2 * g.NumEdges());
@@ -330,43 +449,72 @@ void Gpma::BuildFrom(const LabeledGraph& g) {
     }
   }
   // keys are produced in (src asc, dst asc) order already.
-  size_t need = keys.size() == 0
-                    ? 1
-                    : std::bit_ceil((keys.size() * 10 / 7) / seg_cap_ + 1);
-  seg_keys_.assign(need * seg_cap_, kEmptyKey);
-  seg_vals_.assign(need * seg_cap_, kNoLabel);
-  seg_counts_.assign(need, 0);
-  seg_mins_.assign(need, kEmptyKey);
+  size_t need =
+      keys.size() == 0
+          ? 1
+          : std::bit_ceil(static_cast<size_t>(
+                              static_cast<double>(keys.size()) /
+                              (kGrowTargetOccupancy * seg_cap_)) +
+                          1);
+  num_segments_ = need;
+  segs_ = std::vector<Segment>(need);
+  occ_bits_.assign(need * words_per_seg_, 0);
+  tree_mins_.assign(2 * need, kEmptyKey);
+  tree_live_.assign(2 * need, 0);
   num_entries_ = keys.size();
+  size_t base = keys.size() / need, extra = keys.size() % need;
   size_t idx = 0;
-  for (size_t s = 0; s < need && idx < keys.size(); ++s) {
-    size_t take = std::min<size_t>(seg_cap_, keys.size() - idx);
-    seg_counts_[s] = static_cast<uint32_t>(take);
-    for (size_t i = 0; i < take; ++i) {
-      KeyAt(s, i) = keys[idx];
-      ValAt(s, i) = vals[idx];
-      ++idx;
-    }
+  for (size_t s = 0; s < need; ++s) {
+    size_t take = base + (s < extra ? 1 : 0);
+    Segment& sg = segs_[s];
+    sg.alloc = SizeClassFor(static_cast<uint32_t>(take), seg_cap_);
+    sg.count = static_cast<uint32_t>(take);
+    sg.keys = std::make_unique<uint64_t[]>(sg.alloc);
+    sg.vals = std::make_unique<Label[]>(sg.alloc);
+    std::copy_n(keys.data() + idx, take, sg.keys.get());
+    std::copy_n(vals.data() + idx, take, sg.vals.get());
+    idx += take;
+    RefreshOccBits(s);
   }
-  RedistributeWindow(0, need);
+  PullRange(0, need);
 }
 
 UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
   UpdatePlan plan;
   plan.tree_height = TreeHeight();
 
-  // Deletions first (ApplyBatch(LabeledGraph) convention).
+  // Deletions first (ApplyBatch(LabeledGraph) convention): every erase
+  // is an in-place segment shift; rebalancing is deferred to the end of
+  // the phase so one window redistribution absorbs many neighboring
+  // erases instead of sweeping after every op.
+  std::vector<size_t> dirty;
+  bool deleted = false;
   for (const UpdateOp& op : batch) {
     if (op.is_insert) continue;
     plan.locate_searches += 2;
+    plan.index_hops += 2 * (TreeHeight() - 1);
     uint64_t k1 = PackEdge(op.u, op.v), k2 = PackEdge(op.v, op.u);
     Locator l1 = Locate(k1);
     if (!l1.found) continue;
-    RemoveAt(l1);
+    RemoveAt(l1, &plan);
     Locator l2 = Locate(k2);
     GAMMA_CHECK(l2.found);
-    RemoveAt(l2);
-    RebalanceForDelete(l2.segment, &plan);
+    RemoveAt(l2, &plan);
+    plan.inplace_ops += 2;
+    dirty.push_back(l1.segment);
+    dirty.push_back(l2.segment);
+    deleted = true;
+  }
+  if (deleted) {
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    for (size_t seg : dirty) {
+      // A shrink mid-loop rebuilds the array; stale ids are covered by
+      // that full redistribution.
+      if (seg >= num_segments_) continue;
+      RebalanceForDelete(seg, &plan);
+    }
+    MaybeShrink(&plan);
   }
 
   // Insertions, grouped per leaf segment the way the device kernel
@@ -382,6 +530,20 @@ UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
   // GPMA assigns one thread per updated (directed) edge for the locate
   // step, regardless of subsequent grouping.
   plan.locate_searches += entries.size();
+  plan.index_hops += entries.size() * (TreeHeight() - 1);
+  // Min key of segments at or past `from` — the group boundary query
+  // (suffix range-min over the segment tree, O(log n)).
+  auto suffix_min = [&](size_t from) {
+    uint64_t m = kEmptyKey;
+    size_t lo = leaf(from), hi = 2 * num_segments_;
+    while (lo < hi) {
+      if (lo & 1) m = std::min(m, tree_mins_[lo++]);
+      if (hi & 1) m = std::min(m, tree_mins_[--hi]);
+      lo >>= 1;
+      hi >>= 1;
+    }
+    return m;
+  };
   size_t i = 0;
   while (i < entries.size()) {
     Locator loc = Locate(entries[i].first);
@@ -393,12 +555,10 @@ UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
     size_t seg = loc.segment;
     size_t j = i;
     uint64_t seg_limit =
-        seg + 1 < NumSegments() && seg_mins_[seg + 1] != kEmptyKey
-            ? seg_mins_[seg + 1]
-            : kEmptyKey;
+        seg + 1 < num_segments_ ? suffix_min(seg + 1) : kEmptyKey;
     while (j < entries.size() && entries[j].first < seg_limit) ++j;
     size_t group = j - i;
-    uint64_t live = seg_counts_[seg];
+    uint64_t live = segs_[seg].count;
     // Materialize if the leaf absorbs the group within thresholds; else
     // rebalance first (which may grow the array and move entries).
     if (live + group > seg_cap_ ||
@@ -408,16 +568,19 @@ UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
       RebalanceForInsert(seg, group, &plan);
       // Segment boundaries moved; re-locate and re-group next round.
       Locator fresh = Locate(entries[i].first);
-      if (!fresh.found) InsertAt(fresh, entries[i].first, entries[i].second);
-      plan.AddOp(SegmentOp{seg_counts_[fresh.segment], 1, 1, 0,
+      if (!fresh.found) {
+        InsertAt(fresh, entries[i].first, entries[i].second, &plan);
+      }
+      plan.AddOp(SegmentOp{segs_[fresh.segment].count, 1, 1, 0,
                            SegmentStrategy::kWarp});
       ++i;
       continue;
     }
     for (size_t k = i; k < j; ++k) {
       Locator l = Locate(entries[k].first);
-      if (!l.found) InsertAt(l, entries[k].first, entries[k].second);
+      if (!l.found) InsertAt(l, entries[k].first, entries[k].second, &plan);
     }
+    plan.inplace_ops += group;
     plan.AddOp(SegmentOp{
         live + group, 1, static_cast<uint32_t>(group), 0,
         group <= 32 ? SegmentStrategy::kWarp : SegmentStrategy::kBlock});
@@ -448,9 +611,9 @@ void Gpma::NeighborsInto(VertexId v, std::vector<Neighbor>* out) const {
   uint64_t lo = PackEdge(v, 0);
   Locator loc = Locate(lo);
   size_t seg = loc.segment, off = loc.offset;
-  size_t n = NumSegments();
+  size_t n = num_segments_;
   while (seg < n) {
-    size_t cnt = seg_counts_[seg];
+    size_t cnt = segs_[seg].count;
     for (; off < cnt; ++off) {
       uint64_t key = KeyAt(seg, off);
       if (EdgeSrc(key) != v) {
@@ -461,8 +624,9 @@ void Gpma::NeighborsInto(VertexId v, std::vector<Neighbor>* out) const {
     }
     ++seg;
     off = 0;
-    if (seg < n && seg_mins_[seg] != kEmptyKey &&
-        EdgeSrc(seg_mins_[seg]) > v) {
+    // Early exit on the next non-empty segment's min (empty segments
+    // carry no key and are simply stepped over).
+    if (seg < n && segs_[seg].count && EdgeSrc(SegmentMin(seg)) > v) {
       return;
     }
   }
@@ -481,35 +645,54 @@ size_t Gpma::Degree(VertexId v) const {
 }
 
 void Gpma::CheckInvariants() const {
-  size_t n = NumSegments();
-  GAMMA_CHECK(seg_keys_.size() == n * seg_cap_);
-  GAMMA_CHECK(seg_counts_.size() == n);
-  GAMMA_CHECK(seg_mins_.size() == n);
+  size_t n = num_segments_;
+  GAMMA_CHECK(std::has_single_bit(n));
+  GAMMA_CHECK(segs_.size() == n);
+  GAMMA_CHECK(tree_mins_.size() == 2 * n && tree_live_.size() == 2 * n);
+  GAMMA_CHECK(occ_bits_.size() == n * words_per_seg_);
   size_t live = 0;
   uint64_t prev = 0;
   bool first = true;
-  uint64_t expected_fill = kEmptyKey;
-  for (size_t s = n; s-- > 0;) {
-    if (seg_counts_[s]) expected_fill = KeyAt(s, 0);
-    GAMMA_CHECK(seg_mins_[s] == expected_fill);
-  }
   for (size_t s = 0; s < n; ++s) {
-    size_t cnt = seg_counts_[s];
-    GAMMA_CHECK(cnt <= seg_cap_);
-    live += cnt;
-    for (size_t i = 0; i < seg_cap_; ++i) {
-      uint64_t key = KeyAt(s, i);
-      if (i < cnt) {
-        GAMMA_CHECK(key != kEmptyKey);
-        if (!first) GAMMA_CHECK(prev < key);
-        prev = key;
-        first = false;
-      } else {
-        GAMMA_CHECK(key == kEmptyKey);
-      }
+    const Segment& sg = segs_[s];
+    GAMMA_CHECK(sg.count <= seg_cap_);
+    GAMMA_CHECK(sg.alloc <= seg_cap_);
+    GAMMA_CHECK(sg.count <= sg.alloc || (sg.count == 0 && sg.alloc == 0));
+    live += sg.count;
+    // Packed prefix, globally sorted.
+    for (size_t i = 0; i < sg.count; ++i) {
+      uint64_t key = sg.keys[i];
+      GAMMA_CHECK(key != kEmptyKey);
+      if (!first) GAMMA_CHECK(prev < key);
+      prev = key;
+      first = false;
     }
+    // Segment-tree leaves mirror the segment exactly.
+    GAMMA_CHECK(tree_mins_[n + s] ==
+                (sg.count ? sg.keys[0] : kEmptyKey));
+    GAMMA_CHECK(tree_live_[n + s] == sg.count);
+    // Occupancy bitmap: prefix mask of count, popcount agreement.
+    uint32_t pop = 0;
+    for (uint32_t w = 0; w < words_per_seg_; ++w) {
+      uint64_t word = occ_bits_[s * words_per_seg_ + w];
+      uint32_t lo = w * 64;
+      uint64_t expect = sg.count <= lo ? 0
+                        : sg.count - lo >= 64
+                            ? ~0ull
+                            : (1ull << (sg.count - lo)) - 1;
+      GAMMA_CHECK(word == expect);
+      pop += static_cast<uint32_t>(std::popcount(word));
+    }
+    GAMMA_CHECK(pop == sg.count);
+  }
+  // Internal tree nodes combine their children.
+  for (size_t i = 1; i < n; ++i) {
+    GAMMA_CHECK(tree_mins_[i] ==
+                std::min(tree_mins_[2 * i], tree_mins_[2 * i + 1]));
+    GAMMA_CHECK(tree_live_[i] == tree_live_[2 * i] + tree_live_[2 * i + 1]);
   }
   GAMMA_CHECK(live == num_entries_);
+  GAMMA_CHECK(tree_live_[1] == num_entries_);
 }
 
 }  // namespace bdsm

@@ -4,11 +4,28 @@
 ///
 /// Edges are 64-bit keys (src << 32 | dst), both directions stored, kept
 /// globally sorted across an array of fixed-capacity *segments* (the PMA
-/// leaves).  Batch updates locate their leaf by binary search over the
-/// segment index — the tree's top layers are the part GAMMA caches in
-/// shared memory — then materialize in-segment when the density
-/// thresholds allow, else trigger a bottom-up window rebalance, growing
-/// the array when even the root window is too dense.
+/// leaves).  Three structures keep the hot update path cheap
+/// (docs/ENGINES.md "GPMA internals"):
+///
+/// * an implicit binary segment tree over the leaves — per-node minimum
+///   key and live-entry count — so locate is O(log n) node hops (the
+///   tree's top layers are what GAMMA caches in shared memory) and any
+///   rebalance window's density is an O(1) lookup;
+/// * Jacobson-style per-segment occupancy bitmaps (one popcount word per
+///   64 slots) mirroring the packed prefix layout;
+/// * KNTRIE-style size-classed segment storage: each segment allocates
+///   its key/value arrays from quarter-step size classes (bounded ~25%
+///   slack), so inserts and erases are in-place array shifts in the
+///   common case and sparse segments hold little memory even when the
+///   logical segment capacity is large.
+///
+/// Batch updates locate their leaf through the segment tree, materialize
+/// in place when the density thresholds allow, and otherwise rebalance
+/// the smallest ancestor window that satisfies its threshold.  Deletion
+/// rebalancing is deferred to the end of the batch's deletion phase so
+/// one window redistribution absorbs many neighboring erases.  The array
+/// itself grows/shrinks by whole power-of-two resizes, sized directly to
+/// a target occupancy instead of stepwise doubling/halving.
 ///
 /// This implementation uses the packed-segment PMA variant: entries are
 /// compacted at the front of each segment rather than interleaved with
@@ -23,6 +40,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -35,6 +53,9 @@ namespace bdsm {
 
 class Gpma {
  public:
+  /// Sentinel for "no key": empty segments report this as their min.
+  static constexpr uint64_t kEmptyKey = ~0ull;
+
   /// `segment_capacity` must be a power of two (default 32 = one warp).
   explicit Gpma(uint32_t segment_capacity = 32);
 
@@ -68,76 +89,126 @@ class Gpma {
   size_t NumEntries() const { return num_entries_; }
   size_t NumEdges() const { return num_entries_ / 2; }
 
-  size_t NumSegments() const { return seg_keys_.size() / seg_cap_; }
+  size_t NumSegments() const { return num_segments_; }
   uint32_t segment_capacity() const { return seg_cap_; }
   /// PMA tree height = log2(#segments) + 1 (the "layers" of §V-C).
   uint32_t TreeHeight() const;
   double Occupancy() const {
-    size_t cap = seg_keys_.size();
+    size_t cap = num_segments_ * seg_cap_;
     return cap == 0 ? 0.0
                     : static_cast<double>(num_entries_) /
                           static_cast<double>(cap);
   }
 
-  /// Internal consistency check: global sortedness, counts, thresholds.
-  /// Tests call this after every mutation burst.
+  // ---- structural introspection (tests, benches; all O(1)/O(log n)) --
+
+  /// Min key of a segment; kEmptyKey when the segment is empty.
+  uint64_t SegmentMin(size_t seg) const { return tree_mins_[leaf(seg)]; }
+  uint32_t SegmentCount(size_t seg) const { return segs_[seg].count; }
+  /// Allocated slots of the segment's size class (<= segment_capacity).
+  uint32_t SegmentAllocated(size_t seg) const { return segs_[seg].alloc; }
+  /// One word of the segment's occupancy bitmap (packed prefix mask).
+  uint64_t OccupancyWord(size_t seg, size_t word) const {
+    return occ_bits_[seg * words_per_seg_ + word];
+  }
+  size_t OccupancyWordsPerSegment() const { return words_per_seg_; }
+  /// Total allocated slots across all segments (size-class waste bound:
+  /// allocated stays within ~25% of live entries plus the per-segment
+  /// minimum class).
+  size_t AllocatedSlots() const;
+
+  /// Segment holding (or preceding) `key` via the segment-tree descent —
+  /// the production locate path.  `key` must be a storable key
+  /// (< kEmptyKey, which is the reserved empty-subtree sentinel).
+  size_t LocateSegmentIndexed(uint64_t key) const;
+  /// Same answer by linear scan over segment mins; the property suite's
+  /// reference for index-vs-scan equivalence.
+  size_t LocateSegmentLinear(uint64_t key) const;
+
+  /// Smallest size class holding `needed` entries, clamped to `cap`
+  /// (quarter-step classes: waste < 25% above the minimum class).
+  static uint32_t SizeClassFor(uint32_t needed, uint32_t cap);
+
+  /// Internal consistency check: global sortedness, counts, tree/bitmap
+  /// coherence, size-class bounds.  Tests call this after every
+  /// mutation burst.
   void CheckInvariants() const;
 
  private:
+  /// Size-classed storage of one PMA leaf.  `alloc` tracks the class
+  /// the arrays were drawn with; slots in [count, alloc) are garbage.
+  struct Segment {
+    std::unique_ptr<uint64_t[]> keys;
+    std::unique_ptr<Label[]> vals;
+    uint32_t alloc = 0;
+    uint32_t count = 0;
+  };
+
   struct Locator {
     size_t segment;
     size_t offset;  ///< position within segment (insertion point)
     bool found;
   };
 
-  size_t SegCount(size_t seg) const { return seg_counts_[seg]; }
-  uint64_t& KeyAt(size_t seg, size_t off) {
-    return seg_keys_[seg * seg_cap_ + off];
-  }
-  uint64_t KeyAt(size_t seg, size_t off) const {
-    return seg_keys_[seg * seg_cap_ + off];
-  }
-  Label& ValAt(size_t seg, size_t off) {
-    return seg_vals_[seg * seg_cap_ + off];
-  }
-  Label ValAt(size_t seg, size_t off) const {
-    return seg_vals_[seg * seg_cap_ + off];
-  }
+  size_t leaf(size_t seg) const { return num_segments_ + seg; }
 
-  /// Binary search for `key`: segment via the segment-min index, then
+  uint64_t& KeyAt(size_t seg, size_t off) { return segs_[seg].keys[off]; }
+  uint64_t KeyAt(size_t seg, size_t off) const {
+    return segs_[seg].keys[off];
+  }
+  Label& ValAt(size_t seg, size_t off) { return segs_[seg].vals[off]; }
+  Label ValAt(size_t seg, size_t off) const { return segs_[seg].vals[off]; }
+
+  /// Binary search for `key`: segment via the tree descent, then
   /// position within the segment.
   Locator Locate(uint64_t key) const;
 
-  /// Inserts key at locator position, assuming the leaf has room.
-  void InsertAt(const Locator& loc, uint64_t key, Label val);
+  /// Grows (or, with hysteresis, shrinks) the segment's storage class so
+  /// it holds `needed` entries, copying the live prefix.  Counts the
+  /// copy into `plan` when given.
+  void ReclassSegment(size_t seg, uint32_t needed, UpdatePlan* plan);
+  /// Inserts key at locator position (grows the class in place if the
+  /// current one is full).
+  void InsertAt(const Locator& loc, uint64_t key, Label val,
+                UpdatePlan* plan);
   /// Removes the entry at locator position.
-  void RemoveAt(const Locator& loc);
+  void RemoveAt(const Locator& loc, UpdatePlan* plan);
 
   /// Bottom-up rebalance around `seg` ensuring the leaf can take
   /// `incoming` more entries.  Records window size in `plan` when given.
   void RebalanceForInsert(size_t seg, size_t incoming, UpdatePlan* plan);
-  /// Counterpart after deletions (merges sparse windows).
+  /// Counterpart after deletions (merges sparse windows).  Called per
+  /// dirty segment at the end of a batch's deletion phase, or per op on
+  /// the single-edge path.
   void RebalanceForDelete(size_t seg, UpdatePlan* plan);
+  /// Direct-to-target shrink when the whole array is drastically
+  /// oversized (size classes already reclaimed the memory; this only
+  /// buys back locate height).
+  void MaybeShrink(UpdatePlan* plan);
 
   /// Evenly redistributes the entries of segments [first, first+count).
   void RedistributeWindow(size_t first, size_t count);
-  /// Doubles (or halves) the segment array, then redistributes all.
+  /// Rebuilds the array at new_num_segments, then redistributes all.
   void Resize(size_t new_num_segments);
 
   /// Density thresholds for a window at `level` (0 = leaf).
   double UpperDensity(uint32_t level) const;
   double LowerDensity(uint32_t level) const;
 
-  void RefreshSegMins();
-  /// Recomputes seg_mins_[seg] (fill semantics: empty segments inherit
-  /// their successor's min) and back-propagates across empty runs.
-  void FixMinsAround(size_t seg);
+  /// Recomputes the leaf's tree entries and pulls the path to the root.
+  void PullLeaf(size_t seg);
+  /// Same for a leaf range [first, first+count): one bottom-up pass.
+  void PullRange(size_t first, size_t count);
+  /// Rewrites the segment's occupancy words as the prefix mask of count.
+  void RefreshOccBits(size_t seg);
 
   uint32_t seg_cap_;
-  std::vector<uint64_t> seg_keys_;   ///< num_segments * seg_cap_ slots
-  std::vector<Label> seg_vals_;
-  std::vector<uint32_t> seg_counts_; ///< live entries per segment
-  std::vector<uint64_t> seg_mins_;   ///< first key per segment (index)
+  uint32_t words_per_seg_;
+  size_t num_segments_ = 1;          ///< always a power of two
+  std::vector<Segment> segs_;
+  std::vector<uint64_t> tree_mins_;  ///< implicit tree, size 2n; [0] unused
+  std::vector<uint64_t> tree_live_;  ///< live entries per subtree
+  std::vector<uint64_t> occ_bits_;   ///< num_segments * words_per_seg_
   size_t num_entries_ = 0;
 };
 

@@ -120,17 +120,34 @@ class ResizeTask : public WarpTask {
 
 }  // namespace
 
+uint32_t ResolveCachedLayers(const GpmaKernelOptions& options,
+                             uint32_t tree_height) {
+  if (options.cached_layers != GpmaKernelOptions::kAutoCachedLayers) {
+    return std::min(options.cached_layers, tree_height);
+  }
+  // The implicit tree's top L layers are nodes [1, 2^L), a dense prefix
+  // of 2^L - 1 eight-byte words — stage the deepest prefix that fits.
+  uint32_t layers = 0;
+  while (layers < tree_height &&
+         ((size_t{1} << (layers + 1)) - 1) * sizeof(uint64_t) <=
+             options.index_cache_bytes) {
+    ++layers;
+  }
+  return layers;
+}
+
 std::vector<std::unique_ptr<WarpTask>> MakeGpmaUpdateTasks(
     const UpdatePlan& plan, const GpmaKernelOptions& options) {
   std::vector<std::unique_ptr<WarpTask>> tasks;
+  uint32_t cached = ResolveCachedLayers(options, plan.tree_height);
   // Locate work is spread across warps in 256-search chunks so the
   // device's parallelism is exercised the way GPMA assigns one thread
   // per update.
   uint64_t searches = plan.locate_searches;
   while (searches > 0) {
     uint64_t chunk = std::min<uint64_t>(searches, 256);
-    tasks.push_back(std::make_unique<LocateTask>(chunk, plan.tree_height,
-                                                 options.cached_layers));
+    tasks.push_back(
+        std::make_unique<LocateTask>(chunk, plan.tree_height, cached));
     searches -= chunk;
   }
   for (const SegmentOp& op : plan.ops) {
@@ -139,6 +156,12 @@ std::vector<std::unique_ptr<WarpTask>> MakeGpmaUpdateTasks(
   }
   if (plan.resized_entries > 0) {
     tasks.push_back(std::make_unique<ResizeTask>(plan.resized_entries));
+  }
+  // Size-class reallocations are straight coalesced copies of the
+  // segment's live prefix — same traffic shape as a resize move.
+  if (plan.class_realloc_entries > 0) {
+    tasks.push_back(
+        std::make_unique<ResizeTask>(plan.class_realloc_entries));
   }
   return tasks;
 }

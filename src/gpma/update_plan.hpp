@@ -27,6 +27,13 @@ struct UpdatePlan {
   uint32_t tree_height = 0;      ///< layers per search at time of update
   uint64_t resizes = 0;          ///< array grow/shrink events
   uint64_t resized_entries = 0;  ///< entries moved by resizes
+  uint64_t index_hops = 0;       ///< segment-tree node hops over all locates
+  uint64_t window_rebalances = 0;  ///< windowed redistributions performed
+  uint64_t inplace_ops = 0;      ///< entries materialized/erased in place,
+                                 ///< no window or resize work
+  uint64_t class_reallocs = 0;   ///< standalone size-class reallocations
+                                 ///< (not covered by an op or resize)
+  uint64_t class_realloc_entries = 0;  ///< entries copied by those
 
   void AddOp(SegmentOp op) { ops.push_back(op); }
 };

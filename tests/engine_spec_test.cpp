@@ -161,6 +161,38 @@ TEST(EngineSpecTest, BadValuesAndBadNestingAreRejected) {
   EXPECT_EQ(ErrorOf("multi(coalesced=false)"), "");
 }
 
+TEST(EngineSpecTest, ProgrammaticBadSegmentCapacityThrowsNotAborts) {
+  // The spec-string parser rejects a non-power-of-two segment capacity
+  // ("bad value", tested above), but EngineOptions set in code bypass
+  // those parsers entirely.  The registry must still surface the same
+  // friendly EngineSpecError instead of hitting the Gpma constructor's
+  // internal-check abort.
+  LabeledGraph g(std::vector<Label>(8, 0));
+  g.InsertEdge(0, 1, 0);
+  for (uint32_t bad : {0u, 3u, 24u, 33u, 100u}) {
+    SCOPED_TRACE(bad);
+    EngineOptions opts;
+    opts.gamma.gpma_segment_capacity = bad;
+    try {
+      (void)MakeEngine("gamma", g, opts);
+      FAIL() << "expected EngineSpecError for capacity " << bad;
+    } catch (const EngineSpecError& e) {
+      EXPECT_NE(std::string(e.what()).find("power of two"),
+                std::string::npos);
+      EXPECT_NE(std::string(e.what()).find(std::to_string(bad)),
+                std::string::npos);
+    }
+    // Wrapped engines validate before their children are constructed.
+    EXPECT_THROW((void)MakeEngine("sharded(gamma, shards=2)", g, opts),
+                 EngineSpecError);
+  }
+  // A spec-string override repairs programmatic nonsense: the option
+  // parser runs after the base options are copied in.
+  EngineOptions odd;
+  odd.gamma.gpma_segment_capacity = 24;
+  EXPECT_NO_THROW((void)MakeEngine("gamma(segment_capacity=16)", g, odd));
+}
+
 TEST(EngineSpecTest, InlineOptionsConfigureTheEngine) {
   // A result cap of 1 via the spec must truncate exactly like the same
   // cap passed through EngineOptions.

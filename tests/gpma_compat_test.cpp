@@ -1,0 +1,169 @@
+/// Bit-compat regression tests for the GPMA hot-path overhaul: the
+/// engine-visible contract — match vectors (order, counts, truncation
+/// flags) and the snapshot -> restore -> replay story — is pinned by
+/// golden digests of the full match stream on the seeded `smoke` and
+/// `churn` scenarios across gamma / tf / multi / sharded.  The goldens
+/// were recorded from the pre-overhaul GPMA (flat mins-array search,
+/// sweep rebalances); any physical-layout or plan-cost change must
+/// reproduce them exactly.  "multi" hashes per-query match *multisets*
+/// (its fused-launch emission order legitimately reflects launch
+/// decomposition; see tests/persist_test.cpp); everything else hashes
+/// vectors in emission order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "persist/checkpoint.hpp"
+#include "persist/restart.hpp"
+#include "workload/scenario_runner.hpp"
+
+namespace bdsm {
+namespace {
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashString(const std::string& s, uint64_t* h) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= kFnvPrime;
+  }
+  *h ^= '|';  // field separator so "ab","c" != "a","bc"
+  *h *= kFnvPrime;
+}
+
+struct StreamDigest {
+  uint64_t hash = kFnvBasis;
+  size_t total_matches = 0;
+};
+
+/// Runs the scenario's full stream through a fresh engine and folds
+/// every query report into one digest.
+StreamDigest DigestScenario(const char* scenario, const std::string& spec,
+                            bool order_sensitive) {
+  workload::ScenarioRunner runner(*workload::FindScenario(scenario),
+                                  workload::kDefaultScenarioSeed);
+  std::unique_ptr<Engine> engine = MakeEngine(spec, runner.graph());
+  for (const QueryGraph& q : runner.queries()) engine->AddQuery(q);
+  StreamDigest d;
+  for (const UpdateBatch& batch : runner.stream()) {
+    BatchReport report = engine->ProcessBatch(batch);
+    for (const QueryReport& q : report.queries) {
+      HashString("q" + std::to_string(q.id) + ":" +
+                     std::to_string(q.num_positive) + "/" +
+                     std::to_string(q.num_negative) +
+                     (q.timed_out ? "T" : "") + (q.overflowed ? "O" : ""),
+                 &d.hash);
+      std::vector<std::string> keys;
+      keys.reserve(q.positive_matches.size() + q.negative_matches.size());
+      for (const MatchRecord& m : q.positive_matches) keys.push_back(m.Key());
+      for (const MatchRecord& m : q.negative_matches) keys.push_back(m.Key());
+      if (!order_sensitive) std::sort(keys.begin(), keys.end());
+      for (const std::string& k : keys) HashString(k, &d.hash);
+      d.total_matches += q.TotalMatches();
+    }
+  }
+  return d;
+}
+
+struct GoldenCase {
+  const char* scenario;
+  const char* spec;
+  bool order_sensitive;
+  uint64_t hash;
+  size_t total_matches;
+};
+
+// Recorded from the pre-overhaul implementation (PR 6 tree,
+// kDefaultScenarioSeed).  Do NOT update these for a data-structure
+// change: a mismatch means engine-visible behavior moved.
+const GoldenCase kGoldens[] = {
+    {"smoke", "gamma", true, 8114857666714125531ull, 32},
+    {"smoke", "tf", true, 1805476668834737927ull, 32},
+    {"smoke", "multi", false, 10762819622103603133ull, 32},
+    {"smoke", "sharded(gamma, shards=2)", true, 8114857666714125531ull, 32},
+    {"churn", "gamma", true, 15893862522157088347ull, 123483},
+    {"churn", "tf", true, 18280637274354360373ull, 123583},
+    {"churn", "multi", false, 13912819475659346377ull, 123483},
+    {"churn", "sharded(gamma, shards=2)", true, 15893862522157088347ull, 123483},
+};
+
+class GoldenDigestTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(GoldenDigestTest, MatchStreamReproducesPreOverhaulGolden) {
+  const GoldenCase& c = GetParam();
+  StreamDigest d = DigestScenario(c.scenario, c.spec, c.order_sensitive);
+  EXPECT_EQ(d.hash, c.hash)
+      << c.scenario << " x " << c.spec << ": match stream diverged";
+  EXPECT_EQ(d.total_matches, c.total_matches)
+      << c.scenario << " x " << c.spec;
+}
+
+INSTANTIATE_TEST_SUITE_P(GpmaCompat, GoldenDigestTest,
+                         ::testing::ValuesIn(kGoldens));
+
+/// Snapshot -> restore -> replay on the deletion-heavy scenario must
+/// stay bit-identical with the overhauled physical layout: the replica
+/// graph is the snapshot contract, so a bulk rebuild from it has to
+/// reproduce the cold run's match vectors exactly.
+TEST(GpmaCompatTest, ChurnSnapshotRestoreReplayBitIdentical) {
+  workload::ScenarioRunner runner(*workload::FindScenario("churn"),
+                                  workload::kDefaultScenarioSeed);
+  const std::vector<UpdateBatch>& stream = runner.stream();
+  const size_t kill = stream.size() / 2;
+
+  std::unique_ptr<Engine> cold = MakeEngine("gamma", runner.graph());
+  for (const QueryGraph& q : runner.queries()) cold->AddQuery(q);
+  std::vector<BatchReport> cold_tail;
+  for (size_t i = 0; i < stream.size(); ++i) {
+    BatchReport report = cold->ProcessBatch(stream[i]);
+    if (i >= kill) cold_tail.push_back(std::move(report));
+  }
+
+  std::string dir =
+      std::string(::testing::TempDir()) + "/gpma_compat_ckpt";
+  std::filesystem::remove_all(dir);
+  {
+    std::unique_ptr<Engine> dying = MakeEngine("gamma", runner.graph());
+    for (const QueryGraph& q : runner.queries()) dying->AddQuery(q);
+    persist::Checkpointer cp(
+        dir, persist::CheckpointPolicy{.every_batches = 2,
+                                       .every_updates = 0,
+                                       .prune = true});
+    cp.Begin(*dying, runner.seed(), "churn");
+    for (size_t i = 0; i < kill; ++i) {
+      BatchReport report = dying->ProcessBatch(stream[i]);
+      cp.OnBatchApplied(*dying, stream[i], report);
+    }
+  }
+  persist::RestoredEngine restored = persist::RestoreEngine(dir);
+  ASSERT_EQ(restored.next_batch, kill);
+  for (size_t i = kill; i < stream.size(); ++i) {
+    BatchReport warm = restored.engine->ProcessBatch(stream[i]);
+    const BatchReport& ref = cold_tail[i - kill];
+    ASSERT_EQ(warm.queries.size(), ref.queries.size()) << "batch " << i;
+    for (size_t q = 0; q < ref.queries.size(); ++q) {
+      const QueryReport& wq = warm.queries[q];
+      const QueryReport& rq = ref.queries[q];
+      ASSERT_EQ(wq.id, rq.id) << "batch " << i;
+      EXPECT_EQ(wq.positive_matches, rq.positive_matches)
+          << "batch " << i << " query " << q;
+      EXPECT_EQ(wq.negative_matches, rq.negative_matches)
+          << "batch " << i << " query " << q;
+      EXPECT_EQ(wq.num_positive, rq.num_positive);
+      EXPECT_EQ(wq.num_negative, rq.num_negative);
+      EXPECT_EQ(wq.timed_out, rq.timed_out);
+      EXPECT_EQ(wq.overflowed, rq.overflowed);
+    }
+  }
+  EXPECT_EQ(restored.engine->host_graph(), cold->host_graph());
+}
+
+}  // namespace
+}  // namespace bdsm

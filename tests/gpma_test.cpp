@@ -218,6 +218,12 @@ TEST(GpmaKernelTest, CachedLayersCutGlobalTraffic) {
 
 TEST(GpmaKernelTest, ResizePricedWhenPlanResizes) {
   Gpma gpma(8);
+  // Seed live entries first: a resize of an empty array is free (the
+  // direct-to-target grow sizes the array before any entry lands), so
+  // the plan only prices moved entries once there is something to move.
+  for (VertexId i = 0; i < 50; ++i) {
+    ASSERT_TRUE(gpma.InsertEdge(i, i + 5000, 0));
+  }
   UpdateBatch batch;
   for (VertexId i = 0; i < 300; ++i) {
     batch.push_back(UpdateOp{true, i, i + 1000, 0});
