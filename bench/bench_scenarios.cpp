@@ -11,7 +11,15 @@
 ///                   [--checkpoint-dir DIR] [--checkpoint-every N]
 ///                   [--restart-at K] [--tenants N]
 ///                   [--priority-mix CLASS[:W],...] [--admission on|off]
-///                   [--slo SECONDS]
+///                   [--slo SECONDS] [--metrics-json PATH]
+///                   [--trace-out PATH]
+///
+/// Observability (src/obs/; docs/OBSERVABILITY.md): --metrics-json
+/// dumps the unified metrics registry as a bdsm-metrics-v1 document;
+/// --trace-out writes clock-domain-tagged phase spans as a
+/// chrome://tracing / Perfetto JSON.  Either flag runtime-enables the
+/// observability layer for the run; both artifacts carry the run
+/// provenance header (tool, scenario, engine, seed, git describe).
 ///
 /// Multi-tenant runs (docs/SERVING.md): tenant-mix scenarios
 /// (tenant-skew, noisy-neighbor, overload-storm) drive bare engine
@@ -53,11 +61,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "persist/restart.hpp"
 #include "workload/scenario_runner.hpp"
 
@@ -125,6 +137,34 @@ bool RunRestartDrill(const ScenarioSpec& spec, uint64_t seed,
       .Set("identical", outcome.identical ? "yes" : "no");
   bench::JsonSink::Instance().Add(std::move(row));
   return outcome.identical;
+}
+
+/// Writes the --metrics-json / --trace-out artifacts (no-op for empty
+/// paths).  Returns false, after complaining, when a file cannot be
+/// written.
+bool WriteObsArtifacts(const std::string& metrics_path,
+                       const std::string& trace_path,
+                       const obs::RunProvenance& prov) {
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << obs::MetricsRegistry::Instance().Snapshot().ToJson(&prov);
+    if (!out) {
+      fprintf(stderr, "cannot write metrics JSON %s\n",
+              metrics_path.c_str());
+      return false;
+    }
+    printf("wrote metrics JSON to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    if (!obs::TraceRecorder::Instance().WriteChromeJson(trace_path, prov)) {
+      fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      return false;
+    }
+    printf("wrote chrome trace to %s (load in chrome://tracing or "
+           "ui.perfetto.dev)\n",
+           trace_path.c_str());
+  }
+  return true;
 }
 
 void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
@@ -214,6 +254,7 @@ int main(int argc, char** argv) {
   std::string scenario_name = "smoke";
   std::string engines_arg = "gamma";
   std::string record_path, replay_path, checkpoint_dir;
+  std::string metrics_json_path, trace_out_path;
   uint64_t seed = kDefaultScenarioSeed;
   double budget_s = 0.0;
   size_t checkpoint_every = 4;
@@ -280,6 +321,10 @@ int main(int argc, char** argv) {
         fprintf(stderr, "--slo wants a latency target in seconds > 0\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0) {
+      metrics_json_path = next("--metrics-json");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      trace_out_path = next("--trace-out");
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
@@ -431,10 +476,29 @@ int main(int argc, char** argv) {
     options.csm_budget_seconds = budget_s;
   }
 
+  // Run provenance (docs/OBSERVABILITY.md): printed on every run,
+  // embedded in the --metrics-json / --trace-out artifact headers.
+  obs::RunProvenance prov;
+  prov.tool = "bench_scenarios";
+  prov.scenario = scenario_name;
+  prov.engine = engines_arg;
+  prov.seed = seed;
+  prov.obs_compiled = BDSM_OBS != 0;
+  if (!metrics_json_path.empty() || !trace_out_path.empty()) {
+    obs::SetEnabled(true);
+    if (!trace_out_path.empty()) {
+      obs::TraceRecorder::Instance().SetEnabled(true);
+    }
+  }
+
   printf("=== scenario driver ===\nseed %llu (default %llu; see "
-         "docs/WORKLOADS.md)\n\n",
+         "docs/WORKLOADS.md)\ngit %s | obs %s\n\n",
          static_cast<unsigned long long>(seed),
-         static_cast<unsigned long long>(kDefaultScenarioSeed));
+         static_cast<unsigned long long>(kDefaultScenarioSeed),
+         obs::GitDescribe(),
+         prov.obs_compiled
+             ? (obs::Enabled() ? "enabled" : "compiled, off")
+             : "compiled out");
 
   // The restart drill is its own mode: it runs the scenario several
   // times (cold / killed / restored) per engine, so the plain
@@ -453,6 +517,9 @@ int main(int argc, char** argv) {
                                static_cast<size_t>(restart_at),
                                checkpoint_dir, options) &&
                all_ok;
+    }
+    if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
+      return 1;
     }
     return all_ok ? 0 : 1;
   }
@@ -531,6 +598,9 @@ int main(int argc, char** argv) {
       }
     }
     printf("\n");
+  }
+  if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
+    return 1;
   }
   return 0;
 }

@@ -15,6 +15,11 @@
 ///                 # checkpoint directory and finish its scenario
 ///   ./example_cli --list-engines            # registered engines
 ///
+/// Any mode also accepts --metrics-json PATH and --trace-out PATH
+/// (docs/OBSERVABILITY.md): dump the unified metrics registry and the
+/// clock-domain-tagged chrome://tracing phase spans, both stamped with
+/// run provenance (tool, scenario, engine, seed, git describe).
+///
 /// SPEC is any engine spec per the canonical grammar of
 /// docs/ENGINES.md: a plain name ("gamma" (default), "multi", "tf",
 /// ...), a spec with inline options ("gamma(result_cap=100000)"), or a
@@ -50,11 +55,15 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "core/stream_pipeline.hpp"
+#include "obs/metrics.hpp"
+#include "obs/provenance.hpp"
+#include "obs/trace.hpp"
 #include "graph/datasets.hpp"
 #include "graph/graph_io.hpp"
 #include "graph/query_extractor.hpp"
@@ -65,6 +74,37 @@
 using namespace bdsm;
 
 namespace {
+
+/// Flushes the --metrics-json / --trace-out artifacts (no-op for empty
+/// paths) and forwards `rc`; a write failure turns a successful run
+/// into exit 1 (docs/OBSERVABILITY.md).
+int FinishObs(int rc, const std::string& metrics_path,
+              const std::string& trace_path,
+              const obs::RunProvenance& prov) {
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path, std::ios::trunc);
+    out << obs::MetricsRegistry::Instance().Snapshot().ToJson(&prov);
+    if (!out) {
+      fprintf(stderr, "cannot write metrics JSON %s\n",
+              metrics_path.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      printf("wrote metrics JSON to %s\n", metrics_path.c_str());
+    }
+  }
+  if (!trace_path.empty()) {
+    if (!obs::TraceRecorder::Instance().WriteChromeJson(trace_path,
+                                                        prov)) {
+      fprintf(stderr, "cannot write trace %s\n", trace_path.c_str());
+      if (rc == 0) rc = 1;
+    } else {
+      printf("wrote chrome trace to %s (load in chrome://tracing or "
+             "ui.perfetto.dev)\n",
+             trace_path.c_str());
+    }
+  }
+  return rc;
+}
 
 void PrintScenarioReport(const std::string& engine_name,
                          const workload::ScenarioReport& r) {
@@ -282,6 +322,7 @@ int main(int argc, char** argv) {
   std::string engine_name = "gamma";
   std::string scenario_name;
   std::string checkpoint_dir, restore_dir;
+  std::string metrics_json_path, trace_out_path;
   uint64_t scenario_seed = workload::kDefaultScenarioSeed;
   size_t checkpoint_every = 4;
   long shards = 0;
@@ -324,6 +365,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--priority-mix") == 0 &&
                i + 1 < argc) {
       priority_mix = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics-json") == 0 &&
+               i + 1 < argc) {
+      metrics_json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out_path = argv[++i];
     } else {
       args.push_back(argv[i]);
     }
@@ -368,16 +414,37 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Observability surface (src/obs/; docs/OBSERVABILITY.md): either
+  // flag runtime-enables the layer; both artifacts carry provenance.
+  obs::RunProvenance prov;
+  prov.tool = "example_cli";
+  prov.scenario = scenario_name;
+  prov.engine = engine_name;
+  prov.seed = scenario_seed;
+  prov.obs_compiled = BDSM_OBS != 0;
+  if (!metrics_json_path.empty() || !trace_out_path.empty()) {
+    obs::SetEnabled(true);
+    if (!trace_out_path.empty()) {
+      obs::TraceRecorder::Instance().SetEnabled(true);
+    }
+    printf("observability on: git %s, obs %s\n", obs::GitDescribe(),
+           prov.obs_compiled ? "compiled in" : "compiled out");
+  }
+
   if (!restore_dir.empty()) {
-    return RunRestore(restore_dir);
+    return FinishObs(RunRestore(restore_dir), metrics_json_path,
+                     trace_out_path, prov);
   }
   if (!scenario_name.empty()) {
-    return RunScenario(engine_name, scenario_name, scenario_seed,
-                       checkpoint_dir, checkpoint_every,
-                       static_cast<size_t>(tenants), mix_cycle);
+    return FinishObs(
+        RunScenario(engine_name, scenario_name, scenario_seed,
+                    checkpoint_dir, checkpoint_every,
+                    static_cast<size_t>(tenants), mix_cycle),
+        metrics_json_path, trace_out_path, prov);
   }
   if (!args.empty() && std::strcmp(args[0], "--demo") == 0) {
-    return RunDemo(engine_name);
+    return FinishObs(RunDemo(engine_name), metrics_json_path,
+                     trace_out_path, prov);
   }
   if (args.size() < 2) {
     fprintf(stderr,
@@ -426,5 +493,6 @@ int main(int argc, char** argv) {
     printf("sequential CPU baseline; host wall %.3f ms\n",
            res.host_wall_seconds * 1e3);
   }
-  return 0;
+  prov.seed = seed;  // the file-run path parses its own seed operand
+  return FinishObs(0, metrics_json_path, trace_out_path, prov);
 }

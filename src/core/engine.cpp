@@ -5,6 +5,8 @@
 
 #include "baselines/csm_common.hpp"
 #include "core/multi_gamma.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/sharded_engine.hpp"
 #include "util/timer.hpp"
 
@@ -22,6 +24,18 @@ const char* ClockDomainName(ClockDomain clock) {
   return "unknown";
 }
 
+obs::Domain ToObsTraceDomain(ClockDomain clock) {
+  switch (clock) {
+    case ClockDomain::kModeledDevice:
+      return obs::Domain::kModeledDevice;
+    case ClockDomain::kCriticalPath:
+      return obs::Domain::kCriticalPath;
+    case ClockDomain::kHostWall:
+      return obs::Domain::kHostWall;
+  }
+  return obs::Domain::kHostWall;
+}
+
 // ---------------------------------------------------------------- Engine
 
 BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
@@ -32,14 +46,34 @@ BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
 
   UpdateBatch batch = SanitizeBatch(host_graph(), raw_batch);
 
+#if BDSM_OBS
+  const bool obs_on = obs::Enabled();
+  double host_after[3] = {0.0, 0.0, 0.0};
+  double cp_after[3] = {0.0, 0.0, 0.0};
+  uint64_t match_ticks_after_neg = 0;
+#endif
+
   // Negative matches: deleted-edge seeds on the pre-update state.
   RunMatchPhase(batch, /*positive=*/false, options, &report);
   FlushPhase(options, &report);
+#if BDSM_OBS
+  if (obs_on) {
+    host_after[0] = wall.ElapsedSeconds();
+    cp_after[0] = report.critical_path_seconds;
+    match_ticks_after_neg = report.match_stats.makespan_ticks;
+  }
+#endif
 
   // Update: device graph + host mirror + candidate re-encode (CSM
   // engines run their whole sequential loop here).
   RunUpdatePhase(batch, options, &report);
   FlushPhase(options, &report);
+#if BDSM_OBS
+  if (obs_on) {
+    host_after[1] = wall.ElapsedSeconds();
+    cp_after[1] = report.critical_path_seconds;
+  }
+#endif
 
   // Positive matches: inserted-edge seeds on the post-update state.
   RunMatchPhase(batch, /*positive=*/true, options, &report);
@@ -51,7 +85,122 @@ BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
       qr.host_wall_seconds = report.host_wall_seconds;
     }
   }
+#if BDSM_OBS
+  if (obs_on) {
+    host_after[2] = report.host_wall_seconds;
+    cp_after[2] = report.critical_path_seconds;
+    RecordBatchObs(batch, report, host_after, match_ticks_after_neg,
+                   cp_after);
+  }
+#endif
   return report;
+}
+
+void Engine::RecordBatchObs(const UpdateBatch& batch,
+                            const BatchReport& report,
+                            const double host_after[3],
+                            uint64_t match_ticks_after_neg,
+                            const double cp_after[3]) {
+#if BDSM_OBS
+  if (obs_clock_cache_ < 0) {
+    const EngineInfo info = Describe();
+    obs_clock_cache_ = static_cast<int>(info.clock);
+    obs_tick_seconds_ = info.tick_seconds;
+  }
+  const ClockDomain clock = static_cast<ClockDomain>(obs_clock_cache_);
+
+  // Counters: the registry-backed view of the report aggregates — read
+  // from the same variables the report carries, so the two can never
+  // disagree.
+  size_t pos = 0, neg = 0, truncated = 0;
+  for (const QueryReport& qr : report.queries) {
+    pos += qr.num_positive;
+    neg += qr.num_negative;
+    if (qr.Truncated()) ++truncated;
+  }
+  BDSM_OBS_COUNT("engine.batches", 1);
+  BDSM_OBS_COUNT("engine.ops", batch.size());
+  BDSM_OBS_COUNT("engine.matches.positive", pos);
+  BDSM_OBS_COUNT("engine.matches.negative", neg);
+  BDSM_OBS_COUNT("engine.queries.truncated", truncated);
+  BDSM_OBS_COUNT("engine.device.update.makespan_ticks",
+                 report.update_stats.makespan_ticks);
+  BDSM_OBS_COUNT("engine.device.match.makespan_ticks",
+                 report.match_stats.makespan_ticks);
+  BDSM_OBS_COUNT("engine.device.global_transactions",
+                 report.update_stats.global_transactions +
+                     report.match_stats.global_transactions);
+  BDSM_OBS_COUNT_US("engine.host_us", report.host_wall_seconds);
+
+  // Per-phase durations on the engine's own clock (Describe().clock),
+  // split the way ScenarioRunner's latency switch reads the report.
+  double phase_s[3] = {0.0, 0.0, 0.0};
+  double batch_latency = 0.0;
+  switch (clock) {
+    case ClockDomain::kModeledDevice: {
+      const double tick = obs_tick_seconds_;
+      phase_s[0] = static_cast<double>(match_ticks_after_neg) * tick;
+      phase_s[1] =
+          static_cast<double>(report.update_stats.makespan_ticks) * tick;
+      phase_s[2] = static_cast<double>(report.match_stats.makespan_ticks -
+                                       match_ticks_after_neg) *
+                   tick;
+      // ModeledSeconds semantics: device makespan overlapped with host
+      // preprocessing.
+      batch_latency = std::max(phase_s[0] + phase_s[1] + phase_s[2],
+                               report.preprocess_host_seconds);
+      break;
+    }
+    case ClockDomain::kCriticalPath:
+      phase_s[0] = cp_after[0];
+      phase_s[1] = cp_after[1] - cp_after[0];
+      phase_s[2] = cp_after[2] - cp_after[1];
+      batch_latency = report.critical_path_seconds;
+      break;
+    case ClockDomain::kHostWall:
+      phase_s[0] = host_after[0];
+      phase_s[1] = host_after[1] - host_after[0];
+      phase_s[2] = host_after[2] - host_after[1];
+      batch_latency = report.host_wall_seconds;
+      break;
+  }
+  BDSM_OBS_HISTOGRAM_US("engine.batch_us", batch_latency);
+
+  obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+  if (tracer.enabled()) {
+    const obs::Domain domain = ToObsTraceDomain(clock);
+    obs::TraceSpan span;
+    span.name = "engine.batch";
+    span.domain = domain;
+    span.batch = obs_batch_seq_;
+    span.start_s = obs_cursor_seconds_;
+    span.dur_s = batch_latency;
+    span.detail = "ops=" + std::to_string(batch.size());
+    tracer.Record(std::move(span));
+    static const char* kPhaseNames[3] = {"engine.match.neg",
+                                         "engine.update",
+                                         "engine.match.pos"};
+    double cursor = obs_cursor_seconds_;
+    for (int p = 0; p < 3; ++p) {
+      obs::TraceSpan ps;
+      ps.name = kPhaseNames[p];
+      ps.domain = domain;
+      ps.batch = obs_batch_seq_;
+      ps.start_s = cursor;
+      ps.dur_s = phase_s[p];
+      cursor += phase_s[p];
+      tracer.Record(std::move(ps));
+    }
+  }
+  obs_cursor_seconds_ += batch_latency;
+  ++obs_batch_seq_;
+#else
+  (void)batch;
+  (void)report;
+  (void)host_after;
+  (void)match_ticks_after_neg;
+  (void)cp_after;
+#endif
 }
 
 void Engine::InitReport(BatchReport* report) const {
@@ -64,11 +213,15 @@ void Engine::InitReport(BatchReport* report) const {
 }
 
 void Engine::FlushPhase(const BatchOptions& options, BatchReport* report) {
+  size_t delivered = 0;
   auto flush = [&](QueryId id, std::vector<MatchRecord>* v,
                    size_t* streamed, size_t* total) {
     for (size_t i = *streamed; i < v->size(); ++i) {
       ++*total;
-      if (options.sink) options.sink->OnMatch(id, (*v)[i]);
+      if (options.sink) {
+        options.sink->OnMatch(id, (*v)[i]);
+        ++delivered;
+      }
     }
     *streamed = v->size();
     if (!options.materialize) {
@@ -82,6 +235,8 @@ void Engine::FlushPhase(const BatchOptions& options, BatchReport* report) {
     flush(qr.id, &qr.negative_matches, &qr.streamed_negative,
           &qr.num_negative);
   }
+  if (delivered > 0) BDSM_OBS_COUNT("engine.sink.delivered", delivered);
+  (void)delivered;  // referenced only through the macro when BDSM_OBS=1
 }
 
 void Engine::DeliverDirect(const BatchOptions& options, QueryReport* qr,
@@ -91,7 +246,10 @@ void Engine::DeliverDirect(const BatchOptions& options, QueryReport* qr,
   } else {
     ++qr->num_negative;
   }
-  if (options.sink) options.sink->OnMatch(qr->id, m);
+  if (options.sink) {
+    options.sink->OnMatch(qr->id, m);
+    BDSM_OBS_COUNT("engine.sink.delivered", 1);
+  }
   if (options.materialize) {
     auto& v = m.positive ? qr->positive_matches : qr->negative_matches;
     v.push_back(m);
@@ -117,6 +275,7 @@ class GammaEngineBase : public Engine {
     info.canonical_spec = CanonicalSpecOrName();
     info.clock = ClockDomain::kModeledDevice;
     info.supports_snapshot = true;
+    info.tick_seconds = options_.device.TickSeconds();
     return info;
   }
 
@@ -240,6 +399,7 @@ class MultiGammaEngine final : public Engine {
     info.canonical_spec = CanonicalSpecOrName();
     info.clock = ClockDomain::kModeledDevice;
     info.supports_snapshot = true;
+    info.tick_seconds = multi_.options_.device.TickSeconds();
     return info;
   }
 

@@ -30,6 +30,7 @@
 ///   engine->ProcessBatch(batch, opts);
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -215,6 +216,15 @@ enum class ClockDomain {
 /// "host-wall" (the `latency_metric` vocabulary of bench JSON rows).
 const char* ClockDomainName(ClockDomain clock);
 
+namespace obs {
+enum class Domain : uint8_t;
+}
+
+/// Maps core's ClockDomain onto the obs layer's trace Domain (the obs
+/// layer sits below core and defines its own mirror of the enum; this
+/// is the one sanctioned crossing — docs/OBSERVABILITY.md).
+obs::Domain ToObsTraceDomain(ClockDomain clock);
+
 /// Engine capability introspection, returned by Engine::Describe().
 /// Consumers select clocks and record provenance from this struct
 /// instead of sniffing engine names or downcasting.
@@ -245,6 +255,12 @@ struct EngineInfo {
   /// namespaces, admission control, SLO-aware batch formation.  Only
   /// the tenant front door (serve/tenant_front_door.hpp) sets this.
   bool supports_tenancy = false;
+  /// Seconds per modeled device tick for engines whose clock is
+  /// kModeledDevice (0 otherwise).  Lets clock-agnostic consumers (the
+  /// obs layer's phase spans) convert DeviceStats tick counts to
+  /// seconds without reaching for the engine's DeviceConfig; wrappers
+  /// forward their inner engine's value.
+  double tick_seconds = 0.0;
 };
 
 /// The unified engine interface.  Implementations: GammaEngine (one
@@ -375,9 +391,36 @@ class Engine {
     canonical_spec_ = std::move(spec);
   }
 
+  // --- observability (src/obs/; docs/OBSERVABILITY.md) ---
+  // Shared by ProcessBatch's span/counter publishing and by the
+  // serving layer's per-shard spans (ShardedEngine is a friend and
+  // tags its shard spans with the same batch sequence number).
+  /// Batches this engine object has processed; tags every span it
+  /// emits.  Advances only while observability is runtime-enabled.
+  uint64_t obs_batch_seq_ = 0;
+  /// This engine's span cursor on its own clock domain: consecutive
+  /// batches' spans tile end to end from 0, which is what makes a
+  /// modeled-device trace deterministic in (spec, scenario, seed).
+  double obs_cursor_seconds_ = 0.0;
+
  private:
   friend class EngineRegistry;  // stamps canonical_spec_ post-factory
   std::string canonical_spec_;
+
+  /// Publishes one batch's counters and clock-domain phase spans; only
+  /// called from ProcessBatch when observability is runtime-enabled.
+  /// `host_after`/`cp_after` are the cumulative host-wall /
+  /// critical-path readings after each of the three phases;
+  /// `match_ticks_after_neg` splits the match makespan between the
+  /// negative and positive phases.
+  void RecordBatchObs(const UpdateBatch& batch, const BatchReport& report,
+                      const double host_after[3],
+                      uint64_t match_ticks_after_neg,
+                      const double cp_after[3]);
+  /// Cached Describe().clock / .tick_seconds (-1 = not yet cached) so
+  /// the per-batch publish never rebuilds EngineInfo strings.
+  int obs_clock_cache_ = -1;
+  double obs_tick_seconds_ = 0.0;
 };
 
 /// Construction options for MakeEngine / EngineRegistry.

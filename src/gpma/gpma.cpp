@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace bdsm {
 
 namespace {
@@ -586,6 +588,27 @@ UpdatePlan Gpma::ApplyBatch(const UpdateBatch& batch) {
         group <= 32 ? SegmentStrategy::kWarp : SegmentStrategy::kBlock});
     i = j;
   }
+#if BDSM_OBS
+  if (obs::Enabled()) {
+    // Registry-backed views of the UpdatePlan — the same totals
+    // bench_micro's --profile-only PlanTotals computes (including the
+    // moved-entries definition: resize moves plus multi-segment window
+    // moves), published from the plan itself so the two cannot drift.
+    BDSM_OBS_COUNT("gpma.batches", 1);
+    BDSM_OBS_COUNT("gpma.plan.locate_searches", plan.locate_searches);
+    BDSM_OBS_COUNT("gpma.plan.index_hops", plan.index_hops);
+    BDSM_OBS_COUNT("gpma.plan.resizes", plan.resizes);
+    BDSM_OBS_COUNT("gpma.plan.resized_entries", plan.resized_entries);
+    BDSM_OBS_COUNT("gpma.plan.window_rebalances", plan.window_rebalances);
+    BDSM_OBS_COUNT("gpma.plan.inplace_ops", plan.inplace_ops);
+    BDSM_OBS_COUNT("gpma.plan.segment_ops", plan.ops.size());
+    uint64_t moved = plan.resized_entries;
+    for (const SegmentOp& op : plan.ops) {
+      if (op.window_segments > 1) moved += op.window_entries;
+    }
+    BDSM_OBS_COUNT("gpma.plan.moved_entries", moved);
+  }
+#endif
   return plan;
 }
 

@@ -1,0 +1,210 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/provenance.hpp"
+
+namespace bdsm::obs {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next{0};
+  thread_local size_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return stripe;
+}
+
+}  // namespace detail
+
+void SetEnabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ----------------------------------------------------------- Counter
+
+void Counter::AddSecondsAsMicros(double seconds) {
+  if (seconds <= 0.0) return;
+  Add(static_cast<uint64_t>(std::llround(seconds * 1e6)));
+}
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const detail::Cell& c : cells_) {
+    sum += c.v.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (detail::Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+// --------------------------------------------------------- Histogram
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_((bounds_.size() + 1) * kStripes) {
+  for (size_t s = 0; s < kStripes; ++s) sum_[s].store(0.0);
+}
+
+void Histogram::Observe(double x) {
+  size_t bucket = 0;
+  while (bucket < bounds_.size() && x > bounds_[bucket]) ++bucket;
+  const size_t stripe = detail::ThreadStripe();
+  counts_[bucket * kStripes + stripe].v.fetch_add(
+      1, std::memory_order_relaxed);
+  count_[stripe].v.fetch_add(1, std::memory_order_relaxed);
+  sum_[stripe].fetch_add(x, std::memory_order_relaxed);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  out.bounds = bounds_;
+  out.counts.resize(bounds_.size() + 1, 0);
+  for (size_t b = 0; b < out.counts.size(); ++b) {
+    for (size_t s = 0; s < kStripes; ++s) {
+      out.counts[b] +=
+          counts_[b * kStripes + s].v.load(std::memory_order_relaxed);
+    }
+  }
+  for (size_t s = 0; s < kStripes; ++s) {
+    out.count += count_[s].v.load(std::memory_order_relaxed);
+    out.sum += sum_[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (detail::Cell& c : counts_) c.v.store(0, std::memory_order_relaxed);
+  for (size_t s = 0; s < kStripes; ++s) {
+    count_[s].v.store(0, std::memory_order_relaxed);
+    sum_[s].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+const std::vector<double>& DefaultLatencyBoundsUs() {
+  static const std::vector<double> bounds = {1,   10,  100, 1e3,
+                                             1e4, 1e5, 1e6, 1e7};
+  return bounds;
+}
+
+// --------------------------------------------------- MetricsSnapshot
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(const std::string& name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+namespace {
+
+std::string DoubleJson(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson(const RunProvenance* prov) const {
+  std::string out = "{\n  \"schema\": \"bdsm-metrics-v1\"";
+  if (prov != nullptr) {
+    out += ",\n  \"provenance\": " + ProvenanceJson(*prov);
+  }
+  out += ",\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + JsonEscape(counters[i].first) +
+           "\": " + std::to_string(counters[i].second);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    \"" + JsonEscape(gauges[i].first) +
+           "\": " + std::to_string(gauges[i].second);
+  }
+  out += "\n  },\n  \"histograms\": [";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const Hist& h = histograms[i];
+    out += (i == 0 ? "\n" : ",\n");
+    out += "    {\"name\": \"" + JsonEscape(h.name) + "\", \"bounds\": [";
+    for (size_t b = 0; b < h.data.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += DoubleJson(h.data.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (size_t b = 0; b < h.data.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      out += std::to_string(h.data.counts[b]);
+    }
+    out += "], \"count\": " + std::to_string(h.data.count) +
+           ", \"sum\": " + DoubleJson(h.data.sum) + "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+// --------------------------------------------------- MetricsRegistry
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->Value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->Value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.histograms.push_back(MetricsSnapshot::Hist{name, h->Snap()});
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace bdsm::obs

@@ -1,0 +1,249 @@
+/// \file metrics.hpp
+/// The unified metrics registry: named counters, gauges and
+/// fixed-bucket histograms every layer publishes into, so the numbers
+/// a run reports and the numbers an operator scrapes can never
+/// disagree (docs/OBSERVABILITY.md).
+///
+/// Cost model, enforced twice:
+///  - Compile time: building with -DBDSM_OBS=0 compiles the
+///    BDSM_OBS_* macros to nothing — zero instructions on every hot
+///    path, provably (the symbols are not referenced).
+///  - Run time: even when compiled in, observability is off until
+///    obs::SetEnabled(true) (the --metrics-json / --trace-out flags).
+///    A disabled site costs one relaxed atomic load.
+/// An enabled counter increment is one relaxed fetch_add into a
+/// per-thread-striped, cache-line-padded cell; cells are summed only
+/// on Snapshot().
+///
+/// Naming discipline (docs/OBSERVABILITY.md): metric names are
+/// `<layer>.<component>.<what>` with unit suffixes; `*_us` metrics
+/// are measured time (host wall or thread CPU) and are NEVER
+/// run-deterministic, everything else (bare counts, `*_ticks`) is
+/// deterministic in (spec, scenario, seed) and may be gated exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+/// Compile-time switch; the build defines it (CMake option BDSM_OBS),
+/// standalone inclusion defaults to compiled-in.
+#ifndef BDSM_OBS
+#define BDSM_OBS 1
+#endif
+
+namespace bdsm::obs {
+
+struct RunProvenance;  // provenance.hpp
+
+namespace detail {
+/// The process-wide runtime switch behind Enabled().
+extern std::atomic<bool> g_enabled;
+/// This thread's stripe index in [0, kStripes) — sequentially assigned
+/// on first use, so a fixed thread population maps to fixed cells.
+size_t ThreadStripe();
+
+/// One cache line per stripe: concurrent writers never false-share.
+struct alignas(64) Cell {
+  std::atomic<uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Stripe count for counter/histogram cells (power of two).
+inline constexpr size_t kStripes = 16;
+
+/// True when observability is runtime-enabled.  One relaxed load —
+/// every publishing site checks this before touching the registry.
+inline bool Enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Flips the runtime switch (drivers: --metrics-json / --trace-out).
+void SetEnabled(bool on);
+
+/// Monotonic counter.  Hot path: one relaxed fetch_add into this
+/// thread's stripe.  Handles returned by the registry stay valid for
+/// the process lifetime (Reset zeroes values, never deallocates).
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n) {
+    cells_[detail::ThreadStripe()].v.fetch_add(n,
+                                               std::memory_order_relaxed);
+  }
+  /// Records a duration in whole microseconds (`*_us` naming rule:
+  /// such counters are measured time and never gated exactly).
+  void AddSecondsAsMicros(double seconds);
+
+  /// Sum over stripes (snapshot path; racing writers may be missed by
+  /// one in-flight increment, which snapshot-at-quiescence avoids).
+  uint64_t Value() const;
+  void Reset();
+
+ private:
+  detail::Cell cells_[kStripes];
+};
+
+/// Last-writer-wins instantaneous value (queue depths, targets).
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds with an
+/// implicit +inf overflow bucket; per-bucket counts are striped like
+/// Counter cells.  `sum` accumulates in double (deterministic only
+/// single-threaded — see docs/OBSERVABILITY.md).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double x);
+
+  struct Snapshot {
+    std::vector<double> bounds;    ///< upper bounds, ascending
+    std::vector<uint64_t> counts;  ///< bounds.size() + 1 buckets
+    uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot Snap() const;
+  void Reset();
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  std::vector<double> bounds_;
+  /// counts_[bucket * kStripes + stripe].
+  std::vector<detail::Cell> counts_;
+  detail::Cell count_[kStripes];
+  std::atomic<double> sum_[kStripes];
+};
+
+/// Default histogram bounds for `*_us` latencies: decades from 1µs to
+/// 10s.
+const std::vector<double>& DefaultLatencyBoundsUs();
+
+/// Everything the registry held at one instant, names sorted — the
+/// deterministic export/diff unit.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  struct Hist {
+    std::string name;
+    Histogram::Snapshot data;
+  };
+  std::vector<Hist> histograms;
+
+  /// Counter value by name; 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Gauge value by name; 0 when absent.
+  int64_t GaugeValue(const std::string& name) const;
+
+  /// `bdsm-metrics-v1` JSON document; `prov` (optional) becomes the
+  /// run-provenance header.
+  std::string ToJson(const RunProvenance* prov) const;
+};
+
+/// Process-wide named-metric registry.  Registration (first Get* for a
+/// name) takes a mutex; subsequent hits on a cached handle are
+/// lock-free.  Metrics live for the process: Reset() zeroes values but
+/// never invalidates handles, so `static Counter&` caches at call
+/// sites stay correct across test-suite resets.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` applies on first registration only (ignored after).
+  Histogram& GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds =
+                              DefaultLatencyBoundsUs());
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every value; handles stay valid (tests isolate runs with
+  /// this).
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+  mutable std::mutex mu_;
+  // Ordered maps: Snapshot() is sorted by construction.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bdsm::obs
+
+// Publishing macros for static-named hot-path sites: compile away
+// entirely under BDSM_OBS=0, cost one relaxed load when runtime-
+// disabled, and cache the registry handle in a function-local static
+// when enabled.  Dynamic names (per-tenant) call the registry directly
+// under an Enabled() guard instead.
+#if BDSM_OBS
+#define BDSM_OBS_COUNT(name, n)                                         \
+  do {                                                                  \
+    if (::bdsm::obs::Enabled()) {                                       \
+      static ::bdsm::obs::Counter& bdsm_obs_counter_ =                  \
+          ::bdsm::obs::MetricsRegistry::Instance().GetCounter(name);    \
+      bdsm_obs_counter_.Add(n);                                         \
+    }                                                                   \
+  } while (0)
+#define BDSM_OBS_COUNT_US(name, seconds)                                \
+  do {                                                                  \
+    if (::bdsm::obs::Enabled()) {                                       \
+      static ::bdsm::obs::Counter& bdsm_obs_counter_ =                  \
+          ::bdsm::obs::MetricsRegistry::Instance().GetCounter(name);    \
+      bdsm_obs_counter_.AddSecondsAsMicros(seconds);                    \
+    }                                                                   \
+  } while (0)
+#define BDSM_OBS_GAUGE_SET(name, value)                                 \
+  do {                                                                  \
+    if (::bdsm::obs::Enabled()) {                                       \
+      static ::bdsm::obs::Gauge& bdsm_obs_gauge_ =                      \
+          ::bdsm::obs::MetricsRegistry::Instance().GetGauge(name);      \
+      bdsm_obs_gauge_.Set(static_cast<int64_t>(value));                 \
+    }                                                                   \
+  } while (0)
+#define BDSM_OBS_HISTOGRAM_US(name, seconds)                            \
+  do {                                                                  \
+    if (::bdsm::obs::Enabled()) {                                       \
+      static ::bdsm::obs::Histogram& bdsm_obs_hist_ =                   \
+          ::bdsm::obs::MetricsRegistry::Instance().GetHistogram(name);  \
+      bdsm_obs_hist_.Observe((seconds)*1e6);                            \
+    }                                                                   \
+  } while (0)
+#else
+#define BDSM_OBS_COUNT(name, n) \
+  do {                          \
+  } while (0)
+#define BDSM_OBS_COUNT_US(name, seconds) \
+  do {                                   \
+  } while (0)
+#define BDSM_OBS_GAUGE_SET(name, value) \
+  do {                                  \
+  } while (0)
+#define BDSM_OBS_HISTOGRAM_US(name, seconds) \
+  do {                                       \
+  } while (0)
+#endif

@@ -1,0 +1,64 @@
+#include "obs/provenance.hpp"
+
+#include <cstdio>
+
+#include "obs/metrics.hpp"  // BDSM_OBS
+
+namespace bdsm::obs {
+
+const char* GitDescribe() {
+#ifdef BDSM_GIT_DESCRIBE
+  return BDSM_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string ProvenanceJson(const RunProvenance& prov) {
+  std::string out = "{";
+  out += "\"tool\": \"" + JsonEscape(prov.tool) + "\", ";
+  out += "\"scenario\": \"" + JsonEscape(prov.scenario) + "\", ";
+  out += "\"engine\": \"" + JsonEscape(prov.engine) + "\", ";
+  out += "\"seed\": " + std::to_string(prov.seed) + ", ";
+  out += "\"git\": \"" + JsonEscape(prov.git) + "\", ";
+  out += std::string("\"obs_compiled\": ") +
+         (prov.obs_compiled ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace bdsm::obs

@@ -1,0 +1,40 @@
+/// \file provenance.hpp
+/// Run provenance: the identifying header every observability artifact
+/// (metrics JSON, chrome trace) carries so a number can always be
+/// traced back to the exact (build, spec, scenario, seed) that
+/// produced it — the precondition for honest regression tracking
+/// (docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bdsm::obs {
+
+/// The commit the binary was built from: `git describe --always
+/// --dirty` captured at CMake configure time ("unknown" outside a git
+/// checkout).  Configure-time, so it goes stale across commits without
+/// a reconfigure — good enough for CI artifacts, which always build
+/// fresh.
+const char* GitDescribe();
+
+/// What produced an artifact.  Drivers fill this once per run and pass
+/// it to MetricsSnapshot::ToJson / TraceRecorder::WriteChromeJson.
+struct RunProvenance {
+  std::string tool;      ///< producing binary, e.g. "bench_scenarios"
+  std::string scenario;  ///< scenario name(s), "" when not scenario-driven
+  std::string engine;    ///< canonical engine spec(s)
+  uint64_t seed = 0;
+  std::string git = GitDescribe();
+  bool obs_compiled = true;  ///< BDSM_OBS state of the producing build
+};
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars)
+/// shared by the obs exporters.
+std::string JsonEscape(const std::string& s);
+
+/// The provenance object as a JSON value, e.g.
+/// `{"tool": "bench_scenarios", "scenario": "smoke", ...}`.
+std::string ProvenanceJson(const RunProvenance& prov);
+
+}  // namespace bdsm::obs

@@ -1,0 +1,195 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <tuple>
+
+#include "obs/provenance.hpp"
+
+namespace bdsm::obs {
+
+const char* DomainName(Domain d) {
+  switch (d) {
+    case Domain::kModeledDevice:
+      return "modeled-device";
+    case Domain::kCriticalPath:
+      return "critical-path";
+    case Domain::kHostWall:
+      return "host-wall";
+  }
+  return "unknown";
+}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::SetEnabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+TraceRecorder::Buffer* TraceRecorder::ThisThreadBuffer() {
+  // One recorder per process (singleton), so a plain thread_local
+  // cache is safe; buffers outlive their threads (owned here).
+  thread_local Buffer* cached = nullptr;
+  if (cached == nullptr) {
+    auto owned = std::make_unique<Buffer>();
+    cached = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  return cached;
+}
+
+void TraceRecorder::Record(TraceSpan span) {
+  Buffer* buf = ThisThreadBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  buf->spans.push_back(std::move(span));
+}
+
+namespace {
+
+/// Structural order: everything but the measured times, so a
+/// deterministic span set sorts identically across runs; times break
+/// remaining ties for stable rendering only.
+bool StructuralLess(const TraceSpan& a, const TraceSpan& b) {
+  return std::tie(a.domain, a.batch, a.shard, a.tenant, a.name, a.detail,
+                  a.start_s, a.dur_s) <
+         std::tie(b.domain, b.batch, b.shard, b.tenant, b.name, b.detail,
+                  b.start_s, b.dur_s);
+}
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t FnvStr(uint64_t h, const std::string& s) {
+  return Fnv1a(h, s.data(), s.size());
+}
+
+}  // namespace
+
+std::vector<TraceSpan> TraceRecorder::Spans() const {
+  std::vector<TraceSpan> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const std::unique_ptr<Buffer>& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+    }
+  }
+  std::sort(out.begin(), out.end(), StructuralLess);
+  return out;
+}
+
+uint64_t TraceRecorder::StructuralDigest() const {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const TraceSpan& s : Spans()) {
+    h = FnvStr(h, s.name);
+    const uint8_t domain = static_cast<uint8_t>(s.domain);
+    h = Fnv1a(h, &domain, sizeof(domain));
+    h = Fnv1a(h, &s.batch, sizeof(s.batch));
+    h = Fnv1a(h, &s.shard, sizeof(s.shard));
+    h = FnvStr(h, s.tenant);
+    h = FnvStr(h, s.detail);
+  }
+  return h;
+}
+
+bool TraceRecorder::WriteChromeJson(const std::string& path,
+                                    const RunProvenance& prov) const {
+  std::vector<TraceSpan> spans = Spans();
+
+  // Lane (tid) assignment: shards take their own index; tenants get
+  // stable lanes past the shard range, in first-appearance order of
+  // the sorted span list (deterministic when the span set is).
+  constexpr int32_t kTenantLaneBase = 1000;
+  std::map<std::string, int32_t> tenant_lane;
+  for (const TraceSpan& s : spans) {
+    if (!s.tenant.empty() && tenant_lane.count(s.tenant) == 0) {
+      tenant_lane[s.tenant] =
+          kTenantLaneBase + static_cast<int32_t>(tenant_lane.size());
+    }
+  }
+  bool domain_present[3] = {false, false, false};
+  for (const TraceSpan& s : spans) {
+    domain_present[static_cast<size_t>(s.domain)] = true;
+  }
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << "{\n\"displayTimeUnit\": \"ms\",\n";
+  out << "\"otherData\": {\"schema\": \"bdsm-trace-v1\", \"provenance\": "
+      << ProvenanceJson(prov) << "},\n";
+  out << "\"traceEvents\": [\n";
+  bool first = true;
+  auto emit = [&](const std::string& event) {
+    if (!first) out << ",\n";
+    first = false;
+    out << event;
+  };
+  // Process metadata: one tracing "process" per clock domain.
+  for (int d = 0; d < 3; ++d) {
+    if (!domain_present[d]) continue;
+    emit("{\"ph\": \"M\", \"pid\": " + std::to_string(d + 1) +
+         ", \"tid\": 0, \"name\": \"process_name\", \"args\": {\"name\": "
+         "\"clock: " +
+         std::string(DomainName(static_cast<Domain>(d))) + "\"}}");
+  }
+  for (const auto& [tenant, lane] : tenant_lane) {
+    for (int d = 0; d < 3; ++d) {
+      if (!domain_present[d]) continue;
+      emit("{\"ph\": \"M\", \"pid\": " + std::to_string(d + 1) +
+           ", \"tid\": " + std::to_string(lane) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"tenant " +
+           JsonEscape(tenant) + "\"}}");
+    }
+  }
+  char buf[160];
+  for (const TraceSpan& s : spans) {
+    int32_t tid = 0;
+    if (s.shard >= 0) {
+      tid = s.shard + 1;
+    } else if (!s.tenant.empty()) {
+      tid = tenant_lane[s.tenant];
+    }
+    // ts/dur are microseconds in the trace event format.
+    std::snprintf(buf, sizeof(buf),
+                  "\"ts\": %.6f, \"dur\": %.6f, \"pid\": %d, \"tid\": %d",
+                  s.start_s * 1e6, s.dur_s * 1e6,
+                  static_cast<int>(s.domain) + 1, tid);
+    std::string event = "{\"ph\": \"X\", \"name\": \"" +
+                        JsonEscape(s.name) + "\", \"cat\": \"" +
+                        std::string(DomainName(s.domain)) + "\", " + buf +
+                        ", \"args\": {\"batch\": " + std::to_string(s.batch);
+    if (s.shard >= 0) event += ", \"shard\": " + std::to_string(s.shard);
+    if (!s.tenant.empty()) {
+      event += ", \"tenant\": \"" + JsonEscape(s.tenant) + "\"";
+    }
+    if (!s.detail.empty()) {
+      event += ", \"detail\": \"" + JsonEscape(s.detail) + "\"";
+    }
+    event += "}}";
+    emit(event);
+  }
+  out << "\n]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void TraceRecorder::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const std::unique_ptr<Buffer>& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->spans.clear();
+  }
+}
+
+}  // namespace bdsm::obs

@@ -1,0 +1,115 @@
+/// \file trace.hpp
+/// Phase-span tracing with clock-domain provenance, exported as
+/// chrome://tracing JSON (docs/OBSERVABILITY.md).
+///
+/// Every span carries the clock domain its times were read from —
+/// modeled-device, critical-path or host-wall, mirroring
+/// Engine::Describe().clock — as its tracing *process*, so a mixed
+/// trace (modeled kernel phases + thread-CPU shard spans + wall-clock
+/// checkpoint IO) renders as three aligned-but-separate tracks and a
+/// modeled span can never be misread as wall time.  Batch id, shard id
+/// and tenant id tag every span that has them.
+///
+/// Recording is runtime-gated separately from metrics: spans cost
+/// memory per event, so TraceRecorder::SetEnabled is flipped only by
+/// --trace-out.  Span *content* on the deterministic clocks
+/// (modeled-device spans, counts, ids) is a pure function of
+/// (spec, scenario, seed); StructuralDigest() hashes exactly that
+/// content, ignoring measured times, which is what the golden smoke
+/// trace test pins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"  // BDSM_OBS
+#include "util/timer.hpp"
+
+namespace bdsm::obs {
+
+struct RunProvenance;  // provenance.hpp
+
+/// The clock a span's start/duration were read from.  Values mirror
+/// core's ClockDomain (core/engine.cpp maps between them; obs stays
+/// below core in the layer order and cannot include engine.hpp).
+enum class Domain : uint8_t {
+  kModeledDevice = 0,  ///< simulated device makespan (deterministic)
+  kCriticalPath = 1,   ///< slowest-shard thread-CPU (measured)
+  kHostWall = 2,       ///< host wall clock (measured)
+};
+
+/// "modeled-device" | "critical-path" | "host-wall" (matches
+/// ClockDomainName for the corresponding core enum).
+const char* DomainName(Domain d);
+
+/// One phase span.  `start_s`/`dur_s` are seconds on `domain`'s clock;
+/// each emitting layer keeps its own per-domain cursor so spans of one
+/// engine tile without overlap.
+struct TraceSpan {
+  std::string name;    ///< e.g. "engine.update", "serve.shard"
+  Domain domain = Domain::kHostWall;
+  double start_s = 0.0;
+  double dur_s = 0.0;
+  uint64_t batch = 0;   ///< emitting engine's batch sequence number
+  int32_t shard = -1;   ///< shard index, -1 when not sharded
+  std::string tenant;   ///< tenant name, "" when not tenant-scoped
+  std::string detail;   ///< free-form annotation ("phase=update", counts)
+};
+
+/// Process-wide span sink.  Record() appends to a per-thread buffer
+/// (own mutex, uncontended in steady state); Spans()/export merge and
+/// deterministically order them.  Drain only at quiescence — between
+/// batches or after a run — never concurrently with in-flight phases.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Instance();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  /// Span recording master switch (drivers: --trace-out).  Metrics
+  /// (obs::SetEnabled) can be on with tracing off, never vice versa in
+  /// practice — emitting sites check both.
+  void SetEnabled(bool on);
+
+  void Record(TraceSpan span);
+
+  /// Seconds since this recorder's construction — the shared epoch of
+  /// every host-wall span, so wall spans from different layers align.
+  double HostNowSeconds() const { return epoch_.ElapsedSeconds(); }
+
+  /// All spans so far, merged across threads and sorted by the
+  /// structural key (domain, batch, shard, tenant, name, detail) —
+  /// stable across runs whenever the span *set* is deterministic.
+  std::vector<TraceSpan> Spans() const;
+
+  /// FNV-1a hash over the sorted spans' structural fields (times
+  /// excluded) — the golden-test determinism pin.
+  uint64_t StructuralDigest() const;
+
+  /// Writes the chrome://tracing JSON (object form: traceEvents +
+  /// otherData provenance; load via chrome://tracing or Perfetto).
+  /// Returns false on IO failure.
+  bool WriteChromeJson(const std::string& path,
+                       const RunProvenance& prov) const;
+
+  /// Drops all recorded spans (keeps thread buffers registered).
+  void Reset();
+
+ private:
+  TraceRecorder() = default;
+  struct Buffer {
+    std::mutex mu;
+    std::vector<TraceSpan> spans;
+  };
+  Buffer* ThisThreadBuffer();
+
+  mutable std::mutex mu_;  ///< guards buffers_ registration
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+  Timer epoch_;
+};
+
+}  // namespace bdsm::obs

@@ -5,6 +5,8 @@
 #include <set>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace bdsm::persist {
@@ -169,11 +171,34 @@ void Checkpointer::OnBatchApplied(const Engine& engine,
     throw PersistError("Checkpointer::OnBatchApplied before Begin");
   }
   size_t segments_before = wal_->segments().size();
+#if BDSM_OBS
+  // Disabled cost stays one relaxed load: no clock read unless on.
+  const double wal_start =
+      obs::Enabled() ? obs::TraceRecorder::Instance().HostNowSeconds() : 0.0;
+#endif
   wal_->Append(batch);
   if (!wal_->ok()) {
     throw PersistError("WAL append failed in " + dir_ +
                        " (durability contract broken)");
   }
+#if BDSM_OBS
+  if (obs::Enabled()) {
+    BDSM_OBS_COUNT("persist.wal.batches", 1);
+    BDSM_OBS_COUNT("persist.wal.ops", batch.size());
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+    const double wal_dur = tracer.HostNowSeconds() - wal_start;
+    BDSM_OBS_COUNT_US("persist.wal.append_us", wal_dur);
+    if (tracer.enabled()) {
+      obs::TraceSpan span;
+      span.name = "persist.wal.append";
+      span.domain = obs::Domain::kHostWall;
+      span.start_s = wal_start;
+      span.dur_s = wal_dur;
+      span.batch = next_batch_;
+      tracer.Record(std::move(span));
+    }
+  }
+#endif
   // A size rotation opened a fresh segment; the manifest must name it
   // or a restore between now and the next snapshot loses the tail.
   if (wal_->segments().size() != segments_before) {
@@ -194,11 +219,32 @@ void Checkpointer::OnBatchApplied(const Engine& engine,
 }
 
 void Checkpointer::TakeSnapshot(const Engine& engine) {
+#if BDSM_OBS
+  const double snap_start =
+      obs::Enabled() ? obs::TraceRecorder::Instance().HostNowSeconds() : 0.0;
+#endif
   Snapshot snap =
       CaptureSnapshot(engine, seed_, scenario_, next_batch_, totals_);
   std::string file = SnapshotFileName(manifest_.generation, next_batch_);
   WriteSnapshot(dir_ + "/" + file, snap);
   ++snapshots_taken_;
+#if BDSM_OBS
+  if (obs::Enabled()) {
+    BDSM_OBS_COUNT("persist.checkpoint.snapshots", 1);
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+    const double snap_dur = tracer.HostNowSeconds() - snap_start;
+    BDSM_OBS_COUNT_US("persist.checkpoint.snapshot_us", snap_dur);
+    if (tracer.enabled()) {
+      obs::TraceSpan span;
+      span.name = "persist.checkpoint";
+      span.domain = obs::Domain::kHostWall;
+      span.start_s = snap_start;
+      span.dur_s = snap_dur;
+      span.batch = next_batch_;
+      tracer.Record(std::move(span));
+    }
+  }
+#endif
   // Rotate so the tail is segment-aligned: every WAL segment in the
   // new manifest starts at or after the snapshot batch.
   wal_->Rotate();

@@ -3,6 +3,7 @@
 #include <cinttypes>
 #include <cstdio>
 
+#include "obs/metrics.hpp"
 #include "persist/snapshot.hpp"  // PersistError
 
 namespace bdsm::persist {
@@ -67,6 +68,7 @@ void WalWriter::Rotate() {
     return;
   }
   OpenSegment();
+  BDSM_OBS_COUNT("persist.wal.rotations", 1);
 }
 
 void WalWriter::Close() {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "persist/checkpoint.hpp"
 #include "serve/tenant_front_door.hpp"
 #include "util/common.hpp"
@@ -73,6 +75,7 @@ EngineInfo ShardedEngine::Describe() const {
                    ? ClockDomain::kModeledDevice
                    : ClockDomain::kCriticalPath;
   info.supports_remove_query = inner.supports_remove_query;
+  info.tick_seconds = inner.tick_seconds;
   info.num_shards = shards_.size();
   info.inner_spec = inner.canonical_spec;
   info.supports_snapshot = inner.supports_snapshot;
@@ -172,7 +175,7 @@ void ShardedEngine::BeginBatch(const BatchOptions& options) {
 }
 
 double ShardedEngine::ForEachShard(
-    const BatchOptions& options,
+    const BatchOptions& options, const char* phase_name,
     const std::function<void(Shard&, const BatchOptions&)>& phase_body) {
   std::vector<double> phase_seconds(shards_.size(), 0.0);
   try {
@@ -209,11 +212,40 @@ double ShardedEngine::ForEachShard(
   // the slowest shard's (the critical path a host with enough cores
   // pays); per-shard busy time accumulates for utilization views.
   double slowest = 0.0;
+  double busy = 0.0;
   for (size_t s = 0; s < shards_.size(); ++s) {
     shard_busy_seconds_[s] += phase_seconds[s];
+    busy += phase_seconds[s];
     slowest = std::max(slowest, phase_seconds[s]);
   }
   critical_path_seconds_ += slowest;
+#if BDSM_OBS
+  if (obs::Enabled()) {
+    BDSM_OBS_COUNT_US("serve.critical_path_us", slowest);
+    BDSM_OBS_COUNT_US("serve.shards.busy_us", busy);
+    obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+    if (tracer.enabled()) {
+      // Per-shard fan-out lanes on the critical-path clock: all shards
+      // of a phase start together (barrier semantics), the slowest one
+      // advances the cursor — mirroring critical_path_seconds_.
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        obs::TraceSpan span;
+        span.name = "serve.shard";
+        span.domain = obs::Domain::kCriticalPath;
+        span.start_s = obs_shard_cursor_;
+        span.dur_s = phase_seconds[s];
+        span.batch = obs_batch_seq_;
+        span.shard = static_cast<int32_t>(s);
+        span.detail = phase_name;
+        tracer.Record(std::move(span));
+      }
+      obs_shard_cursor_ += slowest;
+    }
+  }
+#else
+  (void)phase_name;
+  (void)busy;
+#endif
   return slowest;
 }
 
@@ -283,8 +315,9 @@ void ShardedEngine::RunMatchPhase(const UpdateBatch& batch, bool positive,
   // Engine::ProcessBatch and StreamPipeline run negative -> update ->
   // positive), so it doubles as the per-batch reset point.
   if (!positive) BeginBatch(options);
-  report->critical_path_seconds +=
-      ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+  report->critical_path_seconds += ForEachShard(
+      options, positive ? "match+" : "match-",
+      [&](Shard& shard, const BatchOptions& inner) {
         shard.engine->RunMatchPhase(batch, positive, inner, &shard.scratch);
       });
   MergeIntoReport(options, report);
@@ -303,8 +336,8 @@ void ShardedEngine::RunUpdatePhase(const UpdateBatch& batch,
                                    BatchReport* report) {
   // Every shard applies the batch to its own replica, keeping all
   // host graphs (and any late AddQuery) in lockstep.
-  report->critical_path_seconds +=
-      ForEachShard(options, [&](Shard& shard, const BatchOptions& inner) {
+  report->critical_path_seconds += ForEachShard(
+      options, "update", [&](Shard& shard, const BatchOptions& inner) {
         shard.engine->RunUpdatePhase(batch, inner, &shard.scratch);
       });
   MergeIntoReport(options, report);
@@ -381,6 +414,24 @@ void ShardedEngine::DispatchLoop() {
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         pending.enqueued)
               .count();
+#if BDSM_OBS
+      if (obs::Enabled()) {
+        BDSM_OBS_COUNT("serve.ingest.batches", 1);
+        BDSM_OBS_COUNT_US("serve.ingest.queue_wait_us", waited);
+        BDSM_OBS_GAUGE_SET("serve.ingest.queue_depth",
+                           static_cast<int64_t>(pending.depth_at_submit));
+        obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+        if (tracer.enabled()) {
+          obs::TraceSpan span;
+          span.name = "serve.ingest.wait";
+          span.domain = obs::Domain::kHostWall;
+          span.start_s = tracer.HostNowSeconds() - waited;
+          span.dur_s = waited;
+          span.batch = obs_batch_seq_;
+          tracer.Record(std::move(span));
+        }
+      }
+#endif
       BatchReport report = ProcessBatch(pending.batch, pending.options);
       report.queue_wait_seconds = waited;
       report.queue_depth = pending.depth_at_submit;

@@ -250,7 +250,9 @@ class ShardedEngine final : public Engine {
   /// Runs one phase body on every shard via the pool, streaming through
   /// the shard's lane, then merges scratch into `report`.  Returns the
   /// phase's critical path (the slowest shard's thread-CPU seconds).
-  double ForEachShard(const BatchOptions& options,
+  /// `phase_name` tags the per-shard observability spans
+  /// (docs/OBSERVABILITY.md): "match-", "update" or "match+".
+  double ForEachShard(const BatchOptions& options, const char* phase_name,
                       const std::function<void(Shard&, const BatchOptions&)>&
                           phase_body);
   /// Copies per-query state from shard scratch into the public report
@@ -265,6 +267,11 @@ class ShardedEngine final : public Engine {
 
   std::vector<double> shard_busy_seconds_;
   double critical_path_seconds_ = 0.0;
+  /// Critical-path span cursor for per-shard phase spans: advances by
+  /// each phase's slowest shard, so shard spans tile the same timeline
+  /// the engine-level critical-path spans do (obs layer; only advanced
+  /// while tracing is enabled).
+  double obs_shard_cursor_ = 0.0;
 
   FanInSink fanin_;
   ThreadPool pool_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace bdsm::serve {
@@ -185,6 +187,9 @@ void TenantFrontDoor::Ingest(TenantId tenant, const UpdateBatch& ops) {
   // no shedding — queues grow unboundedly so queue-wait degradation is
   // visible instead of being masked by drops.
   const size_t limit = fd_.admission ? QueueLimit(t) : 0;
+#if BDSM_OBS
+  const uint64_t shed_before = t.counters.shed_ops;
+#endif
   for (const UpdateOp& op : ops) {
     ++t.counters.offered_ops;
     if (limit > 0 && t.queue.size() >= limit) {
@@ -195,6 +200,31 @@ void TenantFrontDoor::Ingest(TenantId tenant, const UpdateBatch& ops) {
     }
     t.queue.push_back(Tenant::QueuedOp{op, tenant, next_seq_++, vclock_});
   }
+#if BDSM_OBS
+  if (obs::Enabled()) {
+    BDSM_OBS_COUNT("tenant.offered_ops", ops.size());
+    const uint64_t shed = t.counters.shed_ops - shed_before;
+    if (shed > 0) {
+      BDSM_OBS_COUNT("tenant.shed_ops", shed);
+      obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+      if (tracer.enabled()) {
+        // Instant on the formation clock: the shed decision happens at
+        // Ingest, between formed batches, so it carries the current
+        // virtual-clock stamp and zero duration.
+        obs::TraceSpan span;
+        span.name = "tenant.shed";
+        span.domain = ToObsTraceDomain(inner_clock_);
+        span.start_s = vclock_;
+        span.dur_s = 0.0;
+        span.batch = formed_batches_;
+        span.tenant = t.name;
+        span.detail = "ops=" + std::to_string(shed);
+        tracer.Record(std::move(span));
+      }
+    }
+    PublishTenantObs(t);
+  }
+#endif
 }
 
 size_t TenantFrontDoor::PendingOps() const {
@@ -366,6 +396,43 @@ bool TenantFrontDoor::PumpFormedBatch(FormedBatchStats* out) {
         --t.degrade_left;
       }
     }
+#if BDSM_OBS
+    if (obs::Enabled()) {
+      BDSM_OBS_COUNT("tenant.formed_batches", 1);
+      BDSM_OBS_COUNT("tenant.admitted_ops", chosen.size());
+      BDSM_OBS_GAUGE_SET("tenant.target_ops", target_ops_);
+      obs::TraceRecorder& tracer = obs::TraceRecorder::Instance();
+      if (tracer.enabled()) {
+        // The formed batch occupies [vclock before, vclock after] on
+        // the inner engine's clock; per-tenant admit spans share the
+        // interval in their own lanes.
+        const double start_v = vclock_ - latency;
+        obs::TraceSpan form;
+        form.name = "tenant.form";
+        form.domain = ToObsTraceDomain(inner_clock_);
+        form.start_s = start_v;
+        form.dur_s = latency;
+        form.batch = formed_batches_;
+        form.detail = "target=" + std::to_string(stats.target_ops) +
+                      " admitted=" + std::to_string(stats.admitted_ops);
+        tracer.Record(std::move(form));
+        for (size_t i = 0; i < tenants_.size(); ++i) {
+          if (admitted[i] == 0) continue;
+          obs::TraceSpan admit;
+          admit.name = "tenant.admit";
+          admit.domain = ToObsTraceDomain(inner_clock_);
+          admit.start_s = start_v;
+          admit.dur_s = latency;
+          admit.batch = formed_batches_;
+          admit.tenant = tenants_[i].name;
+          admit.detail = "ops=" + std::to_string(admitted[i]);
+          tracer.Record(std::move(admit));
+        }
+      }
+      for (const Tenant& t : tenants_) PublishTenantObs(t);
+    }
+#endif
+    ++formed_batches_;
   } else {
     // Every queued tenant is out of tokens this tick; the refill above
     // still happened, so forward progress is guaranteed next pump.
@@ -375,6 +442,29 @@ bool TenantFrontDoor::PumpFormedBatch(FormedBatchStats* out) {
   }
   if (out != nullptr) *out = stats;
   return true;
+}
+
+void TenantFrontDoor::PublishTenantObs(const Tenant& t) const {
+#if BDSM_OBS
+  if (!obs::Enabled()) return;
+  // Dynamic names can't use the static-cache macros; the per-name map
+  // lookup is fine here — this runs per Ingest call / formed batch,
+  // never per op.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Instance();
+  const std::string prefix = "tenant." + t.name + ".";
+  reg.GetGauge(prefix + "offered_ops")
+      .Set(static_cast<int64_t>(t.counters.offered_ops));
+  reg.GetGauge(prefix + "admitted_ops")
+      .Set(static_cast<int64_t>(t.counters.admitted_ops));
+  reg.GetGauge(prefix + "shed_ops")
+      .Set(static_cast<int64_t>(t.counters.shed_ops));
+  reg.GetGauge(prefix + "degraded_ops")
+      .Set(static_cast<int64_t>(t.counters.degraded_ops));
+  reg.GetGauge(prefix + "queue_depth")
+      .Set(static_cast<int64_t>(t.queue.size()));
+#else
+  (void)t;
+#endif
 }
 
 double TenantFrontDoor::ClockSeconds(const BatchReport& report) const {

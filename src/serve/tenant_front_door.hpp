@@ -162,6 +162,11 @@ class TenantFrontDoor final : public Engine, public TenantControl {
       size_t target, std::vector<size_t>* admitted_per_tenant);
   /// Per-batch latency of `report` under the inner engine's clock.
   double ClockSeconds(const BatchReport& report) const;
+  /// Publishes this tenant's registry-backed views (`tenant.<name>.*`
+  /// gauges) straight from its TenantCounters — the same variables the
+  /// per-tenant report rows read, so the two can never disagree.
+  /// No-op unless observability is compiled in and runtime-enabled.
+  void PublishTenantObs(const Tenant& t) const;
   /// One AIMD step on target_ops_ after observing `latency`.
   void AdaptTarget(double latency);
 
@@ -176,6 +181,7 @@ class TenantFrontDoor final : public Engine, public TenantControl {
 
   uint64_t next_seq_ = 0;   ///< global arrival order across queues
   double vclock_ = 0.0;     ///< sum of formed-batch latencies
+  uint64_t formed_batches_ = 0;  ///< batch tag for obs spans
   size_t target_ops_ = 0;   ///< current SLO target batch size
   std::deque<double> latency_window_;
   size_t rr_cursor_ = 0;    ///< round-robin start within a class

@@ -1,7 +1,9 @@
 #include "util/logging.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace bdsm {
 
@@ -17,17 +19,64 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// BDSM_LOG_LEVEL hook: parsed exactly once, at the first call that
+/// consults the threshold, so the env var works without any init call
+/// but an explicit SetLogLevel beforehand still wins (last writer).
+void InitLevelFromEnvOnce() {
+  static const bool parsed = [] {
+    const char* env = std::getenv("BDSM_LOG_LEVEL");
+    if (env == nullptr || env[0] == '\0') return false;
+    LogLevel level;
+    if (!ParseLogLevel(env, &level)) {
+      std::fprintf(stderr,
+                   "[WARN] unrecognized BDSM_LOG_LEVEL \"%s\" ignored "
+                   "(want debug|info|warn|error or 0-3)\n",
+                   env);
+      return false;
+    }
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    return true;
+  }();
+  (void)parsed;
+}
 }  // namespace
 
+bool ParseLogLevel(const std::string& value, LogLevel* out) {
+  std::string v;
+  v.reserve(value.size());
+  for (char c : value) {
+    v.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (v == "debug" || v == "0") {
+    *out = LogLevel::kDebug;
+  } else if (v == "info" || v == "1") {
+    *out = LogLevel::kInfo;
+  } else if (v == "warn" || v == "warning" || v == "2") {
+    *out = LogLevel::kWarn;
+  } else if (v == "error" || v == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 void SetLogLevel(LogLevel level) {
+  // Ensure the env parse (if any) happens first, so this explicit call
+  // wins over it regardless of call order.
+  InitLevelFromEnvOnce();
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
+  InitLevelFromEnvOnce();
   return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
 }
 
 void Log(LogLevel level, const char* fmt, ...) {
+  InitLevelFromEnvOnce();
   if (static_cast<int>(level) < g_level.load(std::memory_order_relaxed)) {
     return;
   }

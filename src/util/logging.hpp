@@ -3,18 +3,33 @@
 ///
 /// The benchmark harnesses print their tables to stdout; everything
 /// diagnostic goes through here so the two streams never mix.
+///
+/// The threshold defaults to kInfo and can be set three ways, last
+/// writer wins: the BDSM_LOG_LEVEL environment variable (parsed once,
+/// lazily, at the first Log/GetLogLevel call — "debug", "info",
+/// "warn"/"warning", "error", case-insensitive, or a numeric 0-3),
+/// SetLogLevel() from code, or nothing (the default).
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 
 namespace bdsm {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
-/// Global threshold; messages below it are dropped.  Defaults to kInfo.
+/// Global threshold; messages below it are dropped.  Defaults to kInfo
+/// (or BDSM_LOG_LEVEL when set — see the file comment).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses one BDSM_LOG_LEVEL value ("debug" | "info" | "warn" |
+/// "warning" | "error", case-insensitive, or "0".."3").  Returns false
+/// (leaving `*out` alone) for anything else — exposed for direct unit
+/// testing; the env hook uses exactly this.
+bool ParseLogLevel(const std::string& value, LogLevel* out);
 
 /// printf-style logging.  Thread-safe (single write call per message).
 void Log(LogLevel level, const char* fmt, ...)
@@ -24,5 +39,27 @@ void Log(LogLevel level, const char* fmt, ...)
 #define GAMMA_LOG_INFO(...) ::bdsm::Log(::bdsm::LogLevel::kInfo, __VA_ARGS__)
 #define GAMMA_LOG_WARN(...) ::bdsm::Log(::bdsm::LogLevel::kWarn, __VA_ARGS__)
 #define GAMMA_LOG_ERROR(...) ::bdsm::Log(::bdsm::LogLevel::kError, __VA_ARGS__)
+
+/// Rate-limited logging for per-op/per-batch diagnostics: emits the
+/// 1st, (n+1)th, (2n+1)th... execution of this *call site* (each use
+/// owns a static counter), appending "(seen N times)" from the second
+/// emission on so dropped repeats stay accounted for.
+///
+///   GAMMA_LOG_EVERY_N(WARN, 100, "segment %zu overflowed", seg);
+#define GAMMA_LOG_EVERY_N(severity, n, fmt, ...)                          \
+  do {                                                                    \
+    static ::std::atomic<uint64_t> gamma_log_count_{0};                   \
+    const uint64_t gamma_log_seen_ =                                      \
+        gamma_log_count_.fetch_add(1, ::std::memory_order_relaxed) + 1;   \
+    if ((gamma_log_seen_ - 1) % (n) == 0) {                               \
+      if (gamma_log_seen_ == 1) {                                         \
+        GAMMA_LOG_##severity(fmt, ##__VA_ARGS__);                         \
+      } else {                                                            \
+        GAMMA_LOG_##severity(fmt " (seen %llu times)", ##__VA_ARGS__,     \
+                             static_cast<unsigned long long>(             \
+                                 gamma_log_seen_));                       \
+      }                                                                   \
+    }                                                                     \
+  } while (0)
 
 }  // namespace bdsm

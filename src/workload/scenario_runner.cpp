@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "persist/checkpoint.hpp"
 #include "util/logging.hpp"
 #include "util/stats.hpp"
@@ -147,6 +148,9 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   // torn-tail case RestoreEngine recovers; a completed run should not
   // look like one).
   if (controls.checkpointer != nullptr) controls.checkpointer->Finish();
+  BDSM_OBS_COUNT("scenario.batches", out.batches.size());
+  BDSM_OBS_COUNT("scenario.ops", out.total_ops);
+  BDSM_OBS_COUNT("scenario.matches", out.total_matches);
   return out;
 }
 
@@ -255,6 +259,9 @@ ScenarioReport ScenarioRunner::RunTenantDrive(TenantControl* tc,
     out.tenants.push_back(std::move(tm));
   }
   out.fairness = tc->JainFairnessIndex();
+  BDSM_OBS_COUNT("scenario.batches", out.batches.size());
+  BDSM_OBS_COUNT("scenario.ops", out.total_ops);
+  BDSM_OBS_COUNT("scenario.matches", out.total_matches);
   return out;
 }
 
