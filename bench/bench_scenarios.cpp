@@ -9,7 +9,7 @@
 ///                   [--seed N] [--json PATH] [--record PATH]
 ///                   [--replay PATH] [--budget SECONDS] [--list]
 ///                   [--checkpoint-dir DIR] [--checkpoint-every N]
-///                   [--restart-at K] [--tenants N]
+///                   [--restart-at K] [--failover-at K] [--tenants N]
 ///                   [--priority-mix CLASS[:W],...] [--admission on|off]
 ///                   [--slo SECONDS] [--metrics-json PATH]
 ///                   [--trace-out PATH]
@@ -53,6 +53,25 @@
 ///                          divergence — this is the CI smoke gate
 ///                          `scenario_restart`.
 ///
+/// Replication (src/replica/; docs/REPLICATION.md):
+///   --failover-at K        the replica-group failover drill: wrap each
+///                          engine in replicated(...) (specs already
+///                          rooted there are taken verbatim), apply K
+///                          batches, kill the leader, promote the
+///                          most-caught-up follower (checkpoint restore
+///                          + WAL-tail replay), finish the stream, and
+///                          verify the stitched run equals an
+///                          uninterrupted unreplicated run batch for
+///                          batch with follower staleness inside the
+///                          poll_every bound.  Exits 1 on divergence —
+///                          the CI smoke gate `scenario_failover`.
+///                          --checkpoint-dir/--checkpoint-every name
+///                          the group's shipping directory and leader
+///                          snapshot cadence.  JSON rows carry shipped
+///                          bytes/batches, lag, and the modeled
+///                          failover + replication throughput under
+///                          the critical-path clock.
+///
 /// Latency metric per engine (one CPU core; never wall-clock
 /// parallelism claims): modeled device seconds for device engines,
 /// critical-path seconds for sharded CPU engines, host wall otherwise —
@@ -71,6 +90,7 @@
 #include "obs/provenance.hpp"
 #include "obs/trace.hpp"
 #include "persist/restart.hpp"
+#include "replica/failover.hpp"
 #include "workload/scenario_runner.hpp"
 
 using namespace bdsm;
@@ -85,6 +105,17 @@ void ListScenarios() {
            s.name.c_str(), s.description.c_str(),
            StreamKindName(s.stream.kind), s.stream.num_batches,
            s.stream.ops_per_batch, s.num_queries, s.query_size);
+  }
+  printf("\nregistered engine specs (--engine SPEC; wrappers compose, "
+         "grammar in docs/ENGINES.md):\n");
+  for (const EngineRegistry::Listing& l :
+       EngineRegistry::Instance().Listings()) {
+    std::string keys;
+    for (const std::string& k : l.option_keys) {
+      keys += keys.empty() ? k : ", " + k;
+    }
+    printf("  %-10s e.g. %-44s %s%s\n", l.name.c_str(), l.example.c_str(),
+           keys.empty() ? "(no options)" : "options: ", keys.c_str());
   }
 }
 
@@ -135,6 +166,77 @@ bool RunRestartDrill(const ScenarioSpec& spec, uint64_t seed,
       .Set("wal_batches_replayed",
            static_cast<size_t>(outcome.wal_batches_replayed))
       .Set("identical", outcome.identical ? "yes" : "no");
+  bench::JsonSink::Instance().Add(std::move(row));
+  return outcome.identical;
+}
+
+/// The --failover-at drill for one (scenario, engine): uninterrupted
+/// unreplicated run vs replicated prefix + leader kill + promoted
+/// follower finishing the stream, verified batch for batch with the
+/// staleness bound asserted.  Returns false on divergence.
+bool RunFailoverDrill(const ScenarioSpec& spec, uint64_t seed,
+                      const std::string& engine_spec, size_t kill_at,
+                      const EngineOptions& options) {
+  replica::FailoverOutcome outcome;
+  try {
+    outcome = replica::RunFailoverScenario(spec, seed, engine_spec, kill_at,
+                                           options);
+  } catch (const EngineSpecError& e) {
+    fprintf(stderr, "failover drill cannot replicate \"%s\": %s\n",
+            engine_spec.c_str(), e.what());
+    return false;
+  } catch (const persist::PersistError& e) {
+    fprintf(stderr, "failover drill failed: %s\n", e.what());
+    return false;
+  }
+  printf("  %-16s failover drill: %s — %s\n", engine_spec.c_str(),
+         outcome.identical ? "OK" : "DIVERGED", outcome.detail.c_str());
+
+  // Replication throughput under the critical-path clock: the slowest
+  // follower's applied ops over its modeled ship + apply seconds
+  // (followers run in parallel, so the group drains at the slowest
+  // chain's rate).
+  double replication_ops_per_s = 0.0;
+  uint64_t max_lag = 0, resyncs = 0;
+  bool first = true;
+  for (const ReplicaStats& r : outcome.stats.replicas) {
+    const double s = r.transport_seconds + r.apply_seconds;
+    if (s > 0.0) {
+      const double rate = static_cast<double>(r.applied_ops) / s;
+      if (first || rate < replication_ops_per_s) {
+        replication_ops_per_s = rate;
+      }
+      first = false;
+    }
+    max_lag = std::max(max_lag, r.max_lag_batches);
+    resyncs += r.resyncs;
+  }
+
+  bench::JsonRow row;
+  row.Set("engine", engine_spec)
+      .Set("spec", outcome.prefix.canonical_spec)
+      .Set("mode", "failover")
+      .Set("latency_metric", "critical_path_seconds")
+      .Set("kill_after_batches", outcome.killed_at)
+      // Zero-tolerance gate columns: deterministic in (spec, scenario,
+      // seed) — `total_matches` is the uninterrupted run's count and
+      // `matches` the stitched prefix+tail count; CI diffs both at 0%.
+      .Set("total_matches", outcome.cold.total_matches)
+      .Set("matches",
+           outcome.prefix.total_matches + outcome.tail.total_matches)
+      .Set("shipped_batches",
+           outcome.prefix.shipped_batches + outcome.tail.shipped_batches)
+      .Set("shipped_bytes",
+           outcome.prefix.shipped_bytes + outcome.tail.shipped_bytes)
+      .Set("lag_bound_batches", outcome.lag_bound)
+      .Set("max_lag_batches", static_cast<size_t>(max_lag))
+      .Set("resyncs", static_cast<size_t>(resyncs))
+      .Set("wal_batches_replayed",
+           static_cast<size_t>(outcome.stats.last_failover_replayed))
+      .Set("failover_modeled_s", outcome.stats.last_failover_seconds)
+      .Set("replication_ops_per_s", replication_ops_per_s)
+      .Set("identical", outcome.identical ? "yes" : "no")
+      .Set("lag_bounded", outcome.lag_bounded ? "yes" : "no");
   bench::JsonSink::Instance().Add(std::move(row));
   return outcome.identical;
 }
@@ -209,7 +311,37 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
       .Set("queue_wait_max_s", queue_wait_max)
       .Set("queue_depth_max", queue_depth_max);
   if (!r.tenants.empty()) row.Set("fairness", r.fairness);
+  if (!r.replicas.empty()) {
+    row.Set("shipped_batches", r.shipped_batches)
+        .Set("shipped_bytes", r.shipped_bytes)
+        .Set("failovers", r.failovers);
+  }
   bench::JsonSink::Instance().Add(std::move(row));
+
+  // Replica accounting (replicated(...) runs only): one printed line
+  // and one JSON row per follower — lag under the group's modeled
+  // critical-path clock, drained at end of stream by the runner.
+  for (const ScenarioReplicaMetric& rep : r.replicas) {
+    printf(
+        "    replica %d: applied %zu batches / %zu ops | ship %.4g ms + "
+        "apply %.4g ms (critical path) | lag %zu (max %zu) | resyncs "
+        "%zu\n",
+        rep.replica, rep.applied_batches, rep.applied_ops,
+        rep.transport_seconds * 1e3, rep.apply_seconds * 1e3,
+        rep.lag_batches, rep.max_lag_batches, rep.resyncs);
+    bench::JsonRow rrow;
+    rrow.Set("engine", engine_spec)
+        .Set("spec", r.canonical_spec)
+        .Set("replica", static_cast<size_t>(rep.replica))
+        .Set("applied_batches", rep.applied_batches)
+        .Set("applied_ops", rep.applied_ops)
+        .Set("lag_batches", rep.lag_batches)
+        .Set("max_lag_batches", rep.max_lag_batches)
+        .Set("resyncs", rep.resyncs)
+        .Set("transport_s", rep.transport_seconds)
+        .Set("apply_s", rep.apply_seconds);
+    bench::JsonSink::Instance().Add(std::move(rrow));
+  }
 
   // Per-tenant accounting (multi-tenant runs only): one printed line
   // and one JSON row per tenant — the "tenant" field keys the rows
@@ -259,6 +391,7 @@ int main(int argc, char** argv) {
   double budget_s = 0.0;
   size_t checkpoint_every = 4;
   long restart_at = -1;
+  long failover_at = -1;
   bool list_only = false;
   long tenants_n = 0;
   std::string priority_mix_arg;
@@ -294,6 +427,12 @@ int main(int argc, char** argv) {
       restart_at = std::atol(next("--restart-at"));
       if (restart_at < 1) {
         fprintf(stderr, "--restart-at wants a kill point >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--failover-at") == 0) {
+      failover_at = std::atol(next("--failover-at"));
+      if (failover_at < 1) {
+        fprintf(stderr, "--failover-at wants a kill point >= 1\n");
         return 2;
       }
     } else if (std::strcmp(argv[i], "--tenants") == 0) {
@@ -349,10 +488,10 @@ int main(int argc, char** argv) {
     // One checkpoint directory cannot either (one manifest = one
     // stream).
     if (!record_path.empty() || !replay_path.empty() ||
-        !checkpoint_dir.empty() || restart_at >= 0) {
+        !checkpoint_dir.empty() || restart_at >= 0 || failover_at >= 0) {
       fprintf(stderr,
-              "--record/--replay/--checkpoint-dir/--restart-at need a "
-              "single --scenario, not all\n");
+              "--record/--replay/--checkpoint-dir/--restart-at/"
+              "--failover-at need a single --scenario, not all\n");
       return 2;
     }
     for (const ScenarioSpec& s : AllScenarios()) scenarios.push_back(&s);
@@ -387,7 +526,32 @@ int main(int argc, char** argv) {
   // last engine's state restorable, silently.  (The restart drill is
   // exempt — each drill restores and verifies before the next engine
   // reuses the directory.)
-  if (!checkpoint_dir.empty() && restart_at < 0 && engines.size() > 1) {
+  // Each drill runs its engines one at a time, so they cannot be
+  // combined — the two modes disagree on who owns the checkpoint tee.
+  if (restart_at >= 0 && failover_at >= 0) {
+    fprintf(stderr,
+            "--restart-at and --failover-at are separate drills; run "
+            "them as two invocations\n");
+    return 2;
+  }
+  // A replica group ships its own WAL; attaching the measurement
+  // loop's Checkpointer on top would tee the stream twice.
+  if (!checkpoint_dir.empty() && restart_at < 0 && failover_at < 0) {
+    for (const std::string& e : engines) {
+      if (EngineRegistry::Instance().Canonicalize(EngineSpec::Parse(e))
+              .name == "replicated") {
+        fprintf(stderr,
+                "--checkpoint-dir conflicts with the replicated(...) "
+                "spec \"%s\" (the group ships its own WAL; point "
+                "EngineOptions::replica.dir — or --failover-at's "
+                "--checkpoint-dir — at it instead)\n",
+                e.c_str());
+        return 2;
+      }
+    }
+  }
+  if (!checkpoint_dir.empty() && restart_at < 0 && failover_at < 0 &&
+      engines.size() > 1) {
     fprintf(stderr,
             "--checkpoint-dir needs a single --engine (one manifest = "
             "one engine's checkpoint); run the engines separately with "
@@ -460,13 +624,14 @@ int main(int argc, char** argv) {
       }
     }
   }
-  if (any_mix && (!checkpoint_dir.empty() || restart_at >= 0)) {
+  if (any_mix && (!checkpoint_dir.empty() || restart_at >= 0 ||
+                  failover_at >= 0)) {
     fprintf(stderr,
-            "multi-tenant runs cannot be checkpointed or restart-drilled "
-            "(batch formation re-draws the batch boundaries a WAL would "
-            "have to record; docs/SERVING.md); drop "
-            "--checkpoint-dir/--restart-at or use a single-tenant "
-            "scenario\n");
+            "multi-tenant runs cannot be checkpointed, restart-drilled, "
+            "or replicated (batch formation re-draws the batch "
+            "boundaries a WAL would have to record; docs/SERVING.md); "
+            "drop --checkpoint-dir/--restart-at/--failover-at or use a "
+            "single-tenant scenario\n");
     return 2;
   }
 
@@ -516,6 +681,33 @@ int main(int argc, char** argv) {
       all_ok = RunRestartDrill(*spec, seed, e,
                                static_cast<size_t>(restart_at),
                                checkpoint_dir, options) &&
+               all_ok;
+    }
+    if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
+      return 1;
+    }
+    return all_ok ? 0 : 1;
+  }
+
+  // The failover drill mirrors it for the replica layer: the group
+  // owns its own WAL tee, so --checkpoint-dir/--checkpoint-every
+  // configure the group instead of attaching a Checkpointer.
+  if (failover_at >= 0) {
+    const ScenarioSpec* spec = scenarios.front();
+    EngineOptions drill_options = options;
+    drill_options.replica.dir = checkpoint_dir;  // "" = fresh temp dir
+    drill_options.replica.checkpoint_every = checkpoint_every;
+    printf("scenario %-10s — failover drill: kill the leader after %ld "
+           "batches, shipping dir %s\n",
+           spec->name.c_str(), failover_at,
+           checkpoint_dir.empty() ? "(temp)" : checkpoint_dir.c_str());
+    bench::JsonContext("scenario", spec->name);
+    bench::JsonContext("seed", static_cast<size_t>(seed));
+    bool all_ok = true;
+    for (const std::string& e : engines) {
+      all_ok = RunFailoverDrill(*spec, seed, e,
+                                static_cast<size_t>(failover_at),
+                                drill_options) &&
                all_ok;
     }
     if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {

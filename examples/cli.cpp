@@ -309,7 +309,7 @@ int ListEngines() {
     for (const std::string& k : l.option_keys) {
       keys += keys.empty() ? k : ", " + k;
     }
-    printf("  %-8s e.g. %-36s %s%s\n", l.name.c_str(), l.example.c_str(),
+    printf("  %-10s e.g. %-44s %s%s\n", l.name.c_str(), l.example.c_str(),
            keys.empty() ? "(no options)" : "options: ",
            keys.c_str());
   }

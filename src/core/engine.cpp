@@ -7,6 +7,7 @@
 #include "core/multi_gamma.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "replica/group.hpp"
 #include "serve/sharded_engine.hpp"
 #include "util/timer.hpp"
 
@@ -93,6 +94,10 @@ BatchReport Engine::ProcessBatch(const UpdateBatch& raw_batch,
                    cp_after);
   }
 #endif
+  // Outermost-layer end-of-batch hook (the replica group's WAL tee +
+  // follower advance): after the clocks, so its work never inflates
+  // this batch's reported latency.
+  OnBatchDigested(batch, report);
   return report;
 }
 
@@ -731,11 +736,13 @@ EngineRegistry::EngineRegistry() {
   }
   RegisterAlias("multigamma", "multi");
 
-  // The serving wrapper ("sharded").  Registered through an explicit
-  // hook rather than a serve/-local static initializer, which the
-  // linker would drop from the static library whenever no serve/
-  // symbol is referenced directly.
+  // The serving wrapper ("sharded") and the replica group
+  // ("replicated").  Registered through explicit hooks rather than
+  // layer-local static initializers, which the linker would drop from
+  // the static library whenever no serve//replica/ symbol is
+  // referenced directly.
   serve::RegisterServeEngines(this);
+  replica::RegisterReplicaEngines(this);
 }
 
 EngineRegistry& EngineRegistry::Instance() {

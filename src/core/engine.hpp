@@ -41,6 +41,7 @@
 #include "core/engine_spec.hpp"
 #include "core/gamma.hpp"
 #include "core/match.hpp"
+#include "core/replication.hpp"
 #include "core/tenant.hpp"
 #include "graph/labeled_graph.hpp"
 #include "graph/query_graph.hpp"
@@ -51,6 +52,10 @@ namespace bdsm {
 namespace serve {
 class ShardedEngine;
 class TenantFrontDoor;
+}
+
+namespace replica {
+class ReplicatedEngine;
 }
 
 /// Stable handle of a registered query.  Ids are engine-scoped,
@@ -255,6 +260,13 @@ struct EngineInfo {
   /// namespaces, admission control, SLO-aware batch formation.  Only
   /// the tenant front door (serve/tenant_front_door.hpp) sets this.
   bool supports_tenancy = false;
+  /// Replica-group capability (core/replication.hpp): true when
+  /// Engine::replication_control() returns a usable
+  /// ReplicationControl — a leader shipping its WAL to followers with
+  /// failover.  Only the replica group (replica/group.hpp) sets this.
+  bool supports_replication = false;
+  /// Follower replicas behind the leader (0 for unreplicated engines).
+  size_t num_followers = 0;
   /// Seconds per modeled device tick for engines whose clock is
   /// kModeledDevice (0 otherwise).  Lets clock-agnostic consumers (the
   /// obs layer's phase spans) convert DeviceStats tick counts to
@@ -323,6 +335,15 @@ class Engine {
     return const_cast<Engine*>(this)->tenant_control();
   }
 
+  /// Replication capability (core/replication.hpp): non-null exactly
+  /// when Describe().supports_replication — drivers reach follower
+  /// state, lag accounting and the failover drill through this
+  /// interface instead of downcasting to replica/ types.
+  virtual ReplicationControl* replication_control() { return nullptr; }
+  const ReplicationControl* replication_control() const {
+    return const_cast<Engine*>(this)->replication_control();
+  }
+
   /// Digests one update batch for every live query: sanitizes it,
   /// enumerates negative matches on the pre-update state, applies the
   /// update, enumerates positive matches on the post-update state.
@@ -334,9 +355,12 @@ class Engine {
  protected:
   friend class StreamPipeline;
   // The serving layer drives the same phases across inner engines it
-  // owns (see serve/sharded_engine.hpp, serve/tenant_front_door.hpp).
+  // owns (see serve/sharded_engine.hpp, serve/tenant_front_door.hpp),
+  // and the replica group drives them on its leader and followers
+  // (replica/group.hpp, replica/follower.hpp).
   friend class serve::ShardedEngine;
   friend class serve::TenantFrontDoor;
+  friend class replica::ReplicatedEngine;
 
   /// Template-method phases over a batch already sanitized against
   /// host_graph().  StreamPipeline drives them directly so it can
@@ -367,6 +391,20 @@ class Engine {
   /// Streams matches appended since the previous flush to the sink and,
   /// when not materializing, drops them; maintains the num_* counts.
   static void FlushPhase(const BatchOptions& options, BatchReport* report);
+
+  /// End-of-batch hook, called by ProcessBatch after the phases,
+  /// flushes and timing are complete — `batch` is the *sanitized*
+  /// batch the phases actually digested, `report` is final.  Wrapper
+  /// engines that must observe every applied batch exactly once at
+  /// the outermost layer override this (the replica group tees the
+  /// batch into its WAL and advances followers here); the default
+  /// does nothing.  Runs outside the report's own clocks: work done
+  /// here never inflates the batch's reported latency.
+  virtual void OnBatchDigested(const UpdateBatch& batch,
+                               const BatchReport& report) {
+    (void)batch;
+    (void)report;
+  }
 
   /// Delivers one match immediately — count + sink + (if materializing)
   /// report vector — preserving the caller's emission order.  For
@@ -447,6 +485,14 @@ struct EngineOptions {
   /// Admission, SLO batch-formation and quota defaults for engines
   /// built from a `tenant(...)` spec; inline spec keys override these.
   FrontDoorOptions front_door;
+
+  /// --- replica group (replica/group.hpp) ---
+  /// Follower count, poll cadence, checkpoint policy and the modeled
+  /// shipping link for engines built from a `replicated(...)` spec;
+  /// inline spec keys override these.  `replica.dir` has no spec key
+  /// (the spec grammar's values cannot carry paths) — drivers that
+  /// need a stable shipping directory set it here.
+  ReplicaOptions replica;
 };
 
 /// An engine factory receives the alias-resolved spec subtree it was
@@ -495,6 +541,8 @@ struct EngineDef {
 ///                        (serve/sharded_engine.hpp)
 ///   "tenant"             multi-tenant front door over any inner spec
 ///                        (serve/tenant_front_door.hpp)
+///   "replicated"         WAL-shipping replica group over any inner
+///                        spec (replica/group.hpp)
 ///
 /// Specs follow the canonical grammar of core/engine_spec.hpp —
 /// `sharded(gamma, shards=8)`, `gamma(result_cap=100000)` — with the

@@ -56,10 +56,10 @@ namespace {
 /// deterministic span set sorts identically across runs; times break
 /// remaining ties for stable rendering only.
 bool StructuralLess(const TraceSpan& a, const TraceSpan& b) {
-  return std::tie(a.domain, a.batch, a.shard, a.tenant, a.name, a.detail,
-                  a.start_s, a.dur_s) <
-         std::tie(b.domain, b.batch, b.shard, b.tenant, b.name, b.detail,
-                  b.start_s, b.dur_s);
+  return std::tie(a.domain, a.batch, a.shard, a.tenant, a.replica, a.name,
+                  a.detail, a.start_s, a.dur_s) <
+         std::tie(b.domain, b.batch, b.shard, b.tenant, b.replica, b.name,
+                  b.detail, b.start_s, b.dur_s);
 }
 
 uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
@@ -99,6 +99,9 @@ uint64_t TraceRecorder::StructuralDigest() const {
     h = Fnv1a(h, &s.batch, sizeof(s.batch));
     h = Fnv1a(h, &s.shard, sizeof(s.shard));
     h = FnvStr(h, s.tenant);
+    // Hashed only when tagged, so pre-replication golden digests
+    // stay valid.
+    if (s.replica >= 0) h = Fnv1a(h, &s.replica, sizeof(s.replica));
     h = FnvStr(h, s.detail);
   }
   return h;
@@ -112,6 +115,7 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
   // stable lanes past the shard range, in first-appearance order of
   // the sorted span list (deterministic when the span set is).
   constexpr int32_t kTenantLaneBase = 1000;
+  constexpr int32_t kReplicaLaneBase = 2000;
   std::map<std::string, int32_t> tenant_lane;
   for (const TraceSpan& s : spans) {
     if (!s.tenant.empty() && tenant_lane.count(s.tenant) == 0) {
@@ -120,8 +124,12 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
     }
   }
   bool domain_present[3] = {false, false, false};
+  bool replica_lane_present[3] = {false, false, false};
   for (const TraceSpan& s : spans) {
     domain_present[static_cast<size_t>(s.domain)] = true;
+    if (s.replica >= 0 && s.shard < 0 && s.tenant.empty()) {
+      replica_lane_present[static_cast<size_t>(s.domain)] = true;
+    }
   }
 
   std::ofstream out(path, std::ios::trunc);
@@ -153,6 +161,24 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
            JsonEscape(tenant) + "\"}}");
     }
   }
+  // Replica lanes: one per follower id past the tenant range, labeled
+  // in every domain where replica spans appear.
+  std::map<int32_t, bool> replica_ids;
+  for (const TraceSpan& s : spans) {
+    if (s.replica >= 0 && s.shard < 0 && s.tenant.empty()) {
+      replica_ids[s.replica] = true;
+    }
+  }
+  for (const auto& [rid, unused] : replica_ids) {
+    (void)unused;
+    for (int d = 0; d < 3; ++d) {
+      if (!replica_lane_present[d]) continue;
+      emit("{\"ph\": \"M\", \"pid\": " + std::to_string(d + 1) +
+           ", \"tid\": " + std::to_string(kReplicaLaneBase + rid) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": \"replica " +
+           std::to_string(rid) + "\"}}");
+    }
+  }
   char buf[160];
   for (const TraceSpan& s : spans) {
     int32_t tid = 0;
@@ -160,6 +186,8 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
       tid = s.shard + 1;
     } else if (!s.tenant.empty()) {
       tid = tenant_lane[s.tenant];
+    } else if (s.replica >= 0) {
+      tid = kReplicaLaneBase + s.replica;
     }
     // ts/dur are microseconds in the trace event format.
     std::snprintf(buf, sizeof(buf),
@@ -173,6 +201,9 @@ bool TraceRecorder::WriteChromeJson(const std::string& path,
     if (s.shard >= 0) event += ", \"shard\": " + std::to_string(s.shard);
     if (!s.tenant.empty()) {
       event += ", \"tenant\": \"" + JsonEscape(s.tenant) + "\"";
+    }
+    if (s.replica >= 0) {
+      event += ", \"replica\": " + std::to_string(s.replica);
     }
     if (!s.detail.empty()) {
       event += ", \"detail\": \"" + JsonEscape(s.detail) + "\"";

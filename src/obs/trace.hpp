@@ -57,6 +57,7 @@ struct TraceSpan {
   uint64_t batch = 0;   ///< emitting engine's batch sequence number
   int32_t shard = -1;   ///< shard index, -1 when not sharded
   std::string tenant;   ///< tenant name, "" when not tenant-scoped
+  int32_t replica = -1;  ///< follower replica id, -1 when not replicated
   std::string detail;   ///< free-form annotation ("phase=update", counts)
 };
 
@@ -81,8 +82,9 @@ class TraceRecorder {
   double HostNowSeconds() const { return epoch_.ElapsedSeconds(); }
 
   /// All spans so far, merged across threads and sorted by the
-  /// structural key (domain, batch, shard, tenant, name, detail) —
-  /// stable across runs whenever the span *set* is deterministic.
+  /// structural key (domain, batch, shard, tenant, replica, name,
+  /// detail) — stable across runs whenever the span *set* is
+  /// deterministic.
   std::vector<TraceSpan> Spans() const;
 
   /// FNV-1a hash over the sorted spans' structural fields (times

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "persist/wal_reader.hpp"
 #include "util/logging.hpp"
 
 namespace bdsm::persist {
@@ -313,12 +314,24 @@ RestoredEngine RestoreEngine(const std::string& checkpoint_dir,
   out.next_batch = snap.stream_offset;
 
   const ClockDomain clock = out.engine->Describe().clock;
-  std::vector<UpdateBatch> tail =
-      ReadWalTail(checkpoint_dir, out.manifest.wal, snap.stream_offset,
-                  &out.wal_tail_torn);
-  for (const UpdateBatch& batch : tail) {
+  // One Poll() of the shared incremental reader IS the tail replay:
+  // restore and replication followers read the log through the same
+  // code path (persist/wal_reader.hpp).  The manifest was just read,
+  // so the cursor is covered by construction — a gap here would mean
+  // the directory changed under us mid-restore.
+  WalReader reader(checkpoint_dir, snap.stream_offset);
+  WalReader::PollResult tail = reader.Poll();
+  if (tail.gap || tail.no_manifest) {
+    throw PersistError("checkpoint " + checkpoint_dir +
+                       " changed during restore (WAL tail no longer "
+                       "covers the snapshot point)");
+  }
+  out.wal_tail_torn = tail.torn;
+  for (const UpdateBatch& batch : tail.batches) {
     BatchReport report = out.engine->ProcessBatch(batch);
     AccumulateTotals(&out.totals, batch, report, clock, device);
+    out.tail_ops += batch.size();
+    out.tail_latency_seconds += ClockLatencySeconds(clock, report, device);
     ++out.next_batch;
     ++out.wal_batches_replayed;
   }

@@ -139,6 +139,12 @@ struct RestoredEngine {
   /// The WAL tail ended in a torn write (crash mid-append); recovery
   /// stopped at the last durable batch, as designed.
   bool wal_tail_torn = false;
+  /// The replayed tail alone: update ops it carried and its summed
+  /// latency under the restored engine's clock (totals minus the
+  /// snapshot's share).  The replica layer's failover model charges
+  /// catch-up from these (replica/transport.hpp).
+  uint64_t tail_ops = 0;
+  double tail_latency_seconds = 0.0;
 };
 
 /// Warm start from a checkpoint directory: manifest -> snapshot ->

@@ -1,0 +1,34 @@
+#include "persist/wal_reader.hpp"
+
+#include "persist/snapshot.hpp"  // PersistError
+
+namespace bdsm::persist {
+
+WalReader::PollResult WalReader::Poll() {
+  PollResult out;
+  Manifest manifest;
+  try {
+    manifest = ReadManifest(dir_);
+  } catch (const PersistError&) {
+    // Nothing durable yet (or a writer mid-switch with the .tmp not
+    // yet renamed) — both read as "poll again later", never as loss.
+    out.no_manifest = true;
+    return out;
+  }
+  out.generation = manifest.generation;
+  out.snapshot_batch = manifest.snapshot_batch;
+
+  // Coverage check: the manifest's segments hold batches >=
+  // snapshot_batch only.  A cursor behind that point references
+  // batches a newer snapshot superseded (and pruning may have
+  // unlinked) — the follow contract cannot be met from the log alone.
+  if (next_batch_ < manifest.snapshot_batch) {
+    out.gap = true;
+    return out;
+  }
+  out.batches = ReadWalTail(dir_, manifest.wal, next_batch_, &out.torn);
+  next_batch_ += out.batches.size();
+  return out;
+}
+
+}  // namespace bdsm::persist

@@ -1,0 +1,88 @@
+/// \file wal_reader.hpp
+/// Incremental WAL tail reader: the one code path that turns a
+/// checkpoint directory's durable batch chain into `UpdateBatch`es,
+/// shared by warm restore (persist/checkpoint.hpp) and by WAL-shipping
+/// replication followers (replica/follower.hpp).
+///
+/// A `WalReader` holds a monotone global batch cursor over one
+/// checkpoint directory.  Each `Poll()` re-reads the MANIFEST (the
+/// root of trust — never directory listings), reads every durable
+/// batch at or past the cursor out of the manifest's segments (the
+/// final segment in recover mode, so a torn final write stops the
+/// tail at the last good batch instead of failing), and advances the
+/// cursor past what it returned — a batch is returned exactly once,
+/// no matter how segments roll, how the manifest's segment list
+/// changes between polls, or how often the caller polls ("never
+/// double-apply").
+///
+/// Generation switches and pruning: when a new checkpoint generation
+/// lands (Checkpointer::Begin) or a snapshot prunes segments, the
+/// manifest may stop covering the cursor — the batches between the
+/// cursor and the new snapshot point no longer exist on disk.  Poll()
+/// then reports `gap = true` and returns nothing: the caller must
+/// resync from the manifest's snapshot (restore it, `Reset()` the
+/// cursor to `snapshot_batch`) before polling again.  A cursor at or
+/// past the snapshot point rides through generation switches without
+/// resync — the new segments chain from where it stands.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/update_stream.hpp"
+#include "persist/manifest.hpp"
+
+namespace bdsm::persist {
+
+class WalReader {
+ public:
+  /// What one Poll() observed.
+  struct PollResult {
+    /// Newly durable batches, global indexes [cursor, cursor + n) —
+    /// the cursor has already advanced past them.
+    std::vector<UpdateBatch> batches;
+    /// The manifest no longer covers the cursor (generation switch or
+    /// pruning moved the snapshot point past it); nothing was
+    /// returned.  Resync from the snapshot, Reset(), poll again.
+    bool gap = false;
+    /// The final segment ended in a torn write; the tail stops at the
+    /// last good batch.  A live writer may still complete/replace the
+    /// segment, so this is not terminal for a follower — it is for a
+    /// restore (the writer is dead by definition there).
+    bool torn = false;
+    /// No readable MANIFEST yet (a directory the writer has not
+    /// Begin()d into).  Nothing was returned; poll again later.
+    bool no_manifest = false;
+    /// Provenance of the manifest this poll read (undefined when
+    /// no_manifest).
+    uint64_t generation = 0;
+    uint64_t snapshot_batch = 0;
+  };
+
+  /// Follows `dir`'s WAL starting at global batch `from_batch`.
+  /// Construction touches no files; the first Poll() does.
+  explicit WalReader(std::string dir, uint64_t from_batch = 0)
+      : dir_(std::move(dir)), next_batch_(from_batch) {}
+
+  /// Reads everything durable at or past the cursor (see file
+  /// comment).  Honors TraceReader's `recover_truncated` on the final
+  /// segment; throws PersistError on real corruption (a short or
+  /// unreadable non-final segment, a broken batch chain) — crash
+  /// wreckage is reported, data loss is thrown, exactly like
+  /// ReadWalTail.
+  PollResult Poll();
+
+  /// Global index of the next batch Poll() will return.
+  uint64_t next_batch() const { return next_batch_; }
+
+  /// Moves the cursor (after a snapshot resync).
+  void Reset(uint64_t from_batch) { next_batch_ = from_batch; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  uint64_t next_batch_;
+};
+
+}  // namespace bdsm::persist

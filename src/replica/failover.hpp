@@ -1,0 +1,74 @@
+/// \file failover.hpp
+/// The `failover` drill: run a replicated engine mid-stream, kill the
+/// leader, promote a follower, finish the stream, and verify the
+/// stitched run against an *unreplicated* reference nobody killed.
+///
+/// This is the replication subsystem's end-to-end acceptance drill —
+/// what `bench_scenarios --failover-at K` and the `scenario_failover`
+/// CI smoke entry execute:
+///
+///   1. cold:    run the full scenario stream on the bare inner
+///               engine (the unreplicated reference);
+///   2. prefix:  run the first K batches through the replica group
+///               (leader applies + tees, followers tail the WAL);
+///   3. kill:    KillLeader() — the leader's WAL closes, the group
+///               refuses further batches;
+///   4. promote: Failover() — the elected follower restores from the
+///               latest checkpoint generation, replays the WAL tail,
+///               and is verified bit-identical (graph replica + stream
+///               position) against its own drained live engine;
+///   5. tail:    finish batches [K, end) on the promoted group;
+///   6. compare: per-batch ops/match/truncation counts of
+///               prefix + tail must equal cold exactly, and every
+///               follower's observed staleness must have stayed within
+///               the poll_every bound.
+///
+/// The count comparison here is the driver-level verdict; the
+/// bit-level verification (per-query match vectors, order and flags
+/// included, across gamma/tf/multi/sharded inners) lives in
+/// tests/replica_test.cpp per the invariants of docs/REPLICATION.md.
+#pragma once
+
+#include <string>
+
+#include "core/replication.hpp"
+#include "workload/scenario_runner.hpp"
+
+namespace bdsm::replica {
+
+struct FailoverOutcome {
+  workload::ScenarioReport cold;    ///< unreplicated reference run
+  workload::ScenarioReport prefix;  ///< replica group, batches [0, kill)
+  workload::ScenarioReport tail;    ///< promoted group, [kill, end)
+  uint64_t killed_at = 0;           ///< stream index of the leader kill
+  /// Group accounting after the tail (follower rows describe the
+  /// post-drain quiesced group; the elected follower was promoted away
+  /// and no longer appears).
+  ReplicationStats stats;
+  /// The staleness contract: every follower's worst observed lag must
+  /// stay <= poll_every (ReplicaOptions) across the whole run,
+  /// failover included.
+  size_t lag_bound = 0;
+  bool lag_bounded = false;
+  /// Per-batch ops/positive/negative/truncation counts of prefix+tail
+  /// equal cold's, batch for batch.
+  bool identical = false;
+  std::string detail;  ///< human-readable verdict / first divergence
+};
+
+/// Runs the failover drill described above.  `engine_spec` may be a
+/// bare inner spec ("gamma", "sharded(gamma, shards=2)") — it is then
+/// wrapped as `replicated(<spec>)` with `options.replica` defaults —
+/// or an explicit `replicated(...)` spec whose inner child becomes the
+/// unreplicated reference.  `kill_after_batches` is clamped to the
+/// stream length.  Throws EngineSpecError / PersistError on setup
+/// failures; a *divergent* recovery is reported through
+/// `identical`/`detail`, not thrown — drivers print it and exit
+/// nonzero.
+FailoverOutcome RunFailoverScenario(const workload::ScenarioSpec& spec,
+                                    uint64_t seed,
+                                    const std::string& engine_spec,
+                                    size_t kill_after_batches,
+                                    const EngineOptions& options = {});
+
+}  // namespace bdsm::replica

@@ -1,0 +1,33 @@
+#include "replica/transport.hpp"
+
+namespace bdsm::replica {
+
+namespace {
+/// Trace-format record sizes (workload/trace.hpp): one u64 op count
+/// per batch, 13 bytes per op.
+constexpr uint64_t kBatchHeaderBytes = 8;
+constexpr uint64_t kOpBytes = 13;
+}  // namespace
+
+TransportModel::TransportModel(const ReplicaOptions& options)
+    : link_latency_seconds_(options.link_latency_seconds),
+      election_timeout_seconds_(options.election_timeout_seconds) {
+  double gbps = options.link_gbits_per_second;
+  if (gbps <= 0.0) gbps = 10.0;
+  bytes_per_second_ = gbps * 1e9 / 8.0;
+}
+
+uint64_t TransportModel::WireBytes(size_t num_ops) {
+  return kBatchHeaderBytes + kOpBytes * static_cast<uint64_t>(num_ops);
+}
+
+uint64_t TransportModel::BatchWireBytes(const UpdateBatch& batch) {
+  return WireBytes(batch.size());
+}
+
+double TransportModel::ShipSeconds(uint64_t bytes) const {
+  return link_latency_seconds_ +
+         static_cast<double>(bytes) / bytes_per_second_;
+}
+
+}  // namespace bdsm::replica

@@ -1,0 +1,47 @@
+/// \file transport.hpp
+/// The modeled WAL-shipping link: deterministic per-batch link costs
+/// on the replica layer's critical-path clock.
+///
+/// Same discipline as gpusim's DeviceConfig and the sharded layer's
+/// critical path (docs/BENCHMARKS.md): this host cannot show real
+/// network parallelism, so shipping cost is *modeled*, never measured
+/// — one-way link latency plus bytes over bandwidth, where a batch's
+/// bytes are exactly its WAL trace-format record size (8-byte count
+/// header + 13 bytes per op, workload/trace.hpp).  The model is a
+/// pure function of (options, batch sizes), so lag accounting and the
+/// failover duration are deterministic in (spec, scenario, seed) and
+/// CI can gate them exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "core/replication.hpp"
+#include "graph/update_stream.hpp"
+
+namespace bdsm::replica {
+
+class TransportModel {
+ public:
+  explicit TransportModel(const ReplicaOptions& options);
+
+  /// Wire bytes of one shipped batch: the WAL's trace-format record
+  /// (count header + fixed-width ops) — the log ships nothing else.
+  static uint64_t BatchWireBytes(const UpdateBatch& batch);
+  static uint64_t WireBytes(size_t num_ops);
+
+  /// Modeled seconds to ship `bytes` to one follower: one-way latency
+  /// + bytes / bandwidth.
+  double ShipSeconds(uint64_t bytes) const;
+
+  double link_latency_seconds() const { return link_latency_seconds_; }
+  double election_timeout_seconds() const {
+    return election_timeout_seconds_;
+  }
+
+ private:
+  double link_latency_seconds_;
+  double bytes_per_second_;
+  double election_timeout_seconds_;
+};
+
+}  // namespace bdsm::replica

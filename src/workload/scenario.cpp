@@ -173,6 +173,18 @@ const std::vector<ScenarioSpec>& AllScenarios() {
         "churn", "deletion-heavy turnover on AZ (65% deletes)",
         DatasetId::kAmazon, StreamKind::kChurn, 8, 200, 4, 5, true));
 
+    // The replica layer's drill workload (docs/REPLICATION.md): a
+    // churn-mix stream long enough that a mid-stream leader kill
+    // leaves real WAL tail on both sides — checkpoint generations
+    // switch and segments roll under the default replica policy
+    // (checkpoint_every=8, segment_batches=256 — override via the
+    // replicated(...) spec keys to stress rotation harder).  Drive it
+    // with `bench_scenarios --scenario failover --failover-at K`.
+    v.push_back(MakeSpec(
+        "failover",
+        "12-batch churn mix on GH for the leader-kill drill",
+        DatasetId::kGithub, StreamKind::kChurn, 12, 120, 3, 4, true));
+
     v.push_back(MakeSpec(
         "hotspot", "hot-vertex concentration on LJ (1% of V, p=0.8)",
         DatasetId::kLiveJournal, StreamKind::kHotspot, 8, 200, 4, 5,

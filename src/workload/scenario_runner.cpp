@@ -107,6 +107,14 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
     return RunTenantDrive(tc, engine, fresh, first, last, controls,
                           std::move(out));
   }
+  // One tee layer exactly: a replica group already logs every applied
+  // batch through its own internal checkpointer, so attaching a second
+  // one here would double-log the stream.
+  GAMMA_CHECK_MSG(
+      controls.checkpointer == nullptr ||
+          engine->replication_control() == nullptr,
+      "a replicated engine ships its own WAL; do not attach a second "
+      "checkpointer (one tee layer exactly — see docs/REPLICATION.md)");
   if (controls.checkpointer != nullptr) {
     controls.checkpointer->Begin(*engine, stream_seed_, spec_.name, first);
   }
@@ -148,6 +156,30 @@ ScenarioReport ScenarioRunner::Run(const std::string& engine_spec,
   // torn-tail case RestoreEngine recovers; a completed run should not
   // look like one).
   if (controls.checkpointer != nullptr) controls.checkpointer->Finish();
+  // Replicated engines: drain the followers so the replica rows
+  // describe a quiesced group, then lift the group's accounting into
+  // the report.
+  if (ReplicationControl* rc = engine->replication_control()) {
+    rc->DrainFollowers();
+    const ReplicationStats rs = rc->Stats();
+    out.shipped_batches = rs.shipped_batches;
+    out.shipped_bytes = rs.shipped_bytes;
+    out.failovers = rs.failovers;
+    out.failover_seconds = rs.last_failover_seconds;
+    for (const ReplicaStats& r : rs.replicas) {
+      ScenarioReplicaMetric rm;
+      rm.replica = r.replica;
+      rm.applied_batches = r.applied_batches;
+      rm.applied_ops = r.applied_ops;
+      rm.lag_batches = r.lag_batches;
+      rm.lag_updates = r.lag_updates;
+      rm.max_lag_batches = r.max_lag_batches;
+      rm.resyncs = r.resyncs;
+      rm.transport_seconds = r.transport_seconds;
+      rm.apply_seconds = r.apply_seconds;
+      out.replicas.push_back(rm);
+    }
+  }
   BDSM_OBS_COUNT("scenario.batches", out.batches.size());
   BDSM_OBS_COUNT("scenario.ops", out.total_ops);
   BDSM_OBS_COUNT("scenario.matches", out.total_matches);

@@ -68,6 +68,23 @@ struct ScenarioTenantMetric {
   double max_queue_wait_s = 0.0;
 };
 
+/// One follower replica's share of a replicated run (engines built
+/// from a `replicated(...)` spec; see docs/REPLICATION.md).  Lag is
+/// read *after* the end-of-run drain, so nonzero lag means the leader
+/// applied batches that never became durable.
+struct ScenarioReplicaMetric {
+  int replica = -1;
+  size_t applied_batches = 0;
+  size_t applied_ops = 0;
+  size_t lag_batches = 0;
+  size_t lag_updates = 0;
+  size_t max_lag_batches = 0;  ///< worst staleness observed mid-stream
+  size_t resyncs = 0;          ///< snapshot resyncs (generation gaps)
+  /// Modeled critical-path split: link seconds vs apply seconds.
+  double transport_seconds = 0.0;
+  double apply_seconds = 0.0;
+};
+
 /// Everything one (scenario, engine) run produced.
 struct ScenarioReport {
   std::string scenario;
@@ -89,6 +106,17 @@ struct ScenarioReport {
   /// 1.0 on single-tenant runs.
   std::vector<ScenarioTenantMetric> tenants;
   double fairness = 1.0;
+
+  /// Replicated runs only (Describe().supports_replication): one row
+  /// per follower after the end-of-run drain, plus the group's modeled
+  /// shipping volume.  Empty / zero otherwise.
+  std::vector<ScenarioReplicaMetric> replicas;
+  size_t shipped_batches = 0;  ///< batch x follower deliveries
+  size_t shipped_bytes = 0;    ///< trace-format bytes over the link
+  size_t failovers = 0;
+  /// Modeled duration of the last failover (election + tail shipping +
+  /// catch-up replay); 0 when no failover happened.
+  double failover_seconds = 0.0;
 
   double TotalLatencySeconds() const;
   double MeanLatencySeconds() const;
