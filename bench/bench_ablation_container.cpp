@@ -23,6 +23,10 @@ using namespace bdsm::bench;
 
 int main(int argc, char** argv) {
   InitBench("bench_ablation_container", argc, argv);
+  // Container-level bench: GPMA is gamma's device graph container and
+  // both contenders run on the modeled device clock; no Engine exists
+  // to Describe(), so the provenance names the family.
+  JsonProvenance("gamma", ClockDomain::kModeledDevice);
   Scale scale;
   PrintHeader("Ablation: graph container",
               "GPMA incremental updates vs full CSR rebuild (modeled "

@@ -1,10 +1,13 @@
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 
+#include "obs/provenance.hpp"
 #include "util/timer.hpp"
 
 namespace bdsm::bench {
@@ -100,6 +103,22 @@ CellResult RunEngineCell(const std::string& engine_name,
     JsonSink::Instance().Add(std::move(row));
   }
   return cell;
+}
+
+std::vector<CellResult> RunMethodRow(const LabeledGraph& g,
+                                     const std::vector<QueryGraph>& queries,
+                                     const UpdateBatch& batch,
+                                     const Scale& scale) {
+  std::vector<CellResult> results;
+  auto run = [&](const char* method) {
+    CellResult r = RunEngineCell(method, g, queries, batch, scale);
+    printf(" %12s", FormatCell(r).c_str());
+    fflush(stdout);
+    results.push_back(r);
+  };
+  for (const char* m : kBaselineMethods) run(m);
+  run("gamma");
+  return results;
 }
 
 std::string FormatCell(const CellResult& r) {
@@ -208,6 +227,14 @@ void JsonSink::Open(const std::string& bench_name, const std::string& path) {
   path_ = path;
 }
 
+void JsonSink::OpenCell(const std::string& bench_name,
+                        const std::string& out_dir,
+                        const std::string& cell_id) {
+  bench_name_ = bench_name;
+  path_ = out_dir + "/" + cell_id + ".json";
+  cell_id_ = cell_id;
+}
+
 void JsonSink::SetContextLiteral(const std::string& key,
                                  std::string literal) {
   for (auto& [k, v] : context_) {
@@ -250,14 +277,25 @@ void JsonSink::Add(JsonRow row) {
 
 void JsonSink::Flush() {
   if (!enabled()) return;
-  FILE* f = fopen(path_.c_str(), "w");
+  // Cell mode seals the file atomically: write + fsync a temp sibling,
+  // then rename over the final path, so run_matrix.py can treat "the
+  // file exists and parses" as "this cell completed".
+  const bool cell_mode = !cell_id_.empty();
+  const std::string write_path = cell_mode ? path_ + ".tmp" : path_;
+  FILE* f = fopen(write_path.c_str(), "w");
   if (f == nullptr) {
-    fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+    fprintf(stderr, "bench: cannot write %s\n", write_path.c_str());
     return;
   }
-  fprintf(f, "{\n  \"schema\": \"bdsm-bench-v1\",\n  \"bench\": \"%s\",\n"
-             "  \"rows\": [\n",
+  fprintf(f, "{\n  \"schema\": \"bdsm-bench-v1\",\n  \"bench\": \"%s\",\n",
           JsonEscape(bench_name_).c_str());
+  if (cell_mode) {
+    fprintf(f, "  \"cell_id\": \"%s\",\n", JsonEscape(cell_id_).c_str());
+  }
+  fprintf(f, "  \"provenance\": {\"tool\": \"%s\", \"git\": \"%s\"},\n",
+          JsonEscape(bench_name_).c_str(),
+          JsonEscape(obs::GitDescribe()).c_str());
+  fprintf(f, "  \"rows\": [\n");
   for (size_t i = 0; i < rows_.size(); ++i) {
     fprintf(f, "    {");
     const auto& fields = rows_[i].fields_;
@@ -267,8 +305,16 @@ void JsonSink::Flush() {
     }
     fprintf(f, "}%s\n", i + 1 < rows_.size() ? "," : "");
   }
-  fprintf(f, "  ]\n}\n");
+  fprintf(f, "  ]%s\n}\n", cell_mode ? ",\n  \"sealed\": true" : "");
+  if (cell_mode) {
+    fflush(f);
+    fsync(fileno(f));
+  }
   fclose(f);
+  if (cell_mode && rename(write_path.c_str(), path_.c_str()) != 0) {
+    fprintf(stderr, "bench: cannot seal %s\n", path_.c_str());
+    return;
+  }
   // Status goes to stderr: bench stdout may itself be machine-readable
   // (bench_micro --benchmark_format=json) and must stay parseable.
   fprintf(stderr, "wrote %zu JSON rows to %s\n", rows_.size(),
@@ -277,17 +323,43 @@ void JsonSink::Flush() {
 
 void InitBench(const char* bench_name, int argc, char** argv,
                const char* default_json_path) {
-  const char* path = default_json_path;
+  const char* path = nullptr;
+  const char* out_dir = nullptr;
+  const char* cell_id = nullptr;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") != 0) continue;
+    const char** slot = nullptr;
+    if (std::strcmp(argv[i], "--json") == 0) slot = &path;
+    if (std::strcmp(argv[i], "--out-dir") == 0) slot = &out_dir;
+    if (std::strcmp(argv[i], "--cell-id") == 0) slot = &cell_id;
+    if (slot == nullptr) continue;
     if (i + 1 >= argc) {
       // Fail fast: silently dropping the trajectory after a minutes-long
       // run is worse than refusing to start.
-      fprintf(stderr, "%s: --json needs a path argument\n", bench_name);
+      fprintf(stderr, "%s: %s needs an argument\n", bench_name, argv[i]);
       exit(2);
     }
-    path = argv[i + 1];
+    *slot = argv[i + 1];
   }
+  if ((out_dir == nullptr) != (cell_id == nullptr)) {
+    fprintf(stderr,
+            "%s: --out-dir and --cell-id must be given together "
+            "(docs/EXPERIMENTS.md)\n",
+            bench_name);
+    exit(2);
+  }
+  if (out_dir != nullptr && path != nullptr) {
+    fprintf(stderr,
+            "%s: --json conflicts with --out-dir/--cell-id (a cell row "
+            "file has exactly one destination)\n",
+            bench_name);
+    exit(2);
+  }
+  if (out_dir != nullptr) {
+    JsonSink::Instance().OpenCell(bench_name, out_dir, cell_id);
+    std::atexit([] { JsonSink::Instance().Flush(); });
+    return;
+  }
+  if (path == nullptr) path = default_json_path;
   if (path != nullptr) {
     JsonSink::Instance().Open(bench_name, path);
     std::atexit([] { JsonSink::Instance().Flush(); });
@@ -302,6 +374,15 @@ void JsonContext(const std::string& key, double value) {
 }
 void JsonContext(const std::string& key, size_t value) {
   JsonSink::Instance().Context(key, value);
+}
+
+void JsonProvenance(const EngineInfo& info) {
+  JsonProvenance(info.canonical_spec, info.clock);
+}
+
+void JsonProvenance(const std::string& canonical_spec, ClockDomain clock) {
+  JsonContext("spec", canonical_spec);
+  JsonContext("clock", ClockDomainName(clock));
 }
 
 }  // namespace bdsm::bench

@@ -86,6 +86,16 @@ CellResult RunEngineCell(const std::string& engine, const LabeledGraph& g,
 /// "0.553" or "12.3(2)" — the paper's latency(unsolved) cell format.
 std::string FormatCell(const CellResult& r);
 
+/// One printed row of the five-method comparison tables (Table III,
+/// Figs. 8–11): runs kBaselineMethods then gamma through RunEngineCell,
+/// printing each FormatCell column (no leading label, no trailing
+/// newline — the caller owns both ends of the line).  Returns the
+/// per-method results in column order, gamma last.
+std::vector<CellResult> RunMethodRow(const LabeledGraph& g,
+                                     const std::vector<QueryGraph>& queries,
+                                     const UpdateBatch& batch,
+                                     const Scale& scale);
+
 // ------------------------------------------------- perf trajectory JSON
 
 /// One flat JSON object; insertion order is preserved in the output.
@@ -106,15 +116,24 @@ class JsonRow {
 };
 
 /// Collects JsonRows and writes `{"schema": "bdsm-bench-v1", "bench":
-/// <name>, "rows": [...]}` to the path given via `--json` (schema
-/// documented in docs/BENCHMARKS.md).  Disabled (all calls no-ops)
-/// until Open()/InitBench() enables it, so benches can emit
-/// unconditionally.  Flush() runs automatically at process exit.
+/// <name>, "provenance": {...}, "rows": [...]}` to the path given via
+/// `--json` (schema documented in docs/BENCHMARKS.md).  Disabled (all
+/// calls no-ops) until Open()/InitBench() enables it, so benches can
+/// emit unconditionally.  Flush() runs automatically at process exit.
+///
+/// Cell mode (`--out-dir DIR --cell-id ID`, the experiment-matrix
+/// assist; docs/EXPERIMENTS.md): the document gains `"cell_id"` and a
+/// trailing `"sealed": true` marker, and lands at `DIR/ID.json` via an
+/// fsynced temp-file + rename, so a row file either exists complete
+/// ("sealed") or not at all — the property `run_matrix.py` resumes on.
 class JsonSink {
  public:
   static JsonSink& Instance();
 
   void Open(const std::string& bench_name, const std::string& path);
+  /// Cell mode: atomic write to `out_dir/cell_id.json`.
+  void OpenCell(const std::string& bench_name, const std::string& out_dir,
+                const std::string& cell_id);
   bool enabled() const { return !path_.empty(); }
 
   /// Sticky context merged into every subsequent row (loop position:
@@ -133,13 +152,16 @@ class JsonSink {
 
   std::string bench_name_;
   std::string path_;
+  std::string cell_id_;  ///< non-empty = cell mode (atomic, sealed)
   std::vector<std::pair<std::string, std::string>> context_;
   std::vector<JsonRow> rows_;
 };
 
 /// Shared entry chores for every bench main: scans argv for
 /// `--json <path>` (or uses `default_json_path` when the flag is
-/// absent; pass nullptr for "disabled by default") and opens the
+/// absent; pass nullptr for "disabled by default") or for the
+/// experiment-matrix pair `--out-dir DIR --cell-id ID` (which must
+/// appear together and conflict with `--json`), and opens the
 /// JsonSink.  RunEngineCell then records one row per cell
 /// automatically.
 void InitBench(const char* bench_name, int argc, char** argv,
@@ -149,6 +171,16 @@ void InitBench(const char* bench_name, int argc, char** argv,
 void JsonContext(const std::string& key, const std::string& value);
 void JsonContext(const std::string& key, double value);
 void JsonContext(const std::string& key, size_t value);
+
+/// Stamps canonical-spec + clock provenance onto the sticky JSON
+/// context, for benches that emit ad-hoc rows instead of going through
+/// RunEngineCell (which stamps per-row).  The EngineInfo overload is
+/// the honest source (`Engine::Describe()`); the (spec, clock)
+/// overload serves kernel-level benches (Fig. 5, the container
+/// ablation) that measure an engine family's device kernels without
+/// building an Engine — `spec` names that family's canonical spec.
+void JsonProvenance(const EngineInfo& info);
+void JsonProvenance(const std::string& canonical_spec, ClockDomain clock);
 
 /// Prints the standard header block for a bench binary.
 void PrintHeader(const char* experiment, const char* what,

@@ -52,14 +52,8 @@ int main(int argc, char** argv) {
       JsonContext("structure", ToString(cls));
       JsonContext("density", name);
       printf("%-8s |", name);
-      for (const char* m : kBaselineMethods) {
-        CellResult r = RunEngineCell(m, g, queries, batch, scale);
-        printf(" %12s", FormatCell(r).c_str());
-        fflush(stdout);
-      }
-      CellResult gamma = RunEngineCell("gamma", g, queries, batch, scale);
-      printf(" %12s\n", FormatCell(gamma).c_str());
-      fflush(stdout);
+      RunMethodRow(g, queries, batch, scale);
+      printf("\n");
     }
   }
   printf("\nShape checks (paper): runtime increases with density for all "

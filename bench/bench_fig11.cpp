@@ -38,14 +38,8 @@ int main(int argc, char** argv) {
       JsonContext("dataset", ds);
       JsonContext("structure", ToString(cls));
       printf("%-7s |", ToString(cls));
-      for (const char* m : kBaselineMethods) {
-        CellResult r = RunEngineCell(m, g, queries, batch, scale);
-        printf(" %12s", FormatCell(r).c_str());
-        fflush(stdout);
-      }
-      CellResult gamma = RunEngineCell("gamma", g, queries, batch, scale);
-      printf(" %12s\n", FormatCell(gamma).c_str());
-      fflush(stdout);
+      RunMethodRow(g, queries, batch, scale);
+      printf("\n");
     }
   }
   printf("\nShape checks (paper): ordering matches the single-polarity "

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
     EngineOptions opts;
     opts.gamma.device.host_budget_seconds = scale.query_budget_s;
     auto engine = MakeEngine("gamma", g, opts);
+    JsonProvenance(engine->Describe());
     QueryId id = engine->AddQuery(queries[0]);
     BatchReport report = engine->ProcessBatch(batch);
     const QueryReport& res = *report.Find(id);

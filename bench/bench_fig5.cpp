@@ -45,6 +45,10 @@ struct KernelSetup {
 
 int main(int argc, char** argv) {
   InitBench("bench_fig5", argc, argv);
+  // Kernel-level bench: the rows measure gamma's BFS/DFS device kernels
+  // directly (no Engine is built), so the canonical-spec + clock
+  // provenance names the family whose kernels these are.
+  JsonProvenance("gamma", ClockDomain::kModeledDevice);
   Scale scale;
   PrintHeader("Figure 5",
               "BFS vs DFS on LS: (a) device memory usage, (b) "

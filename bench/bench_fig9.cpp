@@ -38,14 +38,8 @@ int main(int argc, char** argv) {
         JsonContext("structure", ToString(cls));
         JsonContext("rate_pct", static_cast<size_t>(rate));
         printf("%5d%% |", rate);
-        for (const char* m : kBaselineMethods) {
-          CellResult r = RunEngineCell(m, g, queries, batch, scale);
-          printf(" %12s", FormatCell(r).c_str());
-          fflush(stdout);
-        }
-        CellResult gamma = RunEngineCell("gamma", g, queries, batch, scale);
-        printf(" %12s\n", FormatCell(gamma).c_str());
-        fflush(stdout);
+        RunMethodRow(g, queries, batch, scale);
+        printf("\n");
       }
     }
   }

@@ -351,8 +351,10 @@ int main(int argc, char** argv) {
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0) {
-      ++i;  // skip the path too
+    if (std::strcmp(argv[i], "--json") == 0 ||
+        std::strcmp(argv[i], "--out-dir") == 0 ||
+        std::strcmp(argv[i], "--cell-id") == 0) {
+      ++i;  // skip the value too (all consumed by InitBench)
       continue;
     }
     if (std::strcmp(argv[i], "--profile-only") == 0) {

@@ -54,6 +54,12 @@ int main(int argc, char** argv) {
   opts.gamma.device.host_budget_seconds = scale.query_budget_s;
   double tick_us = opts.gamma.device.TickSeconds() * 1e6;
 
+  // Row provenance: the measured system is the fused "multi" engine
+  // (modeled-device clock); the per-engine contender it is compared
+  // against rides along as baseline_spec.
+  JsonProvenance(MakeEngine("multi", g, opts)->Describe());
+  JsonContext("baseline_spec", "gamma");
+
   printf("%8s | %14s %14s | %8s\n", "#queries", "fused(us)",
          "per-engine(us)", "ratio");
   for (size_t nq : {1, 2, 4, 8}) {

@@ -12,7 +12,13 @@
 ///                   [--restart-at K] [--failover-at K] [--tenants N]
 ///                   [--priority-mix CLASS[:W],...] [--admission on|off]
 ///                   [--slo SECONDS] [--metrics-json PATH]
-///                   [--trace-out PATH]
+///                   [--trace-out PATH] [--out-dir DIR --cell-id ID]
+///
+/// Experiment matrix (docs/EXPERIMENTS.md): `--out-dir DIR --cell-id
+/// ID` replaces `--json` for matrix cells — the row document gains the
+/// cell id + a sealed marker and is written atomically to DIR/ID.json,
+/// so scripts/experiments/run_matrix.py can resume an interrupted
+/// sweep by skipping sealed cells.
 ///
 /// Observability (src/obs/; docs/OBSERVABILITY.md): --metrics-json
 /// dumps the unified metrics registry as a bdsm-metrics-v1 document;
@@ -160,6 +166,7 @@ bool RunRestartDrill(const ScenarioSpec& spec, uint64_t seed,
   bench::JsonRow row;
   row.Set("engine", engine_spec)
       .Set("spec", outcome.cold.canonical_spec)
+      .Set("latency_metric", outcome.cold.latency_metric)
       .Set("mode", "restart")
       .Set("kill_after_batches", kill_at)
       .Set("restored_at", static_cast<size_t>(outcome.restored_at))
@@ -330,8 +337,12 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
         rep.transport_seconds * 1e3, rep.apply_seconds * 1e3,
         rep.lag_batches, rep.max_lag_batches, rep.resyncs);
     bench::JsonRow rrow;
+    // Same provenance header as the top-level engine row (spec +
+    // clock), so tree-mode bench_diff keys replica rows identically
+    // (tests/python/test_provenance_rows.py asserts this).
     rrow.Set("engine", engine_spec)
         .Set("spec", r.canonical_spec)
+        .Set("latency_metric", r.latency_metric)
         .Set("replica", static_cast<size_t>(rep.replica))
         .Set("applied_batches", rep.applied_batches)
         .Set("applied_ops", rep.applied_ops)
@@ -358,8 +369,11 @@ void RunOne(const ScenarioRunner& runner, const std::string& engine_spec,
         t.max_queue_wait_s * 1e3,
         t.positive_matches + t.negative_matches);
     bench::JsonRow trow;
+    // Tenant rows carry the engine row's provenance header too; the
+    // sojourn percentiles below are under the same declared clock.
     trow.Set("engine", engine_spec)
         .Set("spec", r.canonical_spec)
+        .Set("latency_metric", r.latency_metric)
         .Set("tenant", t.tenant)
         .Set("priority", t.priority)
         .Set("offered_ops", t.offered_ops)
@@ -466,7 +480,9 @@ int main(int argc, char** argv) {
       trace_out_path = next("--trace-out");
     } else if (std::strcmp(argv[i], "--list") == 0) {
       list_only = true;
-    } else if (std::strcmp(argv[i], "--json") == 0) {
+    } else if (std::strcmp(argv[i], "--json") == 0 ||
+               std::strcmp(argv[i], "--out-dir") == 0 ||
+               std::strcmp(argv[i], "--cell-id") == 0) {
       ++i;  // consumed by InitBench
     } else {
       fprintf(stderr, "unknown flag %s\n", argv[i]);

@@ -21,12 +21,10 @@ int main(int argc, char** argv) {
               scale);
 
   // One loop, one code path: every column is just an engine name given
-  // to the unified registry (core/engine.hpp).
-  const char* const kMethods[] = {"tf", "sym", "rf", "cl", "gamma"};
-
+  // to the unified registry (core/engine.hpp), run via RunMethodRow.
   printf("%-7s %-4s |", "QS", "DS");
-  for (const char* m : kMethods) printf(" %12s", m);
-  printf("\n");
+  for (const char* m : kBaselineMethods) printf(" %12s", m);
+  printf(" %12s\n", "gamma");
   printf("---------------------------------------------------------------"
          "-------------\n");
   for (auto cls : AllClasses()) {
@@ -44,13 +42,8 @@ int main(int argc, char** argv) {
       JsonContext("structure", ToString(cls));
       JsonContext("dataset", spec.short_name);
       printf("%-7s %-4s |", ToString(cls), spec.short_name);
-      for (const char* m : kMethods) {
-        CellResult r = RunEngineCell(m, g, queries, batch, scale);
-        printf(" %12s", FormatCell(r).c_str());
-        fflush(stdout);
-      }
+      RunMethodRow(g, queries, batch, scale);
       printf("\n");
-      fflush(stdout);
     }
   }
   printf("\nShape checks (paper): GAMMA lowest/competitive in every row; "

@@ -1,0 +1,299 @@
+"""Shared machinery of the experiment-matrix harness (docs/EXPERIMENTS.md).
+
+A matrix config (schema ``bdsm-matrix-v1``, e.g. ``experiments/
+matrix.json``) declares groups of cells: {engine spec template x
+scenario x option sweep}.  This module expands a config into the
+deterministic, ordered cell list that ``run_matrix.py`` executes and
+``bench_diff.py --tree`` / ``report.py`` consume, and owns the seed
+derivation and results-tree conventions:
+
+* Cell ids are stable slugs (``group__scenario__engine[__k-v...]``);
+  the per-cell row file is ``<tree>/cells/<id>.json``, written sealed
+  (atomic rename, ``"sealed": true``) by the bench's ``--out-dir DIR
+  --cell-id ID`` assist.
+* Per-cell seeds follow the repo's DeriveSeed convention
+  (src/util/rng.hpp): SplitMix64 over (master seed, stream id).  The
+  stream id is FNV-1a of the cell's *workload key* — group id +
+  scenario, NOT the engine or sweep values — so every cell of a sweep
+  measures the identical stream and cross-engine match-count
+  invariants (sharded == unsharded, replicated == bare) hold inside a
+  group.
+* ``RESULTS_MANIFEST.json`` (schema ``bdsm-results-v1``) records every
+  cell's identity, status, and RunProvenance (spec, clock, seed, git)
+  with no timestamps or measured values, so an interrupted-then-resumed
+  sweep finishes with a byte-identical manifest to an uninterrupted
+  one.
+"""
+import hashlib
+import itertools
+import json
+import pathlib
+import re
+
+MATRIX_SCHEMA = "bdsm-matrix-v1"
+RESULTS_SCHEMA = "bdsm-results-v1"
+BENCH_SCHEMA = "bdsm-bench-v1"
+MANIFEST_NAME = "RESULTS_MANIFEST.json"
+CELLS_DIR = "cells"
+
+MASK64 = (1 << 64) - 1
+
+
+class MatrixError(Exception):
+    """A config or results tree violates the schema."""
+
+
+# --------------------------------------------------------------- seeds
+def splitmix64(z):
+    """The SplitMix64 finalizer, bit-for-bit util/rng.hpp SplitMix64."""
+    z &= MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return z ^ (z >> 31)
+
+
+def derive_seed(master, stream_id):
+    """util/rng.hpp DeriveSeed: independent sub-seed per stream id."""
+    return splitmix64((master + 0x9E3779B97F4A7C15 * (stream_id + 1)) & MASK64)
+
+
+def fnv1a64(text):
+    """FNV-1a over UTF-8 — the stable string -> stream-id mapping."""
+    h = 0xCBF29CE484222325
+    for b in text.encode("utf-8"):
+        h = ((h ^ b) * 0x100000001B3) & MASK64
+    return h
+
+
+def cell_seed(master, workload_key):
+    return derive_seed(master, fnv1a64(workload_key))
+
+
+# --------------------------------------------------------------- cells
+_SLUG_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def slug(text):
+    """Filesystem/shell-safe cell-id fragment."""
+    return _SLUG_RE.sub("-", text).strip("-")
+
+
+def _subst(template, values):
+    """Fills {key} placeholders; unknown placeholders are an error."""
+    out = str(template)
+    for k, v in values.items():
+        out = out.replace("{%s}" % k, str(v))
+    dangling = re.findall(r"\{([A-Za-z0-9_]+)\}", out)
+    if dangling:
+        raise MatrixError(
+            f"template {template!r} has unbound placeholder(s) "
+            f"{sorted(set(dangling))}; sweep keys are {sorted(values)}")
+    return out
+
+
+class Cell:
+    """One fully-bound matrix cell: everything needed to run and key it."""
+
+    def __init__(self, group, tool, scenario, engine, sweep, args, seed,
+                 workload_key):
+        self.group = group
+        self.tool = tool
+        self.scenario = scenario  # None for non-scenario tools
+        self.engine = engine      # None for non-engine tools
+        self.sweep = dict(sweep)
+        self.args = list(args)
+        self.seed = seed
+        self.workload_key = workload_key
+        parts = [group]
+        if scenario:
+            parts.append(slug(scenario))
+        if engine:
+            parts.append(slug(engine))
+        for k, v in self.sweep.items():
+            parts.append(f"{slug(k)}-{slug(str(v))}")
+        self.cell_id = "__".join(parts)
+
+    def command(self, bin_path):
+        """argv to seal this cell into ``out_dir`` (appended by caller)."""
+        cmd = [str(bin_path)]
+        if self.scenario is not None:
+            cmd += ["--scenario", self.scenario]
+        if self.engine is not None:
+            cmd += ["--engine", self.engine]
+        if self.scenario is not None:
+            cmd += ["--seed", str(self.seed)]
+        cmd += self.args
+        return cmd
+
+    def describe(self):
+        """The manifest entry's identity half (no results)."""
+        entry = {"id": self.cell_id, "group": self.group, "tool": self.tool,
+                 "seed": self.seed}
+        if self.scenario is not None:
+            entry["scenario"] = self.scenario
+        if self.engine is not None:
+            entry["engine"] = self.engine
+        if self.sweep:
+            entry["sweep"] = self.sweep
+        if self.args:
+            entry["args"] = self.args
+        return entry
+
+
+def load_config(path):
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise MatrixError(f"cannot read matrix config {path}: {e}")
+    if doc.get("schema") != MATRIX_SCHEMA:
+        raise MatrixError(f"{path} is not a {MATRIX_SCHEMA} config")
+    for key in ("name", "seed", "groups"):
+        if key not in doc:
+            raise MatrixError(f"{path}: missing required key {key!r}")
+    return doc
+
+
+def config_digest(path):
+    """Content digest recorded in the manifest (whitespace-sensitive on
+    purpose: the manifest identifies the exact committed config)."""
+    return hashlib.sha256(pathlib.Path(path).read_bytes()).hexdigest()
+
+
+def expand_cells(config):
+    """Expands a config into its ordered cell list.
+
+    Order is deterministic: groups in config order, then scenarios,
+    then engine templates, then the sweep's cartesian product with each
+    key's values in listed order — the same order every run, which is
+    what lets resumed and uninterrupted sweeps converge on identical
+    manifests.
+    """
+    master = int(config["seed"])
+    cells = []
+    seen = {}
+    for group in config["groups"]:
+        if "id" not in group:
+            raise MatrixError("every group needs an 'id'")
+        gid = group["id"]
+        if slug(gid) != gid or not gid:
+            raise MatrixError(f"group id {gid!r} is not a clean slug")
+        tool = group.get("tool", "bench_scenarios")
+        scenarios = group.get("scenarios")
+        engines = group.get("engines")
+        if (scenarios is None) != (engines is None):
+            raise MatrixError(
+                f"group {gid!r}: 'scenarios' and 'engines' come together "
+                "(scenario tools) or not at all (e.g. bench_micro)")
+        sweep = group.get("sweep", {})
+        args = group.get("args", [])
+        combos = [dict(zip(sweep.keys(), values))
+                  for values in itertools.product(*sweep.values())]
+        for scenario in (scenarios if scenarios is not None else [None]):
+            workload_key = group.get("seed_key") or (
+                f"{gid}/{scenario}" if scenario else gid)
+            seed = cell_seed(master, workload_key)
+            for engine in (engines if engines is not None else [None]):
+                for combo in combos:
+                    bound_engine = (_subst(engine, combo)
+                                    if engine is not None else None)
+                    bound_args = [_subst(a, combo) for a in args]
+                    cell = Cell(gid, tool, scenario, bound_engine, combo,
+                                bound_args, seed, workload_key)
+                    if cell.cell_id in seen:
+                        raise MatrixError(
+                            f"cell id collision: {cell.cell_id!r} (groups "
+                            f"{seen[cell.cell_id]!r} and {gid!r}) — "
+                            "disambiguate the group/engine/sweep names")
+                    seen[cell.cell_id] = gid
+                    cells.append(cell)
+    return cells
+
+
+# --------------------------------------------------------- results tree
+def cell_path(tree, cell_id):
+    return pathlib.Path(tree) / CELLS_DIR / f"{cell_id}.json"
+
+
+def load_cell(path):
+    """Parses a sealed cell row file; returns the document or None when
+    the file is absent, torn, or not a sealed bdsm-bench-v1 doc."""
+    path = pathlib.Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    if doc.get("schema") != BENCH_SCHEMA or not doc.get("sealed"):
+        return None
+    return doc
+
+
+def is_sealed(tree, cell):
+    """True when the cell's row file exists, parses, and matches the
+    cell's identity — the resume predicate of run_matrix.py."""
+    doc = load_cell(cell_path(tree, cell.cell_id))
+    return doc is not None and doc.get("cell_id") == cell.cell_id
+
+
+def cell_provenance(doc):
+    """RunProvenance recorded per cell in the manifest: canonical spec +
+    clock from the first row, git from the file header.  Deterministic
+    in (binary, config) — never measured values."""
+    prov = {}
+    header = doc.get("provenance", {})
+    if "git" in header:
+        prov["git"] = header["git"]
+    rows = doc.get("rows", [])
+    if rows:
+        first = rows[0]
+        if "spec" in first:
+            prov["spec"] = first["spec"]
+        clock = first.get("clock", first.get("latency_metric"))
+        if clock is not None:
+            prov["clock"] = clock
+    return prov
+
+
+def render_manifest(config, config_path, cells, tree):
+    """The manifest document for the tree's current state."""
+    entries = []
+    for cell in cells:
+        entry = cell.describe()
+        doc = load_cell(cell_path(tree, cell.cell_id))
+        if doc is not None and doc.get("cell_id") == cell.cell_id:
+            entry["status"] = "sealed"
+            entry["rows"] = len(doc.get("rows", []))
+            entry["provenance"] = cell_provenance(doc)
+        else:
+            entry["status"] = "pending"
+        entries.append(entry)
+    return {
+        "schema": RESULTS_SCHEMA,
+        "matrix": config["name"],
+        "seed": config["seed"],
+        "config": pathlib.Path(config_path).name,
+        "config_sha256": config_digest(config_path),
+        "cells": entries,
+    }
+
+
+def write_manifest(tree, manifest):
+    """Atomic write: the manifest is either the previous state or the
+    new one, never torn — and byte-deterministic (sorted keys, fixed
+    indentation, trailing newline)."""
+    path = pathlib.Path(tree) / MANIFEST_NAME
+    text = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
+
+
+def load_manifest(tree):
+    path = pathlib.Path(tree) / MANIFEST_NAME
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as e:
+        raise MatrixError(f"cannot read {path}: {e}")
+    if doc.get("schema") != RESULTS_SCHEMA:
+        raise MatrixError(f"{path} is not a {RESULTS_SCHEMA} manifest")
+    return doc

@@ -1,0 +1,356 @@
+#!/usr/bin/env python3
+"""Report generator for experiment-matrix results trees
+(docs/EXPERIMENTS.md).
+
+Reads one or more results trees written by run_matrix.py (the LAST one
+is the current run; earlier ones feed the perf-trajectory section) and
+writes a deterministic REPORT.md plus pure-Python SVG charts into
+--out:
+
+  throughput_latency.svg   engine rows on the throughput-latency plane
+  scaling_shards.svg       shard-sweep throughput (critical-path clock)
+  scaling_followers.svg    follower-sweep throughput
+  trajectory.svg           per-cell throughput across the given trees
+
+Deterministic means: same input trees -> byte-identical outputs.  No
+timestamps, no environment probes; ordering follows the manifest cell
+order; every number is formatted with fixed precision.  Charts degrade
+gracefully — a section is omitted when its cells are absent.
+
+Usage:
+  report.py TREE [TREE ...] --out DIR
+"""
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import matrix_common as mx
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+           "#8c564b", "#17becf", "#7f7f7f", "#bcbd22", "#e377c2"]
+
+
+def fmt(v):
+    """Fixed numeric formatting so the report is byte-deterministic."""
+    if isinstance(v, float):
+        return f"{v:.6g}"
+    return str(v)
+
+
+# ------------------------------------------------------------ SVG
+def svg_chart(path, title, xlabel, ylabel, series):
+    """Minimal deterministic line/scatter chart.
+
+    series: list of (label, [(x, y), ...]) with numeric x/y.  Points
+    are drawn as circles and connected in x order when a series has
+    more than one point.
+    """
+    width, height = 640, 400
+    ml, mr, mt, mb = 70, 160, 40, 50
+    pw, ph = width - ml - mr, height - mt - mb
+    xs = [x for _, pts in series for x, _ in pts]
+    ys = [y for _, pts in series for _, y in pts]
+    if not xs:
+        return False
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmin, xmax = xmin - 0.5, xmax + 0.5
+    if ymax == ymin:
+        ymin, ymax = ymin - 0.5 * abs(ymin or 1), ymax + 0.5 * abs(ymax or 1)
+
+    def px(x):
+        return ml + pw * (x - xmin) / (xmax - xmin)
+
+    def py(y):
+        return mt + ph * (1.0 - (y - ymin) / (ymax - ymin))
+
+    out = []
+    out.append(f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+               f'height="{height}" viewBox="0 0 {width} {height}">')
+    out.append(f'<rect width="{width}" height="{height}" fill="white"/>')
+    out.append(f'<text x="{width // 2}" y="20" text-anchor="middle" '
+               f'font-family="sans-serif" font-size="14">{title}</text>')
+    # axes
+    out.append(f'<line x1="{ml}" y1="{mt}" x2="{ml}" y2="{mt + ph}" '
+               'stroke="black"/>')
+    out.append(f'<line x1="{ml}" y1="{mt + ph}" x2="{ml + pw}" '
+               f'y2="{mt + ph}" stroke="black"/>')
+    for i in range(5):
+        fx = xmin + (xmax - xmin) * i / 4
+        fy = ymin + (ymax - ymin) * i / 4
+        out.append(f'<text x="{px(fx):.1f}" y="{mt + ph + 16}" '
+                   'text-anchor="middle" font-family="sans-serif" '
+                   f'font-size="10">{fx:.3g}</text>')
+        out.append(f'<text x="{ml - 6}" y="{py(fy):.1f}" '
+                   'text-anchor="end" font-family="sans-serif" '
+                   f'font-size="10">{fy:.3g}</text>')
+        if i:
+            out.append(f'<line x1="{ml}" y1="{py(fy):.1f}" '
+                       f'x2="{ml + pw}" y2="{py(fy):.1f}" '
+                       'stroke="#dddddd"/>')
+    out.append(f'<text x="{ml + pw // 2}" y="{height - 10}" '
+               'text-anchor="middle" font-family="sans-serif" '
+               f'font-size="12">{xlabel}</text>')
+    out.append(f'<text x="16" y="{mt + ph // 2}" text-anchor="middle" '
+               'font-family="sans-serif" font-size="12" '
+               f'transform="rotate(-90 16 {mt + ph // 2})">{ylabel}</text>')
+    for i, (label, pts) in enumerate(series):
+        color = PALETTE[i % len(PALETTE)]
+        pts = sorted(pts)
+        if len(pts) > 1:
+            poly = " ".join(f"{px(x):.1f},{py(y):.1f}" for x, y in pts)
+            out.append(f'<polyline points="{poly}" fill="none" '
+                       f'stroke="{color}" stroke-width="1.5"/>')
+        for x, y in pts:
+            out.append(f'<circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="3" '
+                       f'fill="{color}"/>')
+        ly = mt + 14 * i
+        out.append(f'<rect x="{ml + pw + 8}" y="{ly}" width="10" '
+                   f'height="10" fill="{color}"/>')
+        label = label if len(label) <= 24 else label[:21] + "..."
+        out.append(f'<text x="{ml + pw + 22}" y="{ly + 9}" '
+                   'font-family="sans-serif" font-size="10">'
+                   f'{label}</text>')
+    out.append("</svg>")
+    pathlib.Path(path).write_text("\n".join(out) + "\n", encoding="utf-8")
+    return True
+
+
+# ------------------------------------------------------------ loading
+def load_tree(tree):
+    """(manifest, {cell_id: entry}, {cell_id: rows}) for sealed cells."""
+    manifest = mx.load_manifest(tree)
+    entries, rows = {}, {}
+    for entry in manifest.get("cells", []):
+        if entry.get("status") != "sealed":
+            continue
+        doc = mx.load_cell(mx.cell_path(tree, entry["id"]))
+        if doc is None:
+            raise mx.MatrixError(
+                f"{tree}: manifest lists {entry['id']} as sealed but its "
+                "row file is unreadable")
+        entries[entry["id"]] = entry
+        rows[entry["id"]] = doc.get("rows", [])
+    return manifest, entries, rows
+
+
+def engine_row(cell_rows):
+    """The cell's engine summary row (has throughput); None otherwise."""
+    for row in cell_rows:
+        if "throughput_ops_per_s" in row and "tenant" not in row:
+            return row
+    return None
+
+
+def table(lines, headers, rows):
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    lines.append("")
+
+
+# ------------------------------------------------------------ sections
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="render REPORT.md + SVG charts from results trees")
+    ap.add_argument("trees", nargs="+",
+                    help="results trees, oldest first; last = current")
+    ap.add_argument("--out", required=True, help="output directory")
+    args = ap.parse_args(argv)
+
+    try:
+        loaded = [load_tree(t) for t in args.trees]
+    except mx.MatrixError as e:
+        print(f"report: {e}", file=sys.stderr)
+        return 2
+    manifest, entries, rows_by_cell = loaded[-1]
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+
+    gits = sorted({e.get("provenance", {}).get("git", "?")
+                   for e in entries.values()})
+    lines = []
+    lines.append(f"# Experiment report — matrix `{manifest['matrix']}`")
+    lines.append("")
+    lines.append(f"Config `{manifest['config']}` "
+                 f"(sha256 `{manifest['config_sha256'][:12]}`), "
+                 f"master seed {manifest['seed']}, "
+                 f"binaries `{', '.join(gits)}`. "
+                 f"{len(entries)} sealed cells"
+                 + (f" across {len(loaded)} stored runs."
+                    if len(loaded) > 1 else "."))
+    lines.append("")
+
+    # --- cell inventory ---
+    lines.append("## Cells")
+    lines.append("")
+    table(lines, ["cell", "tool", "scenario", "engine", "clock", "rows"],
+          [[f"`{cid}`", e["tool"], e.get("scenario", "—"),
+            f"`{e.get('engine', '—')}`",
+            e.get("provenance", {}).get("clock", "—"), e.get("rows", 0)]
+           for cid, e in entries.items()])
+
+    # --- engine x scenario summary + throughput-latency plane ---
+    summary = []
+    for cid, e in entries.items():
+        row = engine_row(rows_by_cell[cid])
+        if row is not None:
+            summary.append((cid, e, row))
+    if summary:
+        lines.append("## Engine × scenario")
+        lines.append("")
+        lines.append("Latency percentiles are per-batch, on each row's "
+                     "own clock domain (`latency_metric`); match counts "
+                     "are exact and deterministic in (binary, seed).")
+        lines.append("")
+        table(lines, ["scenario", "spec", "clock", "p50 (s)", "p95 (s)",
+                      "throughput (ops/s)", "matches"],
+              [[r.get("scenario", "—"), f"`{r.get('spec', '?')}`",
+                r.get("latency_metric", "?"), fmt(r.get("latency_p50_s")),
+                fmt(r.get("latency_p95_s")),
+                fmt(r.get("throughput_ops_per_s")),
+                fmt(r.get("total_matches"))]
+               for _, _, r in summary])
+        by_spec = {}
+        for _, _, r in summary:
+            pt = (r.get("throughput_ops_per_s"), r.get("latency_p95_s"))
+            if None not in pt:
+                by_spec.setdefault(r.get("spec", "?"), []).append(pt)
+        if svg_chart(out / "throughput_latency.svg",
+                     "Throughput vs p95 latency (per engine row)",
+                     "throughput (ops/s)", "p95 latency (s)",
+                     sorted(by_spec.items())):
+            lines.append("![throughput vs latency](throughput_latency.svg)")
+            lines.append("")
+
+    # --- scaling sweeps ---
+    for key, fname, title in (
+            ("shards", "scaling_shards.svg", "Shard scaling"),
+            ("followers", "scaling_followers.svg", "Follower scaling")):
+        sweep_cells = [(cid, e, engine_row(rows_by_cell[cid]))
+                       for cid, e in entries.items()
+                       if key in e.get("sweep", {})]
+        sweep_cells = [(c, e, r) for c, e, r in sweep_cells if r]
+        if not sweep_cells:
+            continue
+        lines.append(f"## {title}")
+        lines.append("")
+        clocks = sorted({r.get("latency_metric", "?")
+                         for _, _, r in sweep_cells})
+        lines.append(f"Clock domain(s): {', '.join(clocks)} — one CPU "
+                     "core; sharded scaling is critical-path, never "
+                     "wall-clock parallelism.")
+        lines.append("")
+        extra = (["shipped bytes", "max lag"] if key == "followers" else [])
+        body = []
+        for cid, e, r in sweep_cells:
+            row = [e["sweep"][key], r.get("scenario", "—"),
+                   f"`{r.get('spec', '?')}`",
+                   fmt(r.get("throughput_ops_per_s")),
+                   fmt(r.get("latency_p95_s")),
+                   fmt(r.get("total_matches"))]
+            if key == "followers":
+                lags = [rr.get("max_lag_batches") for rr in
+                        rows_by_cell[cid] if "replica" in rr]
+                row += [fmt(r.get("shipped_bytes", 0)),
+                        fmt(max([l for l in lags if l is not None],
+                                default=0))]
+            body.append(row)
+        table(lines, [key, "scenario", "spec", "throughput (ops/s)",
+                      "p95 (s)", "matches"] + extra, body)
+        series = {}
+        for cid, e, r in sweep_cells:
+            thr = r.get("throughput_ops_per_s")
+            if thr is not None:
+                series.setdefault(r.get("scenario", "?"), []).append(
+                    (e["sweep"][key], thr))
+        if svg_chart(out / fname, f"{title}: throughput vs {key}",
+                     key, "throughput (ops/s)", sorted(series.items())):
+            lines.append(f"![{title.lower()}]({fname})")
+            lines.append("")
+
+    # --- tenant fairness ---
+    tenant_cells = [(cid, e) for cid, e in entries.items()
+                    if any("tenant" in r for r in rows_by_cell[cid])]
+    if tenant_cells:
+        lines.append("## Tenant fairness")
+        lines.append("")
+        for cid, e in tenant_cells:
+            eng = engine_row(rows_by_cell[cid])
+            fairness = fmt(eng.get("fairness")) if eng else "—"
+            lines.append(f"### `{cid}` — Jain fairness {fairness}")
+            lines.append("")
+            table(lines, ["tenant", "priority", "offered", "admitted",
+                          "shed", "matches", "sojourn p95 (s)"],
+                  [[r["tenant"], r.get("priority", "—"),
+                    fmt(r.get("offered_ops")), fmt(r.get("admitted_ops")),
+                    fmt(r.get("shed_ops")), fmt(r.get("matches")),
+                    fmt(r.get("sojourn_p95_s"))]
+                   for r in rows_by_cell[cid] if "tenant" in r])
+
+    # --- microbench profile ---
+    micro = [(cid, r) for cid, e in entries.items()
+             for r in rows_by_cell[cid] if "container" in r]
+    if micro:
+        lines.append("## GPMA container profile")
+        lines.append("")
+        table(lines, ["cell", "workload", "applied", "moved/update",
+                      "resized/update", "segment ops"],
+              [[f"`{cid}`", r.get("workload", "?"),
+                fmt(r.get("applied_updates")),
+                fmt(r.get("moved_entries_per_update")),
+                fmt(r.get("resized_entries_per_update")),
+                fmt(r.get("segment_ops"))] for cid, r in micro])
+
+    # --- perf trajectory across stored runs ---
+    if len(loaded) > 1:
+        lines.append(f"## Perf trajectory ({len(loaded)} runs)")
+        lines.append("")
+        lines.append("Runs are ordered as given (oldest first); the "
+                     "x axis is the run index. Only cells sealed in "
+                     "every run are plotted.")
+        lines.append("")
+        common = set(loaded[0][1])
+        for _, ents, _ in loaded[1:]:
+            common &= set(ents)
+        series, body = {}, []
+        for cid in [c for c in entries if c in common]:
+            pts = []
+            for i, (_, _, rows_i) in enumerate(loaded):
+                r = engine_row(rows_i[cid])
+                if r and r.get("throughput_ops_per_s") is not None:
+                    pts.append((i, r["throughput_ops_per_s"]))
+            if len(pts) == len(loaded):
+                series[cid] = pts
+                first, last = pts[0][1], pts[-1][1]
+                delta = (100.0 * (last - first) / first) if first else 0.0
+                body.append([f"`{cid}`", fmt(first), fmt(last),
+                             f"{delta:+.1f}%"])
+        if body:
+            table(lines, ["cell", "first (ops/s)", "last (ops/s)",
+                          "change"], body)
+            if svg_chart(out / "trajectory.svg",
+                         "Throughput trajectory across runs",
+                         "run index", "throughput (ops/s)",
+                         sorted(series.items())):
+                lines.append("![trajectory](trajectory.svg)")
+                lines.append("")
+        skipped = len(entries) - len(common)
+        if skipped:
+            lines.append(f"({skipped} cell(s) of the current run are "
+                         "not present in every stored run and were "
+                         "left off the trajectory.)")
+            lines.append("")
+
+    (out / "REPORT.md").write_text("\n".join(lines).rstrip() + "\n",
+                                   encoding="utf-8")
+    print(f"report: wrote {out / 'REPORT.md'} "
+          f"(+ {len(list(out.glob('*.svg')))} charts)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

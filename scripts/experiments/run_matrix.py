@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Resumable experiment-matrix driver (docs/EXPERIMENTS.md).
+
+Expands a ``bdsm-matrix-v1`` config into cells and runs each through
+the bench binaries' cell assist (``--out-dir DIR --cell-id ID``), which
+writes one provenance-headed row file per cell *atomically* and marks
+it ``"sealed": true``.  On restart the driver skips every cell whose
+sealed file is already present and valid, so a killed sweep resumes
+exactly where it stopped — no cell re-executed — and finishes with a
+RESULTS_MANIFEST.json byte-identical to an uninterrupted run's (the
+manifest is a pure function of config + sealed files: no timestamps,
+no measured values).
+
+Usage:
+  run_matrix.py --config experiments/matrix-ci.json --bin-dir build \
+                --out results-ci [--only REGEX] [--list] [--keep-going]
+
+Exit status: 0 all selected cells sealed; 1 a cell failed (or, with
+--keep-going, at least one failure after attempting the rest); 2 bad
+usage/config.
+"""
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import matrix_common as mx
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="run an experiment matrix with sealed-cell resume")
+    ap.add_argument("--config", required=True,
+                    help="bdsm-matrix-v1 config (experiments/*.json)")
+    ap.add_argument("--bin-dir", required=True,
+                    help="directory holding the bench binaries (build/)")
+    ap.add_argument("--out", required=True,
+                    help="results tree to create/resume")
+    ap.add_argument("--only", metavar="REGEX", default=None,
+                    help="run only cells whose id matches (others stay "
+                         "pending in the manifest; exit ignores them)")
+    ap.add_argument("--list", action="store_true",
+                    help="print the expanded cells and exit")
+    ap.add_argument("--keep-going", action="store_true",
+                    help="attempt remaining cells after a failure")
+    args = ap.parse_args(argv)
+
+    try:
+        config = mx.load_config(args.config)
+        cells = mx.expand_cells(config)
+    except mx.MatrixError as e:
+        print(f"run_matrix: {e}", file=sys.stderr)
+        return 2
+
+    only = re.compile(args.only) if args.only else None
+    selected = [c for c in cells
+                if only is None or only.search(c.cell_id)]
+    if args.list:
+        for cell in cells:
+            mark = " " if only is None or only.search(cell.cell_id) else "-"
+            print(f"{mark} {cell.cell_id}  tool={cell.tool} "
+                  f"seed={cell.seed}")
+        print(f"{len(selected)}/{len(cells)} cells selected")
+        return 0
+    if not selected:
+        print("run_matrix: --only matched no cells", file=sys.stderr)
+        return 2
+
+    bin_dir = pathlib.Path(args.bin_dir)
+    tools = {}
+    for cell in selected:
+        path = bin_dir / cell.tool
+        if cell.tool not in tools:
+            if not path.is_file():
+                print(f"run_matrix: missing tool {path} "
+                      f"(build it first)", file=sys.stderr)
+                return 2
+            tools[cell.tool] = path
+
+    tree = pathlib.Path(args.out)
+    cells_dir = tree / mx.CELLS_DIR
+    cells_dir.mkdir(parents=True, exist_ok=True)
+    # A manifest exists from the first moment: a killed run leaves a
+    # valid tree whose pending entries say exactly what remains.
+    mx.write_manifest(tree, mx.render_manifest(config, args.config,
+                                               cells, tree))
+
+    ran = skipped = failed = 0
+    for cell in selected:
+        if mx.is_sealed(tree, cell):
+            skipped += 1
+            print(f"[seal ] {cell.cell_id} (already sealed, skipping)")
+            continue
+        cmd = cell.command(tools[cell.tool]) + [
+            "--out-dir", str(cells_dir), "--cell-id", cell.cell_id]
+        print(f"[run  ] {cell.cell_id}: {' '.join(cmd)}")
+        sys.stdout.flush()
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0 or not mx.is_sealed(tree, cell):
+            failed += 1
+            why = (f"exit {proc.returncode}" if proc.returncode != 0
+                   else "tool exited 0 but left no sealed row file")
+            print(f"[FAIL ] {cell.cell_id}: {why}", file=sys.stderr)
+            if not args.keep_going:
+                break
+            continue
+        ran += 1
+        mx.write_manifest(tree, mx.render_manifest(config, args.config,
+                                                   cells, tree))
+
+    mx.write_manifest(tree, mx.render_manifest(config, args.config,
+                                               cells, tree))
+    total = len(selected)
+    print(f"run_matrix: {ran} ran, {skipped} resumed-sealed, "
+          f"{failed} failed, {total} selected "
+          f"({len(cells)} cells total) -> {tree / mx.MANIFEST_NAME}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

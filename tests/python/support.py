@@ -1,0 +1,141 @@
+"""Shared fixtures for the Python tool tests (tests/python/).
+
+Runs under both `python3 -m unittest discover -s tests/python` (the
+`python_tools` ctest entry — no third-party deps) and pytest (the CI
+job).  Provides repo paths, a stub bench tool for run_matrix.py tests,
+and builders for synthetic results trees.
+"""
+import json
+import os
+import pathlib
+import stat
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SCRIPTS = REPO / "scripts"
+EXPERIMENTS = SCRIPTS / "experiments"
+sys.path.insert(0, str(EXPERIMENTS))
+
+import matrix_common as mx  # noqa: E402
+
+
+def run(cmd, **kw):
+    """Runs a tool, capturing output; never raises on nonzero exit."""
+    return subprocess.run([sys.executable] + [str(c) for c in cmd],
+                          capture_output=True, text=True, **kw)
+
+
+STUB_SOURCE = r'''#!/usr/bin/env python3
+"""Stand-in bench tool: speaks the --out-dir/--cell-id cell protocol.
+
+Writes a sealed bdsm-bench-v1 row file whose rows are a pure function
+of (scenario, engine, seed), logs every invocation to $STUB_LOG, and
+exits 1 without sealing once the invocation count in the log exceeds
+$STUB_FAIL_AFTER (simulating a matrix killed mid-sweep).
+"""
+import json, os, pathlib, sys
+
+args = sys.argv[1:]
+opt = {}
+i = 0
+while i < len(args):
+    opt[args[i]] = args[i + 1]
+    i += 2
+
+log = pathlib.Path(os.environ["STUB_LOG"])
+with log.open("a") as f:
+    f.write(opt.get("--cell-id", "?") + "\n")
+count = len(log.read_text().splitlines())
+fail_after = int(os.environ.get("STUB_FAIL_AFTER", "0"))
+if fail_after and count > fail_after:
+    sys.exit(1)
+
+seed = int(opt.get("--seed", "0"))
+row = {
+    "spec": opt.get("--engine", "stub"),
+    "scenario": opt.get("--scenario", "none"),
+    "clock": "modeled-device",
+    "seed": seed,
+    "total_matches": 100 + seed % 7,
+    "latency_p95_s": 0.001,
+    "throughput_ops_per_s": 50000.0,
+}
+doc = {
+    "schema": "bdsm-bench-v1",
+    "bench": "bench_stub",
+    "cell_id": opt["--cell-id"],
+    "provenance": {"tool": "bench_stub", "git": "stub-0"},
+    "rows": [row],
+    "sealed": True,
+}
+out = pathlib.Path(opt["--out-dir"]) / (opt["--cell-id"] + ".json")
+tmp = out.with_suffix(".json.tmp")
+tmp.write_text(json.dumps(doc, indent=2) + "\n")
+tmp.replace(out)
+'''
+
+
+def make_stub_bin_dir(tmpdir, tool="bench_stub"):
+    """An executable stub bench tool inside a fake --bin-dir."""
+    bin_dir = pathlib.Path(tmpdir) / "bin"
+    bin_dir.mkdir(parents=True, exist_ok=True)
+    path = bin_dir / tool
+    path.write_text(STUB_SOURCE)
+    path.chmod(path.stat().st_mode | stat.S_IXUSR)
+    return bin_dir
+
+
+def stub_config(tmpdir, name="stubmx"):
+    """A 4-cell config driven entirely by the stub tool."""
+    config = {
+        "schema": "bdsm-matrix-v1",
+        "name": name,
+        "seed": 2024,
+        "groups": [
+            {"id": "a", "tool": "bench_stub", "scenarios": ["s1"],
+             "engines": ["e1", "e2"]},
+            {"id": "b", "tool": "bench_stub", "scenarios": ["s1"],
+             "engines": ["sw(k={k})"], "sweep": {"k": [1, 2]}},
+        ],
+    }
+    path = pathlib.Path(tmpdir) / "matrix.json"
+    path.write_text(json.dumps(config, indent=2) + "\n")
+    return path
+
+
+def write_tree(tree, cells):
+    """Builds a synthetic results tree.
+
+    cells: {cell_id: rows}.  The manifest carries just enough for
+    bench_diff.py --tree / report.py: schema + sealed cell entries.
+    """
+    tree = pathlib.Path(tree)
+    (tree / "cells").mkdir(parents=True, exist_ok=True)
+    entries = []
+    for cid, rows in cells.items():
+        doc = {"schema": "bdsm-bench-v1", "bench": "bench_stub",
+               "cell_id": cid,
+               "provenance": {"tool": "bench_stub", "git": "stub-0"},
+               "rows": rows, "sealed": True}
+        (tree / "cells" / f"{cid}.json").write_text(
+            json.dumps(doc, indent=2) + "\n")
+        entries.append({"id": cid, "group": cid.split("__")[0],
+                        "tool": "bench_stub", "seed": 1,
+                        "status": "sealed", "rows": len(rows),
+                        "provenance": mx.cell_provenance(doc)})
+    manifest = {"schema": "bdsm-results-v1", "matrix": "stubmx",
+                "seed": 2024, "config": "matrix.json",
+                "config_sha256": "0" * 64, "cells": entries}
+    (tree / "RESULTS_MANIFEST.json").write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return tree
+
+
+def engine_row(spec="gamma", scenario="smoke", matches=200, p95=1e-4,
+               thr=5e5, **extra):
+    row = {"spec": spec, "scenario": scenario, "seed": 7,
+           "latency_metric": "modeled-device", "total_matches": matches,
+           "latency_p95_s": p95, "throughput_ops_per_s": thr}
+    row.update(extra)
+    return row

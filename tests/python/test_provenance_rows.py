@@ -1,0 +1,73 @@
+"""Every JSON row bench_scenarios emits — engine summary, per-tenant,
+per-replica — carries the same provenance header fields: spec,
+scenario, seed, latency_metric (the row's clock domain).
+
+Needs the built binary; gated on BDSM_BENCH_SCENARIOS (the
+`python_tools` ctest entry sets it to the build-tree path, CI exports
+it explicitly; plain `python3 -m unittest` without a build skips)."""
+import json
+import os
+import pathlib
+import subprocess
+import tempfile
+import unittest
+
+BIN = os.environ.get("BDSM_BENCH_SCENARIOS")
+PROVENANCE_FIELDS = ("spec", "scenario", "seed", "latency_metric")
+
+
+@unittest.skipUnless(BIN and pathlib.Path(BIN).is_file(),
+                     "BDSM_BENCH_SCENARIOS not set (binary not built)")
+class ProvenanceRowsTest(unittest.TestCase):
+    def rows(self, *flags):
+        with tempfile.TemporaryDirectory() as tmp:
+            out = pathlib.Path(tmp) / "rows.json"
+            proc = subprocess.run(
+                [BIN, *flags, "--json", str(out)],
+                stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+                text=True)
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+            doc = json.loads(out.read_text())
+        self.assertEqual(doc["schema"], "bdsm-bench-v1")
+        # Satellite of the experiment-matrix PR: the file header names
+        # the producing tool + git describe.
+        self.assertIn("tool", doc["provenance"])
+        self.assertIn("git", doc["provenance"])
+        self.assertTrue(doc["rows"])
+        return doc["rows"]
+
+    def assert_provenance(self, rows):
+        for row in rows:
+            for field in PROVENANCE_FIELDS:
+                self.assertIn(field, row,
+                              f"row missing {field!r}: {row}")
+
+    def test_tenant_rows_carry_provenance(self):
+        rows = self.rows("--scenario", "tenant-skew", "--engine", "gamma")
+        self.assert_provenance(rows)
+        self.assertTrue(any("tenant" in r for r in rows),
+                        "tenant-skew must emit per-tenant rows")
+
+    def test_replica_rows_carry_provenance(self):
+        rows = self.rows("--scenario", "smoke", "--engine",
+                         "replicated(gamma, followers=1)")
+        self.assert_provenance(rows)
+        self.assertTrue(any("replica" in r for r in rows),
+                        "replicated runs must emit per-replica rows")
+
+    def test_cell_mode_seals_atomically_named_cell(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            proc = subprocess.run(
+                [BIN, "--scenario", "smoke", "--engine", "gamma",
+                 "--out-dir", tmp, "--cell-id", "probe"],
+                stdout=subprocess.DEVNULL)
+            self.assertEqual(proc.returncode, 0)
+            doc = json.loads(
+                (pathlib.Path(tmp) / "probe.json").read_text())
+        self.assertEqual(doc["cell_id"], "probe")
+        self.assertIs(doc["sealed"], True)
+        self.assert_provenance(doc["rows"])
+
+
+if __name__ == "__main__":
+    unittest.main()

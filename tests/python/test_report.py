@@ -1,0 +1,76 @@
+"""report.py: deterministic output, section selection, trajectory."""
+import pathlib
+import tempfile
+import unittest
+
+import support
+from support import engine_row, run, write_tree
+
+REPORT = support.EXPERIMENTS / "report.py"
+
+
+def make_tree(root, name, thr):
+    return write_tree(pathlib.Path(root) / name, {
+        "engines__smoke__gamma": [engine_row(thr=thr)],
+        "shards__smoke__s2": [engine_row(
+            spec="sharded(gamma, shards=2)", thr=thr * 1.5)],
+        "tenants__skew__gamma": [
+            engine_row(spec="tenant(gamma)", scenario="tenant-skew",
+                       fairness=0.91),
+            {"spec": "tenant(gamma)", "scenario": "tenant-skew",
+             "seed": 7, "latency_metric": "modeled-device",
+             "tenant": "t0", "priority": "gold", "offered_ops": 10,
+             "admitted_ops": 10, "shed_ops": 0, "matches": 44,
+             "sojourn_p95_s": 2e-4}],
+    })
+
+
+class ReportTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = pathlib.Path(self.tmp.name)
+        # write_tree's manifest has no sweep info, so patch one in for
+        # the scaling section via a manifest rewrite.
+        self.t1 = make_tree(self.dir, "t1", 1e5)
+        self.t2 = make_tree(self.dir, "t2", 2e5)
+        for tree in (self.t1, self.t2):
+            manifest = support.mx.load_manifest(tree)
+            for cell in manifest["cells"]:
+                if cell["id"].startswith("shards__"):
+                    cell["sweep"] = {"shards": 2}
+                    cell["scenario"] = "smoke"
+            support.mx.write_manifest(tree, manifest)
+
+    def test_report_is_deterministic_and_sectioned(self):
+        out1, out2 = self.dir / "r1", self.dir / "r2"
+        for out in (out1, out2):
+            proc = run([REPORT, self.t2, "--out", out])
+            self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual((out1 / "REPORT.md").read_bytes(),
+                         (out2 / "REPORT.md").read_bytes())
+        text = (out1 / "REPORT.md").read_text()
+        self.assertIn("## Engine × scenario", text)
+        self.assertIn("## Shard scaling", text)
+        self.assertIn("## Tenant fairness", text)
+        self.assertIn("Jain fairness 0.91", text)
+        self.assertNotIn("## Perf trajectory", text)
+        self.assertTrue((out1 / "throughput_latency.svg").exists())
+        self.assertTrue((out1 / "scaling_shards.svg").exists())
+
+    def test_trajectory_across_stored_runs(self):
+        out = self.dir / "traj"
+        proc = run([REPORT, self.t1, self.t2, "--out", out])
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        text = (out / "REPORT.md").read_text()
+        self.assertIn("## Perf trajectory (2 runs)", text)
+        self.assertIn("+100.0%", text)  # thr doubled t1 -> t2
+        self.assertTrue((out / "trajectory.svg").exists())
+
+    def test_unreadable_tree_is_an_input_error(self):
+        proc = run([REPORT, self.dir / "nope", "--out", self.dir / "o"])
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,176 @@
+"""Resume semantics of scripts/experiments/run_matrix.py and the seed/
+cell-expansion conventions of matrix_common.py.
+
+The kill-mid-matrix drill uses a stub bench tool (support.py) that
+seals deterministic cell files and can be told to start failing after N
+invocations; the test asserts a rerun completes WITHOUT re-executing
+sealed cells and converges on a manifest byte-identical to an
+uninterrupted run's — the ISSUE's resume acceptance criterion."""
+import json
+import os
+import pathlib
+import tempfile
+import unittest
+
+import support
+from support import mx, run
+
+RUN_MATRIX = support.EXPERIMENTS / "run_matrix.py"
+
+
+class SeedConventionTest(unittest.TestCase):
+    """Golden values captured from the C++ (util/rng.hpp DeriveSeed)."""
+
+    def test_derive_seed_matches_cpp(self):
+        self.assertEqual(mx.derive_seed(2024, 0), 11487996472437173461)
+        self.assertEqual(mx.derive_seed(2024, 1), 1793612131670815442)
+        self.assertEqual(mx.derive_seed(123456789, 42),
+                         11444020087538809912)
+
+    def test_fnv1a64_golden(self):
+        # FNV-1a 64 reference vectors.
+        self.assertEqual(mx.fnv1a64(""), 0xCBF29CE484222325)
+        self.assertEqual(mx.fnv1a64("a"), 0xAF63DC4C8601EC8C)
+
+    def test_workload_key_shares_stream_across_a_sweep(self):
+        config = {"schema": "bdsm-matrix-v1", "name": "x", "seed": 2024,
+                  "groups": [{"id": "g", "scenarios": ["smoke"],
+                              "engines": ["sharded(gamma, shards={n})"],
+                              "sweep": {"n": [1, 2, 4]}}]}
+        cells = mx.expand_cells(config)
+        self.assertEqual(len(cells), 3)
+        self.assertEqual(len({c.seed for c in cells}), 1,
+                         "a sweep must measure one stream")
+        self.assertEqual(cells[0].seed,
+                         mx.cell_seed(2024, "g/smoke"))
+
+    def test_distinct_scenarios_get_distinct_streams(self):
+        config = {"schema": "bdsm-matrix-v1", "name": "x", "seed": 2024,
+                  "groups": [{"id": "g", "scenarios": ["smoke", "churn"],
+                              "engines": ["gamma"]}]}
+        seeds = {c.seed for c in mx.expand_cells(config)}
+        self.assertEqual(len(seeds), 2)
+
+
+class ExpansionTest(unittest.TestCase):
+    def test_cell_ids_and_template_substitution(self):
+        config = {"schema": "bdsm-matrix-v1", "name": "x", "seed": 1,
+                  "groups": [{"id": "g", "scenarios": ["s"],
+                              "engines": ["e(k={k})"],
+                              "sweep": {"k": [1, 2]},
+                              "args": ["--opt", "{k}"]}]}
+        cells = mx.expand_cells(config)
+        self.assertEqual([c.cell_id for c in cells],
+                         ["g__s__e-k-1__k-1", "g__s__e-k-2__k-2"])
+        self.assertEqual(cells[1].engine, "e(k=2)")
+        self.assertEqual(cells[1].args, ["--opt", "2"])
+
+    def test_dangling_placeholder_is_an_error(self):
+        config = {"schema": "bdsm-matrix-v1", "name": "x", "seed": 1,
+                  "groups": [{"id": "g", "scenarios": ["s"],
+                              "engines": ["e(k={missing})"]}]}
+        with self.assertRaises(mx.MatrixError):
+            mx.expand_cells(config)
+
+    def test_cell_id_collision_is_an_error(self):
+        # "a(b)" and "a-b" slug to the same cell-id fragment.
+        config = {"schema": "bdsm-matrix-v1", "name": "x", "seed": 1,
+                  "groups": [{"id": "g", "scenarios": ["s"],
+                              "engines": ["a(b)", "a-b"]}]}
+        with self.assertRaises(mx.MatrixError):
+            mx.expand_cells(config)
+
+
+class ResumeTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.dir = pathlib.Path(self.tmp.name)
+        self.bin_dir = support.make_stub_bin_dir(self.dir)
+        self.config = support.stub_config(self.dir)
+
+    def run_matrix(self, out, log, fail_after=0):
+        env = dict(os.environ, STUB_LOG=str(log))
+        if fail_after:
+            env["STUB_FAIL_AFTER"] = str(fail_after)
+        else:
+            env.pop("STUB_FAIL_AFTER", None)
+        return run([RUN_MATRIX, "--config", self.config,
+                    "--bin-dir", self.bin_dir, "--out", out], env=env)
+
+    def invocations(self, log):
+        return pathlib.Path(log).read_text().splitlines()
+
+    def test_kill_mid_matrix_then_resume(self):
+        # Uninterrupted reference run.
+        ref_log = self.dir / "ref.log"
+        proc = self.run_matrix(self.dir / "ref", ref_log)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(len(self.invocations(ref_log)), 4)
+
+        # Interrupted run: the tool dies on its 3rd invocation.
+        log = self.dir / "int.log"
+        proc = self.run_matrix(self.dir / "int", log, fail_after=2)
+        self.assertEqual(proc.returncode, 1)
+        self.assertEqual(len(self.invocations(log)), 3)
+        manifest = mx.load_manifest(self.dir / "int")
+        statuses = [c["status"] for c in manifest["cells"]]
+        self.assertEqual(statuses, ["sealed", "sealed", "pending",
+                                    "pending"])
+
+        # Resume: completes, re-executing NO sealed cell.
+        proc = self.run_matrix(self.dir / "int", log)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("2 resumed-sealed", proc.stdout)
+        invs = self.invocations(log)
+        self.assertEqual(len(invs), 5)  # 3 before + only the 2 missing
+        for cid in invs[:2]:
+            self.assertEqual(invs.count(cid), 1,
+                             f"sealed cell {cid} was re-executed")
+
+        # The resumed manifest is byte-identical to the uninterrupted
+        # run's.
+        ref = (self.dir / "ref" / mx.MANIFEST_NAME).read_bytes()
+        got = (self.dir / "int" / mx.MANIFEST_NAME).read_bytes()
+        self.assertEqual(ref, got)
+
+    def test_torn_cell_file_is_re_run(self):
+        log = self.dir / "torn.log"
+        out = self.dir / "torn"
+        self.assertEqual(self.run_matrix(out, log).returncode, 0)
+        # Corrupt one sealed file: truncate mid-document (a crash
+        # between write and rename can't produce this, but a copy
+        # might) — the resume predicate must reject and re-run it.
+        victim = mx.cell_path(out, "a__s1__e1")
+        victim.write_text(victim.read_text()[:40])
+        self.assertEqual(self.run_matrix(out, log).returncode, 0)
+        self.assertEqual(self.invocations(log).count("a__s1__e1"), 2)
+
+    def test_list_and_only(self):
+        log = self.dir / "x.log"
+        env = dict(os.environ, STUB_LOG=str(log))
+        proc = run([RUN_MATRIX, "--config", self.config, "--bin-dir",
+                    self.bin_dir, "--out", self.dir / "x", "--list"],
+                   env=env)
+        self.assertEqual(proc.returncode, 0)
+        self.assertIn("4/4 cells selected", proc.stdout)
+        self.assertFalse(log.exists(), "--list must not run anything")
+        proc = run([RUN_MATRIX, "--config", self.config, "--bin-dir",
+                    self.bin_dir, "--out", self.dir / "x",
+                    "--only", "a__"], env=env)
+        self.assertEqual(proc.returncode, 0)
+        self.assertEqual(len(self.invocations(log)), 2)
+
+    def test_missing_tool_is_usage_error(self):
+        cfg = json.loads(self.config.read_text())
+        cfg["groups"][0]["tool"] = "bench_nonexistent"
+        bad = self.dir / "bad.json"
+        bad.write_text(json.dumps(cfg))
+        proc = run([RUN_MATRIX, "--config", bad, "--bin-dir",
+                    self.bin_dir, "--out", self.dir / "y"],
+                   env=dict(os.environ, STUB_LOG=str(self.dir / "y.log")))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()
