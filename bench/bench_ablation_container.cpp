@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
          "exactly in the paper's 2-10%% regime.  Churn batches widen "
          "the gap further: deferred delete rebalancing keeps GPMA's "
          "per-batch work near the in-place minimum.\n");
+  FinishBench();
   return 0;
 }

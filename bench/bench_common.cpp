@@ -229,10 +229,12 @@ void JsonSink::Open(const std::string& bench_name, const std::string& path) {
 
 void JsonSink::OpenCell(const std::string& bench_name,
                         const std::string& out_dir,
-                        const std::string& cell_id) {
+                        const std::string& cell_id,
+                        const std::string& cell_key) {
   bench_name_ = bench_name;
   path_ = out_dir + "/" + cell_id + ".json";
   cell_id_ = cell_id;
+  cell_key_ = cell_key;
 }
 
 void JsonSink::SetContextLiteral(const std::string& key,
@@ -279,7 +281,10 @@ void JsonSink::Flush() {
   if (!enabled()) return;
   // Cell mode seals the file atomically: write + fsync a temp sibling,
   // then rename over the final path, so run_matrix.py can treat "the
-  // file exists and parses" as "this cell completed".
+  // file exists and parses" as "this cell completed".  The rename
+  // happens only after FinishBench() — atexit also runs on the
+  // validation exit(2)/return-nonzero paths, and a failed run must
+  // leave at most the .tmp post-mortem, never a sealed file.
   const bool cell_mode = !cell_id_.empty();
   const std::string write_path = cell_mode ? path_ + ".tmp" : path_;
   FILE* f = fopen(write_path.c_str(), "w");
@@ -291,6 +296,10 @@ void JsonSink::Flush() {
           JsonEscape(bench_name_).c_str());
   if (cell_mode) {
     fprintf(f, "  \"cell_id\": \"%s\",\n", JsonEscape(cell_id_).c_str());
+    if (!cell_key_.empty()) {
+      fprintf(f, "  \"cell_key\": \"%s\",\n",
+              JsonEscape(cell_key_).c_str());
+    }
   }
   fprintf(f, "  \"provenance\": {\"tool\": \"%s\", \"git\": \"%s\"},\n",
           JsonEscape(bench_name_).c_str(),
@@ -311,6 +320,13 @@ void JsonSink::Flush() {
     fsync(fileno(f));
   }
   fclose(f);
+  if (cell_mode && !complete_) {
+    fprintf(stderr,
+            "bench: run did not complete; leaving %s unsealed "
+            "(post-mortem at %s)\n",
+            path_.c_str(), write_path.c_str());
+    return;
+  }
   if (cell_mode && rename(write_path.c_str(), path_.c_str()) != 0) {
     fprintf(stderr, "bench: cannot seal %s\n", path_.c_str());
     return;
@@ -326,11 +342,13 @@ void InitBench(const char* bench_name, int argc, char** argv,
   const char* path = nullptr;
   const char* out_dir = nullptr;
   const char* cell_id = nullptr;
+  const char* cell_key = nullptr;
   for (int i = 1; i < argc; ++i) {
     const char** slot = nullptr;
     if (std::strcmp(argv[i], "--json") == 0) slot = &path;
     if (std::strcmp(argv[i], "--out-dir") == 0) slot = &out_dir;
     if (std::strcmp(argv[i], "--cell-id") == 0) slot = &cell_id;
+    if (std::strcmp(argv[i], "--cell-key") == 0) slot = &cell_key;
     if (slot == nullptr) continue;
     if (i + 1 >= argc) {
       // Fail fast: silently dropping the trajectory after a minutes-long
@@ -354,8 +372,16 @@ void InitBench(const char* bench_name, int argc, char** argv,
             bench_name);
     exit(2);
   }
+  if (cell_key != nullptr && out_dir == nullptr) {
+    fprintf(stderr,
+            "%s: --cell-key only makes sense with --out-dir/--cell-id "
+            "(docs/EXPERIMENTS.md)\n",
+            bench_name);
+    exit(2);
+  }
   if (out_dir != nullptr) {
-    JsonSink::Instance().OpenCell(bench_name, out_dir, cell_id);
+    JsonSink::Instance().OpenCell(bench_name, out_dir, cell_id,
+                                  cell_key != nullptr ? cell_key : "");
     std::atexit([] { JsonSink::Instance().Flush(); });
     return;
   }
@@ -365,6 +391,8 @@ void InitBench(const char* bench_name, int argc, char** argv,
     std::atexit([] { JsonSink::Instance().Flush(); });
   }
 }
+
+void FinishBench() { JsonSink::Instance().MarkComplete(); }
 
 void JsonContext(const std::string& key, const std::string& value) {
   JsonSink::Instance().Context(key, value);

@@ -122,18 +122,27 @@ class JsonRow {
 /// emit unconditionally.  Flush() runs automatically at process exit.
 ///
 /// Cell mode (`--out-dir DIR --cell-id ID`, the experiment-matrix
-/// assist; docs/EXPERIMENTS.md): the document gains `"cell_id"` and a
-/// trailing `"sealed": true` marker, and lands at `DIR/ID.json` via an
-/// fsynced temp-file + rename, so a row file either exists complete
-/// ("sealed") or not at all — the property `run_matrix.py` resumes on.
+/// assist; docs/EXPERIMENTS.md): the document gains `"cell_id"` (and
+/// `"cell_key"` when the driver passed one) and a trailing
+/// `"sealed": true` marker, and lands at `DIR/ID.json` via an fsynced
+/// temp-file + rename — but only when the bench reached its success
+/// path (FinishBench below).  A run that dies or exits nonzero leaves
+/// at most `DIR/ID.json.tmp` as a post-mortem, so "sealed" means
+/// "completed", never "got as far as process exit" — the property
+/// `run_matrix.py` resumes on.
 class JsonSink {
  public:
   static JsonSink& Instance();
 
   void Open(const std::string& bench_name, const std::string& path);
-  /// Cell mode: atomic write to `out_dir/cell_id.json`.
+  /// Cell mode: atomic write to `out_dir/cell_id.json`.  `cell_key` is
+  /// the driver's identity fingerprint, echoed verbatim into the
+  /// document ("" = omit).
   void OpenCell(const std::string& bench_name, const std::string& out_dir,
-                const std::string& cell_id);
+                const std::string& cell_id, const std::string& cell_key);
+  /// Marks the run completed; until this is called, cell mode refuses
+  /// to seal at Flush().  Non-cell mode ignores it.
+  void MarkComplete() { complete_ = true; }
   bool enabled() const { return !path_.empty(); }
 
   /// Sticky context merged into every subsequent row (loop position:
@@ -153,6 +162,8 @@ class JsonSink {
   std::string bench_name_;
   std::string path_;
   std::string cell_id_;  ///< non-empty = cell mode (atomic, sealed)
+  std::string cell_key_;
+  bool complete_ = false;  ///< set by FinishBench; gates cell sealing
   std::vector<std::pair<std::string, std::string>> context_;
   std::vector<JsonRow> rows_;
 };
@@ -161,11 +172,19 @@ class JsonSink {
 /// `--json <path>` (or uses `default_json_path` when the flag is
 /// absent; pass nullptr for "disabled by default") or for the
 /// experiment-matrix pair `--out-dir DIR --cell-id ID` (which must
-/// appear together and conflict with `--json`), and opens the
-/// JsonSink.  RunEngineCell then records one row per cell
+/// appear together and conflict with `--json`; `--cell-key FP`
+/// optionally rides along and is echoed into the document), and opens
+/// the JsonSink.  RunEngineCell then records one row per cell
 /// automatically.
 void InitBench(const char* bench_name, int argc, char** argv,
                const char* default_json_path = nullptr);
+
+/// Declares the run successful — call it exactly on main's success
+/// path, right before `return 0`.  In cell mode the atexit Flush seals
+/// the row file only after this, so a validation error or mid-run
+/// failure (any nonzero exit) can never produce a file that
+/// run_matrix.py would resume past as completed.
+void FinishBench();
 
 /// Shorthand for JsonSink::Instance().Context(...).
 void JsonContext(const std::string& key, const std::string& value);

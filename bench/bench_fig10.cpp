@@ -58,5 +58,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): runtime increases with density for all "
          "methods; GAMMA's relative advantage is largest at High.\n");
+  FinishBench();
   return 0;
 }

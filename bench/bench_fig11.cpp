@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   printf("\nShape checks (paper): ordering matches the single-polarity "
          "workloads; runtime rises Dense -> Sparse -> Tree; GAMMA "
          "lowest.\n");
+  FinishBench();
   return 0;
 }

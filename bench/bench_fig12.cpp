@@ -64,5 +64,6 @@ int main(int argc, char** argv) {
   printf("\nShape checks (paper): update time grows with dataset size / "
          "update volume; ratio stays below ~40%%; CPU-side encoding is "
          "small and overlappable.\n");
+  FinishBench();
   return 0;
 }

@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): ws >= w/o ws everywhere; utilization "
          "falls as |V(Q)|/Ir rise; the ws gap widens with both.\n");
+  FinishBench();
   return 0;
 }

@@ -73,5 +73,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): all variants <= WBM; ws speedup > cs "
          "speedup; cs gains largest on Sparse/Tree sets.\n");
+  FinishBench();
   return 0;
 }

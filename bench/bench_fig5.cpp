@@ -151,5 +151,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): BFS peak -> 100%% (exhaustion), DFS "
          "peak flat & low; BFS Comm >> BFS Comp; DFS Comm = 0.\n");
+  FinishBench();
   return 0;
 }

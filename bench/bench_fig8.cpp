@@ -53,5 +53,6 @@ int main(int argc, char** argv) {
   printf("\nShape checks (paper): latency rises with |V(Q)|; unsolved "
          "counts concentrate in the baselines at large |V(Q)|; GAMMA "
          "remains lowest.\n");
+  FinishBench();
   return 0;
 }

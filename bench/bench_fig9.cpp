@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): latency grows with Ir for every "
          "method; GAMMA grows slowest (batch amortization).\n");
+  FinishBench();
   return 0;
 }

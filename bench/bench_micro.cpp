@@ -353,7 +353,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 ||
         std::strcmp(argv[i], "--out-dir") == 0 ||
-        std::strcmp(argv[i], "--cell-id") == 0) {
+        std::strcmp(argv[i], "--cell-id") == 0 ||
+        std::strcmp(argv[i], "--cell-key") == 0) {
       ++i;  // skip the value too (all consumed by InitBench)
       continue;
     }
@@ -368,7 +369,9 @@ int main(int argc, char** argv) {
   // unless --profile-only asked for the counters alone.
   bdsm::RunUpdatePathProfile();
   if (profile_only) {
-    bdsm::bench::JsonSink::Instance().Flush();
+    // The atexit flush writes the rows; marking the run complete here
+    // is what lets cell mode seal them.
+    bdsm::bench::FinishBench();
     return 0;
   }
   int bench_argc = static_cast<int>(args.size());
@@ -381,5 +384,6 @@ int main(int argc, char** argv) {
   bdsm::TrajectoryReporter reporter(display.get());
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  bdsm::bench::FinishBench();
   return 0;
 }

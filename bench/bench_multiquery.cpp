@@ -109,5 +109,6 @@ int main(int argc, char** argv) {
   printf("\nShape check: the fused makespan grows sub-linearly with the "
          "number of registered patterns (shared update, shared launch "
          "occupancy); per-engine cost is ~linear.\n");
+  FinishBench();
   return 0;
 }

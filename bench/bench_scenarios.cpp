@@ -482,7 +482,8 @@ int main(int argc, char** argv) {
       list_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0 ||
                std::strcmp(argv[i], "--out-dir") == 0 ||
-               std::strcmp(argv[i], "--cell-id") == 0) {
+               std::strcmp(argv[i], "--cell-id") == 0 ||
+               std::strcmp(argv[i], "--cell-key") == 0) {
       ++i;  // consumed by InitBench
     } else {
       fprintf(stderr, "unknown flag %s\n", argv[i]);
@@ -702,7 +703,9 @@ int main(int argc, char** argv) {
     if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
       return 1;
     }
-    return all_ok ? 0 : 1;
+    if (!all_ok) return 1;
+    bench::FinishBench();
+    return 0;
   }
 
   // The failover drill mirrors it for the replica layer: the group
@@ -729,7 +732,9 @@ int main(int argc, char** argv) {
     if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
       return 1;
     }
-    return all_ok ? 0 : 1;
+    if (!all_ok) return 1;
+    bench::FinishBench();
+    return 0;
   }
 
   for (const ScenarioSpec* spec : scenarios) {
@@ -810,5 +815,6 @@ int main(int argc, char** argv) {
   if (!WriteObsArtifacts(metrics_json_path, trace_out_path, prov)) {
     return 1;
   }
+  bench::FinishBench();
   return 0;
 }

@@ -180,5 +180,6 @@ int main(int argc, char** argv) {
          "1 -> 4 shards (query partitions run concurrently), flattening "
          "once shards outnumber queries; measured wall tracks it only "
          "up to this host's core count.\n");
+  FinishBench();
   return 0;
 }

@@ -48,5 +48,6 @@ int main(int argc, char** argv) {
   }
   printf("\nShape checks (paper): GAMMA lowest/competitive in every row; "
          "RF best baseline; CL times out on NF/LS sparse+tree.\n");
+  FinishBench();
   return 0;
 }

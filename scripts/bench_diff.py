@@ -55,16 +55,22 @@ import sys
 ZERO_TOLERANCE = {"total_matches", "matches"}
 
 # Known directions for the gate. Metrics not resolvable here or via the
-# suffix/prefix heuristics are reported but never gated.
+# suffix/prefix heuristics are reported but never gated.  Every name
+# must be a field a bench actually emits (bench/*.cpp `.Set("...")`) —
+# a dead entry silently un-gates its metric, so the tables are locked
+# to the sources by tests/python/test_bench_diff.py.
 HIGHER_IS_BETTER = {
     "throughput_ops_per_s", "replication_ops_per_s", "batches_per_s",
-    "batches_per_s_wall", "fused_speedup", "solved", "admitted_ops",
-    "fairness_min_over_max",
+    "batches_per_s_wall", "fused_speedup", "speedup_vs_1", "solved",
+    "admitted_ops", "fairness", "avg_utilization",
 }
 LOWER_IS_BETTER = {
-    "unsolved", "shed_ops", "deadline_misses", "max_lag_batches",
+    "unsolved", "shed_ops", "degraded_ops", "truncated_queries",
+    "truncated_batches", "resyncs", "lag_batches", "max_lag_batches",
+    "queue_depth_max", "locates_per_update",
     "resized_entries_per_update", "moved_entries_per_update",
-    "update_ratio_pct", "rebuild_over_gpma",
+    "update_ratio_pct", "rebuild_over_gpma", "bfs_peak_mem_pct",
+    "dfs_peak_mem_pct",
 }
 _LOWER_SUFFIXES = ("_s", "_ms", "_us", "_ticks", "_bytes")
 _LOWER_PREFIXES = ("latency_", "sojourn_", "queue_wait_", "p50", "p95",
@@ -77,6 +83,11 @@ def metric_direction(field):
         return "higher"
     if field in LOWER_IS_BETTER:
         return "lower"
+    # Rates end in "_per_s", which also matches the lower-is-better
+    # "_s" suffix — resolve them as throughput first so a future
+    # "*_ops_per_s" field gates in the right direction.
+    if field.endswith("_per_s"):
+        return "higher"
     if field.startswith(_LOWER_PREFIXES) or field.endswith(_LOWER_SUFFIXES):
         return "lower"
     return None

@@ -9,8 +9,13 @@ derivation and results-tree conventions:
 
 * Cell ids are stable slugs (``group__scenario__engine[__k-v...]``);
   the per-cell row file is ``<tree>/cells/<id>.json``, written sealed
-  (atomic rename, ``"sealed": true``) by the bench's ``--out-dir DIR
-  --cell-id ID`` assist.
+  (atomic rename, ``"sealed": true``, success paths only) by the
+  bench's ``--out-dir DIR --cell-id ID`` assist.  The driver also
+  passes ``--cell-key``, a digest of the cell's full identity (tool,
+  scenario, engine, sweep, args, seed) echoed into the document, so a
+  sealed file is only resumed past when it measured *this* config's
+  cell — editing the matrix (a new master seed, different args) re-runs
+  the affected cells instead of silently keeping stale results.
 * Per-cell seeds follow the repo's DeriveSeed convention
   (src/util/rng.hpp): SplitMix64 over (master seed, stream id).  The
   stream id is FNV-1a of the cell's *workload key* — group id +
@@ -112,6 +117,11 @@ class Cell:
         for k, v in self.sweep.items():
             parts.append(f"{slug(k)}-{slug(str(v))}")
         self.cell_id = "__".join(parts)
+        # Identity fingerprint: what --cell-key carries and is_sealed()
+        # compares, covering every run-relevant component of the cell.
+        self.cell_key = hashlib.sha256(
+            json.dumps(self.describe(), sort_keys=True)
+            .encode("utf-8")).hexdigest()
 
     def command(self, bin_path):
         """argv to seal this cell into ``out_dir`` (appended by caller)."""
@@ -228,11 +238,23 @@ def load_cell(path):
     return doc
 
 
+def doc_matches(doc, cell):
+    """Does a sealed document measure exactly this expanded cell?
+
+    The cell_key comparison is what keeps resume honest against config
+    edits: a row file sealed under an older matrix (different seed,
+    args, engine binding) fingerprints differently and is re-run, never
+    silently kept while the manifest stamps the new identity next to
+    it.  Files sealed by pre-cell-key binaries (no "cell_key" field)
+    also re-run."""
+    return (doc is not None and doc.get("cell_id") == cell.cell_id
+            and doc.get("cell_key") == cell.cell_key)
+
+
 def is_sealed(tree, cell):
     """True when the cell's row file exists, parses, and matches the
     cell's identity — the resume predicate of run_matrix.py."""
-    doc = load_cell(cell_path(tree, cell.cell_id))
-    return doc is not None and doc.get("cell_id") == cell.cell_id
+    return doc_matches(load_cell(cell_path(tree, cell.cell_id)), cell)
 
 
 def cell_provenance(doc):
@@ -260,7 +282,7 @@ def render_manifest(config, config_path, cells, tree):
     for cell in cells:
         entry = cell.describe()
         doc = load_cell(cell_path(tree, cell.cell_id))
-        if doc is not None and doc.get("cell_id") == cell.cell_id:
+        if doc_matches(doc, cell):
             entry["status"] = "sealed"
             entry["rows"] = len(doc.get("rows", []))
             entry["provenance"] = cell_provenance(doc)

@@ -2,10 +2,14 @@
 """Resumable experiment-matrix driver (docs/EXPERIMENTS.md).
 
 Expands a ``bdsm-matrix-v1`` config into cells and runs each through
-the bench binaries' cell assist (``--out-dir DIR --cell-id ID``), which
-writes one provenance-headed row file per cell *atomically* and marks
-it ``"sealed": true``.  On restart the driver skips every cell whose
-sealed file is already present and valid, so a killed sweep resumes
+the bench binaries' cell assist (``--out-dir DIR --cell-id ID
+--cell-key FP``), which writes one provenance-headed row file per cell
+*atomically*, marking it ``"sealed": true`` only when the bench's run
+completed successfully (nonzero exits leave at most a ``.tmp``
+post-mortem, and the driver scrubs the cell path after any failed
+attempt).  On restart the driver skips every cell whose sealed file is
+already present, valid, and carries this config's identity
+fingerprint (``cell_key``), so a killed sweep resumes
 exactly where it stopped — no cell re-executed — and finishes with a
 RESULTS_MANIFEST.json byte-identical to an uninterrupted run's (the
 manifest is a pure function of config + sealed files: no timestamps,
@@ -94,7 +98,8 @@ def main(argv=None):
             print(f"[seal ] {cell.cell_id} (already sealed, skipping)")
             continue
         cmd = cell.command(tools[cell.tool]) + [
-            "--out-dir", str(cells_dir), "--cell-id", cell.cell_id]
+            "--out-dir", str(cells_dir), "--cell-id", cell.cell_id,
+            "--cell-key", cell.cell_key]
         print(f"[run  ] {cell.cell_id}: {' '.join(cmd)}")
         sys.stdout.flush()
         proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
@@ -103,6 +108,14 @@ def main(argv=None):
             why = (f"exit {proc.returncode}" if proc.returncode != 0
                    else "tool exited 0 but left no sealed row file")
             print(f"[FAIL ] {cell.cell_id}: {why}", file=sys.stderr)
+            # A failed attempt must leave nothing a later resume could
+            # mistake for a completed cell: the benches only seal on
+            # success, but a stale row file from an older config (or a
+            # third-party tool sealing unconditionally at exit) could
+            # still be sitting at the cell path.
+            row_file = mx.cell_path(tree, cell.cell_id)
+            row_file.unlink(missing_ok=True)
+            pathlib.Path(str(row_file) + ".tmp").unlink(missing_ok=True)
             if not args.keep_going:
                 break
             continue

@@ -27,12 +27,17 @@ def run(cmd, **kw):
 
 
 STUB_SOURCE = r'''#!/usr/bin/env python3
-"""Stand-in bench tool: speaks the --out-dir/--cell-id cell protocol.
+"""Stand-in bench tool: speaks the --out-dir/--cell-id/--cell-key cell
+protocol.
 
 Writes a sealed bdsm-bench-v1 row file whose rows are a pure function
-of (scenario, engine, seed), logs every invocation to $STUB_LOG, and
-exits 1 without sealing once the invocation count in the log exceeds
-$STUB_FAIL_AFTER (simulating a matrix killed mid-sweep).
+of (scenario, engine, seed) and logs every invocation to $STUB_LOG.
+Failure drills, keyed on the invocation count in the log:
+* $STUB_FAIL_AFTER=N — exits 1 WITHOUT sealing once count > N
+  (a matrix killed mid-sweep; the real benches' behavior).
+* $STUB_SEAL_THEN_FAIL_AFTER=N — seals, then exits 2, once count > N
+  (a misbehaving tool that seals unconditionally at exit; the driver
+  must scrub its row file rather than resume past it).
 """
 import json, os, pathlib, sys
 
@@ -69,10 +74,15 @@ doc = {
     "rows": [row],
     "sealed": True,
 }
+if "--cell-key" in opt:
+    doc["cell_key"] = opt["--cell-key"]
 out = pathlib.Path(opt["--out-dir"]) / (opt["--cell-id"] + ".json")
 tmp = out.with_suffix(".json.tmp")
 tmp.write_text(json.dumps(doc, indent=2) + "\n")
 tmp.replace(out)
+seal_then_fail = int(os.environ.get("STUB_SEAL_THEN_FAIL_AFTER", "0"))
+if seal_then_fail and count > seal_then_fail:
+    sys.exit(2)
 '''
 
 

@@ -2,6 +2,8 @@
 regression gate, direction-aware per metric, zero-tolerance match
 counts, missing-cell detection) and two-file backward compatibility."""
 import copy
+import importlib.util
+import re
 import tempfile
 import unittest
 
@@ -9,6 +11,14 @@ import support
 from support import engine_row, run, write_tree
 
 DIFF = support.SCRIPTS / "bench_diff.py"
+
+
+def load_bench_diff():
+    """Imports bench_diff.py as a module (main() is __main__-guarded)."""
+    spec = importlib.util.spec_from_file_location("bench_diff", DIFF)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
 
 
 class TreeModeTest(unittest.TestCase):
@@ -93,6 +103,65 @@ class TreeModeTest(unittest.TestCase):
     def test_tree_mode_rejects_two_file_flags(self):
         proc = self.diff(self.old, "--metric", "latency_p95_s")
         self.assertEqual(proc.returncode, 2)
+
+    def test_fairness_drop_gates_as_higher_is_better(self):
+        old = write_tree(f"{self.tmp.name}/f-old",
+                         {"c": [engine_row(fairness=0.9)]})
+        drop = write_tree(f"{self.tmp.name}/f-drop",
+                          {"c": [engine_row(fairness=0.45)]})
+        rise = write_tree(f"{self.tmp.name}/f-rise",
+                          {"c": [engine_row(fairness=0.99)]})
+        proc = run([DIFF, "--tree", old, drop, "--max-regress", "20"])
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertEqual(
+            run([DIFF, "--tree", old, rise,
+                 "--max-regress", "20"]).returncode, 0)
+
+    def test_unlisted_rate_metric_gates_as_throughput(self):
+        # A future "*_ops_per_s" field must resolve higher-is-better,
+        # not fall through to the lower-is-better "_s" suffix rule.
+        old = write_tree(f"{self.tmp.name}/r-old",
+                         {"c": [engine_row(frobnicate_ops_per_s=100.0)]})
+        drop = write_tree(f"{self.tmp.name}/r-drop",
+                          {"c": [engine_row(frobnicate_ops_per_s=50.0)]})
+        rise = write_tree(f"{self.tmp.name}/r-rise",
+                          {"c": [engine_row(frobnicate_ops_per_s=200.0)]})
+        proc = run([DIFF, "--tree", old, drop, "--max-regress", "20"])
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+        self.assertEqual(
+            run([DIFF, "--tree", old, rise,
+                 "--max-regress", "20"]).returncode, 0)
+
+
+class DirectionTableTest(unittest.TestCase):
+    """The tables must name fields the benches actually emit — a dead
+    entry (e.g. a renamed metric) silently un-gates its metric."""
+
+    def emitted_fields(self):
+        fields = set()
+        for path in (support.REPO / "bench").glob("*.cpp"):
+            fields.update(re.findall(
+                r'\.Set(?:Bool)?\(\s*"([A-Za-z0-9_]+)"', path.read_text()))
+        return fields
+
+    def test_tables_only_name_emitted_fields(self):
+        bd = load_bench_diff()
+        emitted = self.emitted_fields()
+        for table in ("HIGHER_IS_BETTER", "LOWER_IS_BETTER"):
+            dead = getattr(bd, table) - emitted
+            self.assertFalse(
+                dead, f"{table} entries no bench emits: {sorted(dead)}")
+
+    def test_metric_direction_resolution_order(self):
+        bd = load_bench_diff()
+        self.assertEqual(bd.metric_direction("future_ops_per_s"), "higher")
+        self.assertEqual(bd.metric_direction("batches_per_s_wall"),
+                         "higher")
+        self.assertEqual(bd.metric_direction("latency_p95_s"), "lower")
+        self.assertEqual(bd.metric_direction("fairness"), "higher")
+        self.assertIsNone(bd.metric_direction("mystery_metric"))
 
 
 class TwoFileModeTest(unittest.TestCase):

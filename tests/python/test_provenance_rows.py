@@ -59,14 +59,33 @@ class ProvenanceRowsTest(unittest.TestCase):
         with tempfile.TemporaryDirectory() as tmp:
             proc = subprocess.run(
                 [BIN, "--scenario", "smoke", "--engine", "gamma",
-                 "--out-dir", tmp, "--cell-id", "probe"],
+                 "--out-dir", tmp, "--cell-id", "probe",
+                 "--cell-key", "deadbeef"],
                 stdout=subprocess.DEVNULL)
             self.assertEqual(proc.returncode, 0)
             doc = json.loads(
                 (pathlib.Path(tmp) / "probe.json").read_text())
         self.assertEqual(doc["cell_id"], "probe")
+        self.assertEqual(doc["cell_key"], "deadbeef")
         self.assertIs(doc["sealed"], True)
         self.assert_provenance(doc["rows"])
+
+    def test_failed_run_leaves_no_sealed_cell_file(self):
+        # Validation failures exit(2) AFTER InitBench registered the
+        # atexit flush; sealing happens only on the success path, so
+        # a failed run must leave at most the .tmp post-mortem — a
+        # sealed file here would make run_matrix.py resume past a
+        # persistently failing cell as "completed".
+        with tempfile.TemporaryDirectory() as tmp:
+            proc = subprocess.run(
+                [BIN, "--scenario", "smoke",
+                 "--engine", "no-such-engine",
+                 "--out-dir", tmp, "--cell-id", "probe"],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+            self.assertNotEqual(proc.returncode, 0)
+            self.assertFalse(
+                (pathlib.Path(tmp) / "probe.json").exists(),
+                "failed run sealed a cell row file")
 
 
 if __name__ == "__main__":

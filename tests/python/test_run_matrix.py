@@ -89,13 +89,16 @@ class ResumeTest(unittest.TestCase):
         self.bin_dir = support.make_stub_bin_dir(self.dir)
         self.config = support.stub_config(self.dir)
 
-    def run_matrix(self, out, log, fail_after=0):
+    def run_matrix(self, out, log, fail_after=0, seal_then_fail_after=0,
+                   config=None):
         env = dict(os.environ, STUB_LOG=str(log))
-        if fail_after:
-            env["STUB_FAIL_AFTER"] = str(fail_after)
-        else:
-            env.pop("STUB_FAIL_AFTER", None)
-        return run([RUN_MATRIX, "--config", self.config,
+        for var, n in (("STUB_FAIL_AFTER", fail_after),
+                       ("STUB_SEAL_THEN_FAIL_AFTER", seal_then_fail_after)):
+            if n:
+                env[var] = str(n)
+            else:
+                env.pop(var, None)
+        return run([RUN_MATRIX, "--config", config or self.config,
                     "--bin-dir", self.bin_dir, "--out", out], env=env)
 
     def invocations(self, log):
@@ -133,6 +136,69 @@ class ResumeTest(unittest.TestCase):
         ref = (self.dir / "ref" / mx.MANIFEST_NAME).read_bytes()
         got = (self.dir / "int" / mx.MANIFEST_NAME).read_bytes()
         self.assertEqual(ref, got)
+
+    def test_seal_at_failed_exit_does_not_poison_resume(self):
+        # A tool that seals its row file and THEN exits nonzero (e.g. a
+        # legacy binary sealing unconditionally at process exit) must
+        # not turn a persistently failing cell into a "completed" one:
+        # the driver scrubs the row file, the manifest stays pending,
+        # and the resumed run re-executes the cell.
+        ref_log = self.dir / "ref.log"
+        self.assertEqual(
+            self.run_matrix(self.dir / "ref", ref_log).returncode, 0)
+
+        log = self.dir / "stf.log"
+        out = self.dir / "stf"
+        proc = self.run_matrix(out, log, seal_then_fail_after=2)
+        self.assertEqual(proc.returncode, 1)
+        manifest = mx.load_manifest(out)
+        statuses = [c["status"] for c in manifest["cells"]]
+        self.assertEqual(statuses, ["sealed", "sealed", "pending",
+                                    "pending"])
+        failed_id = self.invocations(log)[2]
+        self.assertFalse(mx.cell_path(out, failed_id).exists(),
+                         "failed attempt left a sealed row file behind")
+
+        proc = self.run_matrix(out, log)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertEqual(self.invocations(log).count(failed_id), 2,
+                         "the failed cell must be re-executed")
+        ref = (self.dir / "ref" / mx.MANIFEST_NAME).read_bytes()
+        self.assertEqual(ref, (out / mx.MANIFEST_NAME).read_bytes())
+
+    def test_config_edit_reruns_stale_sealed_cells(self):
+        # Resuming into a tree after the matrix changed (here: a new
+        # master seed) must re-run every affected cell — sealed results
+        # from the old config fingerprint differently (cell_key) and
+        # would otherwise sit next to a manifest stamping the new seed.
+        log = self.dir / "edit.log"
+        out = self.dir / "edit"
+        self.assertEqual(self.run_matrix(out, log).returncode, 0)
+        self.assertEqual(len(self.invocations(log)), 4)
+
+        cfg = json.loads(self.config.read_text())
+        cfg["seed"] = 2025
+        edited = self.dir / "matrix-edited.json"
+        edited.write_text(json.dumps(cfg, indent=2) + "\n")
+        proc = self.run_matrix(out, log, config=edited)
+        self.assertEqual(proc.returncode, 0, proc.stderr)
+        self.assertIn("0 resumed-sealed", proc.stdout)
+        self.assertEqual(len(self.invocations(log)), 8,
+                         "every stale cell must re-run")
+        self.assertEqual(mx.load_manifest(out)["seed"], 2025)
+
+    def test_cell_file_without_cell_key_is_re_run(self):
+        # Trees sealed by pre-cell-key tooling carry no identity
+        # fingerprint; the resume predicate treats them as unsealed.
+        log = self.dir / "nokey.log"
+        out = self.dir / "nokey"
+        self.assertEqual(self.run_matrix(out, log).returncode, 0)
+        victim = mx.cell_path(out, "a__s1__e1")
+        doc = json.loads(victim.read_text())
+        del doc["cell_key"]
+        victim.write_text(json.dumps(doc, indent=2) + "\n")
+        self.assertEqual(self.run_matrix(out, log).returncode, 0)
+        self.assertEqual(self.invocations(log).count("a__s1__e1"), 2)
 
     def test_torn_cell_file_is_re_run(self):
         log = self.dir / "torn.log"
